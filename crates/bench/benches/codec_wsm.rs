@@ -1,0 +1,76 @@
+//! §V-B: serialization and exchange cost of journey contexts.
+//!
+//! Measures the snapshot codec (encode/decode of a 1 km × 194-channel
+//! context, the paper's 182 KB payload) and WSM fragmentation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rups_bench::synthetic_context;
+use rups_core::geo::{GeoSample, GeoTrajectory};
+use rups_core::pipeline::ContextSnapshot;
+use std::hint::black_box;
+use v2v_sim::codec::{decode_snapshot, encode_snapshot};
+use v2v_sim::wsm::{fragment, reassemble, WsmConfig};
+
+fn snapshot(len: usize, n_channels: usize) -> ContextSnapshot {
+    let gsm = synthetic_context(9, 0, len, n_channels);
+    let mut geo = GeoTrajectory::with_capacity(len);
+    for i in 0..len {
+        geo.push(GeoSample {
+            heading_rad: 0.0,
+            timestamp_s: i as f64 * 0.4,
+        });
+    }
+    ContextSnapshot {
+        vehicle_id: Some(1),
+        geo,
+        gsm,
+    }
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec/encode");
+    for len in [250usize, 1000] {
+        let snap = snapshot(len, 194);
+        let bytes = encode_snapshot(&snap).len() as u64;
+        g.throughput(Throughput::Bytes(bytes));
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| black_box(encode_snapshot(black_box(&snap))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec/decode");
+    for len in [250usize, 1000] {
+        let wire = encode_snapshot(&snapshot(len, 194));
+        g.throughput(Throughput::Bytes(wire.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| black_box(decode_snapshot(black_box(&wire)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fragment_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec/wsm_fragment");
+    let wire = encode_snapshot(&snapshot(1000, 194));
+    let cfg = WsmConfig::default();
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("fragment_1km_context", |b| {
+        b.iter(|| black_box(fragment(black_box(&wire), &cfg)))
+    });
+    let frags = fragment(&wire, &cfg);
+    g.bench_function("reassemble_1km_context", |b| {
+        b.iter(|| black_box(reassemble(black_box(&frags))))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_decode,
+    bench_fragment_roundtrip
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Shared workload builders for the Criterion benches.
+//!
+//! Every bench regenerating a paper figure pulls its workload from here so
+//! the benchmarked code path is exactly the one the `evaluate` binary runs,
+//! only at a bench-friendly scale.
+
+use rups_core::config::RupsConfig;
+use rups_core::gsm::{GsmTrajectory, PowerVector};
+use rups_core::testfield;
+use rups_eval::figures::EvalScale;
+use rups_eval::tracegen::{generate, ScenarioTrace, TraceConfig};
+use urban_sim::road::RoadClass;
+
+/// A synthetic journey context of `len` metres over `n_channels` channels,
+/// starting at road metre `start` (fully covered, no missing cells).
+pub fn synthetic_context(seed: u64, start: usize, len: usize, n_channels: usize) -> GsmTrajectory {
+    let mut t = GsmTrajectory::with_capacity(n_channels, len);
+    for i in 0..len {
+        let s = (start + i) as f64;
+        t.push(&PowerVector::from_fn(n_channels, |ch| {
+            Some(testfield::rssi(seed, s, ch))
+        }));
+    }
+    t
+}
+
+/// The RUPS configuration for a synthetic-context bench with the paper's
+/// window geometry.
+pub fn bench_config(n_channels: usize, window_len_m: usize, window_channels: usize) -> RupsConfig {
+    RupsConfig {
+        n_channels,
+        window_len_m,
+        window_channels,
+        max_context_m: 10_000,
+        ..RupsConfig::default()
+    }
+}
+
+/// The scale used by the figure benches: small enough for Criterion's
+/// repetitions, large enough to exercise the real path.
+pub fn bench_scale() -> EvalScale {
+    EvalScale {
+        n_queries: 4,
+        ..EvalScale::quick()
+    }
+}
+
+/// A quick trace for the accuracy benches.
+pub fn quick_trace(seed: u64, road: RoadClass) -> ScenarioTrace {
+    let s = bench_scale();
+    generate(&TraceConfig {
+        n_channels: s.n_channels,
+        scanned_channels: s.scanned_channels,
+        route_len_m: s.route_len_m(),
+        duration_s: s.duration_s,
+        ..TraceConfig::new(seed, road)
+    })
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the GPS baseline error model.
+
+use gps_sim::{relative_distance_gps, GpsErrorParams, GpsFix, GpsReceiver};
+use proptest::prelude::*;
+use urban_sim::road::RoadClass;
+
+fn any_road() -> impl Strategy<Value = RoadClass> {
+    prop_oneof![
+        Just(RoadClass::Suburban2Lane),
+        Just(RoadClass::Urban4Lane),
+        Just(RoadClass::Urban8Lane),
+        Just(RoadClass::UnderElevated),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fixes_track_the_true_position_within_model_bounds(
+        road in any_road(),
+        seed in 0u64..500,
+        x in -1e5f64..1e5,
+        y in -1e5f64..1e5,
+    ) {
+        let mut rx = GpsReceiver::new(road, seed);
+        let p = *rx.params();
+        // Worst case: GM 5σ plus a 5σ multipath jump.
+        let bound = 5.0 * p.sigma_m + 5.0 * p.multipath_sigma_m;
+        for i in 0..50 {
+            if let Some(fix) = rx.fix(i as f64, (x, y)) {
+                let err = ((fix.pos.0 - x).powi(2) + (fix.pos.1 - y).powi(2)).sqrt();
+                prop_assert!(err < bound, "error {err} exceeds 5σ bound {bound}");
+                prop_assert_eq!(fix.t, i as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn error_process_is_independent_of_true_position(
+        road in any_road(),
+        seed in 0u64..200,
+    ) {
+        // Same seed, different true tracks → identical error vectors.
+        let mut a = GpsReceiver::new(road, seed);
+        let mut b = GpsReceiver::new(road, seed);
+        for i in 0..30 {
+            let t = i as f64;
+            let fa = a.fix(t, (0.0, 0.0));
+            let fb = b.fix(t, (5_000.0, -300.0));
+            match (fa, fb) {
+                (Some(fa), Some(fb)) => {
+                    let ea = (fa.pos.0, fa.pos.1);
+                    let eb = (fb.pos.0 - 5_000.0, fb.pos.1 + 300.0);
+                    prop_assert!((ea.0 - eb.0).abs() < 1e-9);
+                    prop_assert!((ea.1 - eb.1).abs() < 1e-9);
+                }
+                (None, None) => {}
+                other => prop_assert!(false, "outage divergence: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn relative_distance_is_antisymmetric_and_rotation_consistent(
+        ax in -100.0f64..100.0, ay in -100.0f64..100.0,
+        bx in -100.0f64..100.0, by in -100.0f64..100.0,
+        heading in -3.0f64..3.0,
+    ) {
+        let a = GpsFix { t: 0.0, pos: (ax, ay) };
+        let b = GpsFix { t: 0.0, pos: (bx, by) };
+        let d_ab = relative_distance_gps(&a, &b, heading);
+        let d_ba = relative_distance_gps(&b, &a, heading);
+        prop_assert!((d_ab + d_ba).abs() < 1e-9);
+        // The projection never exceeds the Euclidean distance.
+        let euclid = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+        prop_assert!(d_ab.abs() <= euclid + 1e-9);
+        // Heading + π flips the sign.
+        let d_flipped = relative_distance_gps(&a, &b, heading + std::f64::consts::PI);
+        prop_assert!((d_ab + d_flipped).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_params_respected(
+        sigma in 0.5f64..30.0,
+        seed in 0u64..100,
+    ) {
+        let params = GpsErrorParams {
+            sigma_m: sigma,
+            tau_s: 30.0,
+            outage_prob: 0.0,
+            multipath_prob: 0.0,
+            multipath_sigma_m: 1.0,
+        };
+        let mut rx = GpsReceiver::with_params(params, seed);
+        let mut sum_sq = 0.0;
+        let mut n = 0usize;
+        // Sample sparsely (≫ τ apart) so draws are near-independent.
+        for i in 0..40 {
+            let fix = rx.fix(i as f64 * 200.0, (0.0, 0.0)).expect("no outages configured");
+            sum_sq += fix.pos.0 * fix.pos.0 + fix.pos.1 * fix.pos.1;
+            n += 2;
+        }
+        let rms = (sum_sq / n as f64).sqrt();
+        prop_assert!(
+            rms > sigma * 0.55 && rms < sigma * 1.6,
+            "per-axis RMS {rms} should track σ = {sigma}"
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Frequency bands beyond GSM-900 (§VII future work).
+//!
+//! The paper's future-work section proposes fusing "other ambient wireless
+//! signals such as the 3G/4G, FM and TV bands" into the fingerprint. Bands
+//! differ in propagation physics, and the differences matter for RUPS:
+//!
+//! * **FM broadcast (88–108 MHz)** — 3 m wavelength, so small-scale fading
+//!   is coarse (no sub-metre texture → worse fine resolution), but signals
+//!   are strong, extremely stable in time (fixed broadcast transmitters, no
+//!   traffic channels) and penetrate under elevated decks far better than
+//!   900 MHz — exactly complementary to GSM where GSM is weakest.
+//! * **GSM-900** — the paper's band: fine spatial texture, moderate
+//!   stability (interference bursts from traffic channels).
+
+use crate::params::PropagationParams;
+use serde::{Deserialize, Serialize};
+
+/// A scannable frequency band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BandKind {
+    /// The R-GSM-900 band of the paper (default everywhere).
+    Gsm900,
+    /// FM broadcast band, ~30 station carriers.
+    FmBroadcast,
+}
+
+impl BandKind {
+    /// Typical number of receivable carriers in the band.
+    pub fn typical_channels(self) -> usize {
+        match self {
+            BandKind::Gsm900 => rups_core::channel::RGSM_900_CHANNELS,
+            BandKind::FmBroadcast => 30,
+        }
+    }
+
+    /// Adapts GSM-calibrated propagation parameters to this band's physics.
+    pub fn adjust(self, p: &PropagationParams) -> PropagationParams {
+        match self {
+            BandKind::Gsm900 => p.clone(),
+            BandKind::FmBroadcast => PropagationParams {
+                // 100 MHz diffracts around clutter: gentler distance decay
+                // and weaker shadowing with a longer correlation length.
+                path_loss_exponent: (p.path_loss_exponent - 0.6).max(2.0),
+                shadow_sigma_db: p.shadow_sigma_db * 0.7,
+                shadow_corr_m: p.shadow_corr_m * 2.5,
+                // λ ≈ 3 m: small-scale fading is coarse.
+                fast_sigma_db: p.fast_sigma_db * 0.8,
+                fast_corr_m: 3.0,
+                // Broadcast carriers are rock-stable: no traffic bursts.
+                temporal_slow_sigma_db: p.temporal_slow_sigma_db * 0.5,
+                temporal_slow_corr_s: p.temporal_slow_corr_s * 2.0,
+                temporal_fast_sigma_db: p.temporal_fast_sigma_db * 0.5,
+                temporal_fast_corr_s: p.temporal_fast_corr_s,
+                burst_prob_per_slot: 0.0,
+                burst_sigma_db: 0.0,
+                burst_slot_s: p.burst_slot_s,
+                // Long waves slip under elevated decks.
+                extra_attenuation_db: p.extra_attenuation_db * 0.3,
+                // A handful of broadcast sites serve a whole city.
+                tower_density_per_km: (p.tower_density_per_km * 0.25).max(0.4),
+                active_channel_fraction: 0.7,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::EnvironmentClass;
+
+    #[test]
+    fn fm_is_gentler_than_gsm() {
+        let base = EnvironmentClass::Close.params();
+        let fm = BandKind::FmBroadcast.adjust(&base);
+        assert!(fm.path_loss_exponent < base.path_loss_exponent);
+        assert!(fm.shadow_corr_m > base.shadow_corr_m);
+        assert!(fm.fast_corr_m > base.fast_corr_m);
+        assert_eq!(fm.burst_prob_per_slot, 0.0);
+        assert!(fm.extra_attenuation_db < base.extra_attenuation_db);
+    }
+
+    #[test]
+    fn gsm_adjustment_is_identity() {
+        let base = EnvironmentClass::Open.params();
+        assert_eq!(BandKind::Gsm900.adjust(&base), base);
+    }
+
+    #[test]
+    fn channel_counts() {
+        assert_eq!(BandKind::Gsm900.typical_channels(), 194);
+        assert_eq!(BandKind::FmBroadcast.typical_channels(), 30);
+    }
+}

@@ -1,0 +1,339 @@
+//! The composed RSSI field: towers + path loss + shadowing + small-scale
+//! fading + temporal dynamics.
+//!
+//! [`GsmEnvironment::rssi_dbm`] is the single entry point the scanner (and
+//! the empirical-study experiments) query: a deterministic function of
+//! `(channel, position, time)` whose statistics are calibrated to the
+//! paper's §III measurements.
+
+use crate::noise;
+use crate::params::{EnvironmentClass, PropagationParams};
+use crate::tower::{deploy_towers, Tower};
+use crate::NOISE_FLOOR_DBM;
+use serde::{Deserialize, Serialize};
+
+/// A deterministic GSM radio environment over a road corridor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GsmEnvironment {
+    seed: u64,
+    class: EnvironmentClass,
+    params: PropagationParams,
+    n_channels: usize,
+    /// Carrier lookup: channel → the towers serving that channel (distant
+    /// sites reuse frequencies; the receiver captures the strongest).
+    tower_of_channel: Vec<Vec<Tower>>,
+}
+
+impl GsmEnvironment {
+    /// Builds an environment of `class` over a corridor of
+    /// `corridor_len_m` metres with `n_channels` scanned channels, fully
+    /// determined by `seed`.
+    pub fn new(seed: u64, class: EnvironmentClass, corridor_len_m: f64, n_channels: usize) -> Self {
+        let params = class.params();
+        let towers = deploy_towers(seed, corridor_len_m, n_channels, &params);
+        let mut tower_of_channel = vec![Vec::new(); n_channels];
+        for t in towers {
+            tower_of_channel[t.channel].push(t);
+        }
+        Self {
+            seed,
+            class,
+            params,
+            n_channels,
+            tower_of_channel,
+        }
+    }
+
+    /// Builds an environment for a non-GSM band: the class parameters are
+    /// adapted to the band's propagation physics (see
+    /// [`crate::band::BandKind::adjust`]).
+    pub fn with_band(
+        seed: u64,
+        class: EnvironmentClass,
+        band: crate::band::BandKind,
+        corridor_len_m: f64,
+        n_channels: usize,
+    ) -> Self {
+        let params = band.adjust(&class.params());
+        Self::with_params(seed, class, params, corridor_len_m, n_channels)
+    }
+
+    /// Same, but with explicit propagation parameters (for ablations).
+    pub fn with_params(
+        seed: u64,
+        class: EnvironmentClass,
+        params: PropagationParams,
+        corridor_len_m: f64,
+        n_channels: usize,
+    ) -> Self {
+        let towers = deploy_towers(seed, corridor_len_m, n_channels, &params);
+        let mut tower_of_channel = vec![Vec::new(); n_channels];
+        for t in towers {
+            tower_of_channel[t.channel].push(t);
+        }
+        Self {
+            seed,
+            class,
+            params,
+            n_channels,
+            tower_of_channel,
+        }
+    }
+
+    /// Environment class.
+    pub fn class(&self) -> EnvironmentClass {
+        self.class
+    }
+
+    /// Propagation parameters in force.
+    pub fn params(&self) -> &PropagationParams {
+        &self.params
+    }
+
+    /// Number of channels in the scanned band.
+    pub fn n_channels(&self) -> usize {
+        self.n_channels
+    }
+
+    /// Channels that host an active carrier in this corridor.
+    pub fn active_channels(&self) -> Vec<usize> {
+        self.tower_of_channel
+            .iter()
+            .enumerate()
+            .filter_map(|(ch, t)| (!t.is_empty()).then_some(ch))
+            .collect()
+    }
+
+    /// Median path-loss mean RSSI of channel `ch` at `pos` (no fading, no
+    /// temporal terms): the strongest co-channel carrier wins (capture
+    /// effect). `None` when no carrier serves the channel.
+    pub fn mean_rssi_dbm(&self, ch: usize, pos: (f64, f64)) -> Option<f64> {
+        let towers = self.tower_of_channel.get(ch)?;
+        towers
+            .iter()
+            .map(|t| {
+                let dx = pos.0 - t.pos.0;
+                let dy = pos.1 - t.pos.1;
+                let d = (dx * dx + dy * dy).sqrt().max(10.0);
+                t.tx_power_dbm
+                    - path_loss_db(d, self.params.path_loss_exponent)
+                    - self.params.extra_attenuation_db
+            })
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
+    }
+
+    /// The spatial fading terms of channel `ch` at `pos`: correlated
+    /// shadowing plus small-scale fading, in dB.
+    pub fn spatial_fading_db(&self, ch: usize, pos: (f64, f64)) -> f64 {
+        let p = &self.params;
+        let shadow = p.shadow_sigma_db
+            * noise::fractal2(self.seed ^ 0x5AD0, ch as u64, pos.0, pos.1, p.shadow_corr_m);
+        let fast = p.fast_sigma_db
+            * noise::noise2(
+                self.seed ^ 0xFA57,
+                ch as u64,
+                pos.0 / p.fast_corr_m,
+                pos.1 / p.fast_corr_m,
+            );
+        shadow + fast
+    }
+
+    /// The temporal terms of channel `ch` at time `t`: slow drift, fast
+    /// jitter and interference bursts, in dB.
+    pub fn temporal_db(&self, ch: usize, t: f64) -> f64 {
+        let p = &self.params;
+        let slow = p.temporal_slow_sigma_db
+            * noise::noise1(self.seed ^ 0x7E40, ch as u64, t / p.temporal_slow_corr_s);
+        let fast = p.temporal_fast_sigma_db
+            * noise::noise1(self.seed ^ 0x91B2, ch as u64, t / p.temporal_fast_corr_s);
+        // Interference bursts: in each burst slot a channel may host an
+        // interfering transmission whose level is a hashed constant for the
+        // slot's duration.
+        let slot = (t / p.burst_slot_s).floor() as i64;
+        let gate = noise::slot_uniform(self.seed ^ 0xB057, ch as u64, slot);
+        let burst = if gate < p.burst_prob_per_slot {
+            let amp = noise::slot_uniform(self.seed ^ 0xB058, ch as u64, slot) * 2.0 - 1.0;
+            amp * p.burst_sigma_db
+        } else {
+            0.0
+        };
+        slow + fast + burst
+    }
+
+    /// The full RSSI of channel `ch` at `pos` and time `t`, clamped at the
+    /// noise floor. Channels without a carrier report the floor plus jitter.
+    pub fn rssi_dbm(&self, ch: usize, pos: (f64, f64), t: f64) -> f32 {
+        let jitter = || {
+            (self.params.temporal_fast_sigma_db
+                * noise::noise1(self.seed ^ 0xF100, ch as u64, t / 2.0)) as f32
+        };
+        match self.mean_rssi_dbm(ch, pos) {
+            Some(mean) => {
+                let v = mean + self.spatial_fading_db(ch, pos) + self.temporal_db(ch, t);
+                (v as f32).max(NOISE_FLOOR_DBM + jitter())
+            }
+            None => NOISE_FLOOR_DBM + jitter(),
+        }
+    }
+
+    /// Convenience: the full power vector (every channel) at `pos`, `t`,
+    /// with an optional extra attenuation (radio placement, occlusion).
+    pub fn power_vector_dbm(&self, pos: (f64, f64), t: f64, extra_loss_db: f32) -> Vec<f32> {
+        (0..self.n_channels)
+            .map(|ch| (self.rssi_dbm(ch, pos, t) - extra_loss_db).max(NOISE_FLOOR_DBM))
+            .collect()
+    }
+}
+
+/// Log-distance path loss referenced to 37 dB at d₀ = 10 m (≈ free space at
+/// 900 MHz, folding in antenna gains), in dB. Distances are floored at the
+/// 10 m reference.
+pub fn path_loss_db(distance_m: f64, exponent: f64) -> f64 {
+    let d = distance_m.max(10.0);
+    37.0 + 10.0 * exponent * (d / 10.0).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> GsmEnvironment {
+        GsmEnvironment::new(77, EnvironmentClass::SemiOpen, 5_000.0, 64)
+    }
+
+    #[test]
+    fn path_loss_monotone_in_distance_and_exponent() {
+        assert!(path_loss_db(100.0, 3.3) > path_loss_db(50.0, 3.3));
+        assert!(path_loss_db(100.0, 3.8) > path_loss_db(100.0, 2.8));
+        // Reference point: 37 dB at (or below) 10 m.
+        assert_eq!(path_loss_db(10.0, 3.3), 37.0);
+        assert_eq!(path_loss_db(1.0, 3.3), 37.0);
+    }
+
+    #[test]
+    fn field_is_deterministic() {
+        let e = env();
+        let a = e.rssi_dbm(5, (1000.0, 0.0), 100.0);
+        let b = e.rssi_dbm(5, (1000.0, 0.0), 100.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn field_above_floor_near_tower() {
+        let e = env();
+        let active = e.active_channels();
+        assert!(!active.is_empty());
+        // Some active channel must be well above the floor somewhere on the
+        // corridor.
+        let mut best = f32::MIN;
+        for &ch in &active {
+            for x in (0..5000).step_by(100) {
+                best = best.max(e.rssi_dbm(ch, (x as f64, 0.0), 0.0));
+            }
+        }
+        assert!(best > -80.0, "strongest observed RSSI {best}");
+    }
+
+    #[test]
+    fn inactive_channels_sit_at_the_floor() {
+        let e = env();
+        let active = e.active_channels();
+        let inactive = (0..64).find(|ch| !active.contains(ch)).unwrap();
+        let v = e.rssi_dbm(inactive, (2500.0, 0.0), 50.0);
+        assert!((NOISE_FLOOR_DBM - 3.0..=NOISE_FLOOR_DBM + 3.0).contains(&v));
+        assert_eq!(e.mean_rssi_dbm(inactive, (2500.0, 0.0)), None);
+    }
+
+    #[test]
+    fn mean_rssi_varies_along_the_corridor() {
+        // With sites scattered along the corridor, the mean field of an
+        // active channel must vary substantially over kilometres — the
+        // gradient structure RUPS fingerprints.
+        let e = env();
+        let ch = e.active_channels()[0];
+        let values: Vec<f64> = (0..50)
+            .map(|i| e.mean_rssi_dbm(ch, (i as f64 * 100.0, 0.0)).unwrap())
+            .collect();
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 10.0, "mean field too flat: {min}..{max}");
+        // Typical received levels sit in the weak-carrier regime the paper
+        // shows (Fig. 1 colour scale runs −50…−110 dBm).
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        assert!((-105.0..=-55.0).contains(&mean), "mean level {mean} dBm");
+    }
+
+    #[test]
+    fn spatial_fading_changes_over_a_metre() {
+        let e = env();
+        let ch = e.active_channels()[0];
+        let a = e.spatial_fading_db(ch, (1000.0, 0.0));
+        let b = e.spatial_fading_db(ch, (1001.0, 0.0));
+        assert_ne!(a, b);
+        // Fast fading has sub-metre correlation: expect a visible change.
+        assert!((a - b).abs() > 0.01);
+    }
+
+    #[test]
+    fn lanes_see_slightly_different_fields() {
+        let e = env();
+        let ch = e.active_channels()[0];
+        let same_lane = e.rssi_dbm(ch, (1000.0, 0.0), 0.0);
+        let other_lane = e.rssi_dbm(ch, (1000.0, 7.0), 0.0);
+        assert_ne!(same_lane, other_lane);
+    }
+
+    #[test]
+    fn temporal_drift_is_bounded_and_slow() {
+        let e = env();
+        let ch = e.active_channels()[0];
+        // Drift over 5 s is small; bursts change things over minutes.
+        let a = e.temporal_db(ch, 100.0);
+        let b = e.temporal_db(ch, 105.0);
+        assert!(
+            (a - b).abs() < 4.0,
+            "5 s drift too large: {}",
+            (a - b).abs()
+        );
+        // Bounded overall.
+        for i in 0..200 {
+            let v = e.temporal_db(ch, i as f64 * 13.7);
+            assert!(v.abs() < 25.0);
+        }
+    }
+
+    #[test]
+    fn power_vector_has_band_width_and_respects_floor() {
+        let e = env();
+        let pv = e.power_vector_dbm((2000.0, 0.0), 10.0, 0.0);
+        assert_eq!(pv.len(), 64);
+        assert!(pv.iter().all(|&v| v >= NOISE_FLOOR_DBM - 3.0));
+        // Heavy extra loss pins everything to (about) the floor.
+        let pv = e.power_vector_dbm((2000.0, 0.0), 10.0, 200.0);
+        assert!(pv.iter().all(|&v| (v - NOISE_FLOOR_DBM).abs() < 3.0));
+    }
+
+    #[test]
+    fn revisit_same_location_later_is_similar() {
+        // The core fingerprinting property: same place, 10 minutes apart,
+        // high per-vector correlation (Fig. 2's premise).
+        let e = env();
+        let a = e.power_vector_dbm((1500.0, 0.0), 0.0, 0.0);
+        let b = e.power_vector_dbm((1500.0, 0.0), 600.0, 0.0);
+        let r = rups_core::stats::pearson(&a, &b).unwrap();
+        assert!(r > 0.8, "10-minute revisit correlation {r}");
+    }
+
+    #[test]
+    fn different_roads_are_dissimilar() {
+        // Two distinct environments (different seeds = different roads).
+        let e1 = env();
+        let e2 = GsmEnvironment::new(78, EnvironmentClass::SemiOpen, 5_000.0, 64);
+        let a = e1.power_vector_dbm((1500.0, 0.0), 0.0, 0.0);
+        let b = e2.power_vector_dbm((1500.0, 0.0), 0.0, 0.0);
+        let r = rups_core::stats::pearson(&a, &b).unwrap();
+        assert!(r < 0.8, "cross-road correlation {r} suspiciously high");
+    }
+}

@@ -1,0 +1,57 @@
+//! # gsm-sim
+//!
+//! A GSM R-900 radio-environment simulator: the substrate that replaces the
+//! paper's three months of Shanghai drive traces (§III-A, §VI-A).
+//!
+//! The original RUPS evaluation replayed RSSI sweeps captured with
+//! OsmocomBB-flashed Motorola C118 phones. We have neither the hardware nor
+//! the traces, so this crate synthesizes a radio environment with the three
+//! statistical properties the paper measures and that RUPS depends on:
+//!
+//! * **Temporary stability** (Fig. 2) — the RSSI at a fixed location drifts
+//!   slowly and suffers occasional per-channel interference bursts, so power
+//!   vectors taken minutes apart stay highly correlated.
+//! * **Geographical uniqueness** (Fig. 3) — spatially correlated log-normal
+//!   shadowing (decorrelation length tens of metres) over distinct tower
+//!   geometries makes trajectories from different roads uncorrelated.
+//! * **Fine resolution** (Fig. 4) — small-scale (multipath) fading with a
+//!   sub-metre correlation length makes power vectors one metre apart
+//!   measurably different.
+//!
+//! Everything is **deterministic**: the field is a pure function of
+//! `(seed, channel, position, time)` built from hashed value noise, so the
+//! same query always returns the same RSSI — the property that makes GSM
+//! fingerprints usable in the first place, and what makes the simulation
+//! reproducible bit-for-bit.
+//!
+//! ## Layout
+//!
+//! * [`noise`] — hashed 1-D/2-D value noise kernels.
+//! * [`params`] — per-environment propagation parameters
+//!   ([`params::EnvironmentClass`]: open / semi-open / close, §VI-A).
+//! * [`tower`] — seeded cell-tower deployment along a road corridor.
+//! * [`field`] — [`field::GsmEnvironment`], the composed RSSI field.
+//! * [`scanner`] — the radio scanner model: 15 ms per channel, 1–k parallel
+//!   radios, front vs central placement (§V-C, §VI-B).
+//! * [`occlusion`] — transient passing-vehicle attenuation events (§VI-C).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod band;
+pub mod field;
+pub mod noise;
+pub mod occlusion;
+pub mod params;
+pub mod scanner;
+pub mod tower;
+
+pub use band::BandKind;
+pub use field::GsmEnvironment;
+pub use occlusion::Occlusion;
+pub use params::{EnvironmentClass, PropagationParams};
+pub use scanner::{scan_trace, RadioPlacement, ScannerConfig};
+pub use tower::{deploy_towers, Tower};
+
+/// Thermal noise floor reported when no carrier is receivable, in dBm.
+pub const NOISE_FLOOR_DBM: f32 = -110.0;

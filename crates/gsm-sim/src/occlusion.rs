@@ -1,0 +1,76 @@
+//! Transient occlusion events: big vehicles passing by (§VI-C).
+//!
+//! The paper's video analysis attributes most large SYN-point errors to a
+//! large vehicle (bus, truck) driving alongside and shadowing the scanning
+//! radios. We model an occlusion as a time interval during which every
+//! measured channel suffers an extra attenuation.
+
+use serde::{Deserialize, Serialize};
+
+/// One passing-vehicle occlusion event affecting a scanner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Occlusion {
+    /// Event start, seconds.
+    pub start_s: f64,
+    /// Event end, seconds.
+    pub end_s: f64,
+    /// Extra attenuation applied while the event is active, dB.
+    pub loss_db: f32,
+}
+
+impl Occlusion {
+    /// True when the event is active at time `t`.
+    #[inline]
+    pub fn active_at(&self, t: f64) -> bool {
+        t >= self.start_s && t < self.end_s
+    }
+
+    /// Total extra loss from a set of events at time `t` (overlapping
+    /// events stack — two trucks are worse than one).
+    pub fn total_loss_db(events: &[Occlusion], t: f64) -> f32 {
+        events
+            .iter()
+            .filter(|e| e.active_at(t))
+            .map(|e| e.loss_db)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activity_window_is_half_open() {
+        let o = Occlusion {
+            start_s: 10.0,
+            end_s: 20.0,
+            loss_db: 12.0,
+        };
+        assert!(!o.active_at(9.999));
+        assert!(o.active_at(10.0));
+        assert!(o.active_at(19.999));
+        assert!(!o.active_at(20.0));
+    }
+
+    #[test]
+    fn losses_stack() {
+        let events = [
+            Occlusion {
+                start_s: 0.0,
+                end_s: 10.0,
+                loss_db: 8.0,
+            },
+            Occlusion {
+                start_s: 5.0,
+                end_s: 15.0,
+                loss_db: 6.0,
+            },
+        ];
+        assert_eq!(Occlusion::total_loss_db(&events, 2.0), 8.0);
+        assert_eq!(Occlusion::total_loss_db(&events, 7.0), 14.0);
+        assert_eq!(Occlusion::total_loss_db(&events, 12.0), 6.0);
+        assert_eq!(Occlusion::total_loss_db(&events, 20.0), 0.0);
+        assert_eq!(Occlusion::total_loss_db(&[], 5.0), 0.0);
+    }
+}

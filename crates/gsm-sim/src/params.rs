@@ -1,0 +1,180 @@
+//! Propagation parameters per urban environment class.
+//!
+//! The paper groups its 97 km experiment route into three environment types
+//! (§VI-A): *open* (8-lane majors, elevated roads, 2-lane suburban), *semi-
+//! open* (4-lane surface roads among buildings and trees) and *close* (under
+//! elevated roads). Each class gets a parameter set for the composed RSSI
+//! field; values are standard urban-propagation figures (log-distance path
+//! loss with log-normal shadowing à la COST-231/Gudmundson) calibrated so
+//! the simulated field reproduces the paper's Figs. 2–4 statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// The three radio environment classes of §VI-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EnvironmentClass {
+    /// Open roads: wide majors, elevated roads, suburban 2-lane roads.
+    Open,
+    /// Semi-open: 4-lane surface roads with surrounding buildings/trees.
+    SemiOpen,
+    /// Close: under elevated roads — the harshest GSM (and GPS) setting.
+    Close,
+}
+
+impl EnvironmentClass {
+    /// All classes, in increasing order of harshness.
+    pub const ALL: [EnvironmentClass; 3] = [
+        EnvironmentClass::Open,
+        EnvironmentClass::SemiOpen,
+        EnvironmentClass::Close,
+    ];
+
+    /// The default propagation parameters for this class.
+    pub fn params(self) -> PropagationParams {
+        match self {
+            EnvironmentClass::Open => PropagationParams {
+                path_loss_exponent: 2.8,
+                shadow_sigma_db: 5.0,
+                shadow_corr_m: 60.0,
+                fast_sigma_db: 6.5,
+                fast_corr_m: 0.45,
+                temporal_slow_sigma_db: 2.0,
+                temporal_slow_corr_s: 300.0,
+                temporal_fast_sigma_db: 1.0,
+                temporal_fast_corr_s: 10.0,
+                burst_prob_per_slot: 0.010,
+                burst_sigma_db: 14.0,
+                burst_slot_s: 40.0,
+                extra_attenuation_db: 0.0,
+                tower_density_per_km: 3.0,
+                active_channel_fraction: 0.35,
+            },
+            EnvironmentClass::SemiOpen => PropagationParams {
+                path_loss_exponent: 3.3,
+                shadow_sigma_db: 7.5,
+                shadow_corr_m: 35.0,
+                fast_sigma_db: 8.0,
+                fast_corr_m: 0.40,
+                temporal_slow_sigma_db: 2.5,
+                temporal_slow_corr_s: 240.0,
+                temporal_fast_sigma_db: 1.4,
+                temporal_fast_corr_s: 8.0,
+                burst_prob_per_slot: 0.018,
+                burst_sigma_db: 15.0,
+                burst_slot_s: 40.0,
+                extra_attenuation_db: 0.0,
+                tower_density_per_km: 5.0,
+                active_channel_fraction: 0.45,
+            },
+            EnvironmentClass::Close => PropagationParams {
+                path_loss_exponent: 3.8,
+                shadow_sigma_db: 9.5,
+                shadow_corr_m: 18.0,
+                fast_sigma_db: 9.0,
+                fast_corr_m: 0.35,
+                temporal_slow_sigma_db: 3.2,
+                temporal_slow_corr_s: 180.0,
+                temporal_fast_sigma_db: 1.8,
+                temporal_fast_corr_s: 6.0,
+                burst_prob_per_slot: 0.040,
+                burst_sigma_db: 16.0,
+                burst_slot_s: 40.0,
+                // The deck overhead blocks most macro cells: few carriers
+                // survive, and those that do arrive heavily attenuated.
+                extra_attenuation_db: 9.0,
+                tower_density_per_km: 5.0,
+                active_channel_fraction: 0.45,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for EnvironmentClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EnvironmentClass::Open => "open",
+            EnvironmentClass::SemiOpen => "semi-open",
+            EnvironmentClass::Close => "close",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Full parameter set of the composed RSSI field for one environment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PropagationParams {
+    /// Log-distance path-loss exponent `n` in `PL = PL₀ + 10·n·log₁₀(d/d₀)`.
+    pub path_loss_exponent: f64,
+    /// Standard deviation of the log-normal shadowing field, dB.
+    pub shadow_sigma_db: f64,
+    /// Shadowing decorrelation distance (Gudmundson), metres.
+    pub shadow_corr_m: f64,
+    /// Standard deviation of the small-scale fading field, dB.
+    pub fast_sigma_db: f64,
+    /// Small-scale fading correlation length, metres (≈ a wavelength or two
+    /// at 900 MHz).
+    pub fast_corr_m: f64,
+    /// Slow temporal drift standard deviation, dB.
+    pub temporal_slow_sigma_db: f64,
+    /// Slow temporal drift correlation time, seconds.
+    pub temporal_slow_corr_s: f64,
+    /// Fast temporal jitter standard deviation, dB (measurement noise plus
+    /// short-term channel activity).
+    pub temporal_fast_sigma_db: f64,
+    /// Fast temporal jitter correlation time, seconds.
+    pub temporal_fast_corr_s: f64,
+    /// Probability that a channel suffers an interference burst in any one
+    /// burst slot.
+    pub burst_prob_per_slot: f64,
+    /// Burst amplitude standard deviation, dB (bursts are large — they model
+    /// traffic-channel activity and co-channel interference turning on/off).
+    pub burst_sigma_db: f64,
+    /// Duration of one burst slot, seconds.
+    pub burst_slot_s: f64,
+    /// Flat extra attenuation of every carrier (e.g. the deck of an elevated
+    /// road overhead), dB.
+    pub extra_attenuation_db: f64,
+    /// Cell-tower density along the corridor, towers per km.
+    pub tower_density_per_km: f64,
+    /// Fraction of band channels hosting an active carrier in this region.
+    pub active_channel_fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_order_by_harshness() {
+        let o = EnvironmentClass::Open.params();
+        let s = EnvironmentClass::SemiOpen.params();
+        let c = EnvironmentClass::Close.params();
+        assert!(o.path_loss_exponent < s.path_loss_exponent);
+        assert!(s.path_loss_exponent < c.path_loss_exponent);
+        assert!(o.shadow_sigma_db < s.shadow_sigma_db);
+        assert!(s.shadow_sigma_db < c.shadow_sigma_db);
+        assert!(o.shadow_corr_m > s.shadow_corr_m);
+        assert!(c.extra_attenuation_db > 0.0);
+        assert_eq!(o.extra_attenuation_db, 0.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(EnvironmentClass::Open.to_string(), "open");
+        assert_eq!(EnvironmentClass::SemiOpen.to_string(), "semi-open");
+        assert_eq!(EnvironmentClass::Close.to_string(), "close");
+    }
+
+    #[test]
+    fn all_lists_every_class() {
+        assert_eq!(EnvironmentClass::ALL.len(), 3);
+    }
+
+    #[test]
+    fn params_serialize_roundtrip() {
+        let p = EnvironmentClass::SemiOpen.params();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: PropagationParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

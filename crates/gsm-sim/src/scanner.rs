@@ -1,0 +1,283 @@
+//! The GSM scanner model: sweep timing, parallel radios and placement
+//! (§V-C, §VI-B).
+//!
+//! One radio measures one channel per ~15 ms, so sweeping a band takes
+//! seconds — while the vehicle keeps moving. That is the mechanical origin
+//! of *missing channels*: each metre of road only sees the few channels the
+//! sweep happened to visit while crossing it. Adding parallel radios
+//! shortens the sweep (the paper splits the band across 1, 2 or 4 radios per
+//! group), and radio placement matters: units on the front instrument panel
+//! see the sky better than units buried at the centre of the cabin
+//! (Fig. 9's "4 central radios" curve is visibly worse).
+
+use crate::field::GsmEnvironment;
+use crate::noise::slot_uniform;
+use crate::occlusion::Occlusion;
+use crate::NOISE_FLOOR_DBM;
+use rups_core::binding::ScanSample;
+use serde::{Deserialize, Serialize};
+
+/// Where the scanning radios are mounted (§VI-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RadioPlacement {
+    /// On top of the front instrument panel: best sky view.
+    FrontPanel,
+    /// At the centre of the cabin: extra body attenuation and noise.
+    Central,
+}
+
+impl RadioPlacement {
+    /// Flat extra attenuation from vehicle-body shadowing, dB. The cabin
+    /// centre sits behind the engine block, roof and passengers: §VI-B
+    /// observes a clear accuracy penalty for the central group.
+    pub fn attenuation_db(self) -> f32 {
+        match self {
+            RadioPlacement::FrontPanel => 0.0,
+            RadioPlacement::Central => 10.0,
+        }
+    }
+
+    /// Standard deviation of additional measurement noise, dB (multipath
+    /// inside the cabin adds scatter on top of the attenuation).
+    pub fn noise_sigma_db(self) -> f64 {
+        match self {
+            RadioPlacement::FrontPanel => 1.0,
+            RadioPlacement::Central => 4.5,
+        }
+    }
+}
+
+/// Configuration of a vehicle's scanning-radio group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScannerConfig {
+    /// Number of radios scanning in parallel (the paper uses 1, 2 or 4).
+    pub n_radios: usize,
+    /// Mounting position of the group.
+    pub placement: RadioPlacement,
+    /// Time to measure one channel, seconds (§V-C: 15 ms).
+    pub channel_scan_time_s: f64,
+    /// The channels this group sweeps (dense indices). The paper's
+    /// prototype scans a 115-channel active subset of the band (§VI-A).
+    pub channels: Vec<usize>,
+    /// Seed for measurement noise (vary per vehicle).
+    pub seed: u64,
+}
+
+impl ScannerConfig {
+    /// A scanner sweeping `channels` with `n_radios` parallel radios.
+    pub fn new(n_radios: usize, placement: RadioPlacement, channels: Vec<usize>) -> Self {
+        assert!(n_radios >= 1, "at least one radio required");
+        assert!(!channels.is_empty(), "scanner needs at least one channel");
+        Self {
+            n_radios,
+            placement,
+            channel_scan_time_s: rups_core::channel::CHANNEL_SCAN_TIME_S,
+            channels,
+            seed: 0,
+        }
+    }
+
+    /// Sets the measurement-noise seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Seconds one full sweep of the band takes with this configuration.
+    /// The band is split across radios, so k radios divide the sweep time
+    /// by ~k (§V-C: 90 channels / 10 radios → 135 ms).
+    pub fn sweep_time_s(&self) -> f64 {
+        let per_radio = self.channels.len().div_ceil(self.n_radios);
+        per_radio as f64 * self.channel_scan_time_s
+    }
+}
+
+/// Approximately normal deterministic noise in `[-3σ, 3σ]` from three
+/// hashed uniforms (Irwin–Hall with n = 3, rescaled to unit variance).
+fn meas_noise(seed: u64, ch: usize, slot: i64, sigma: f64) -> f64 {
+    let u1 = slot_uniform(seed ^ 0x11, ch as u64, slot);
+    let u2 = slot_uniform(seed ^ 0x22, ch as u64, slot);
+    let u3 = slot_uniform(seed ^ 0x33, ch as u64, slot);
+    (u1 + u2 + u3 - 1.5) * 2.0 * sigma
+}
+
+/// Simulates the scanner group of one vehicle over `[t0, t1)`.
+///
+/// `path` maps time to the vehicle's (x, y) position in the environment's
+/// metre frame. Each radio sweeps its share of `cfg.channels` round-robin;
+/// each measurement reads the field at the position the vehicle occupies at
+/// that instant, applies placement attenuation/noise and any active
+/// occlusion, and is emitted as a [`ScanSample`] (channel indices are dense
+/// band indices, directly usable by `rups_core`'s binder).
+pub fn scan_trace(
+    env: &GsmEnvironment,
+    cfg: &ScannerConfig,
+    path: impl Fn(f64) -> (f64, f64),
+    t0: f64,
+    t1: f64,
+    occlusions: &[Occlusion],
+) -> Vec<ScanSample> {
+    let mut out = Vec::new();
+    let n = cfg.channels.len();
+    let share = n.div_ceil(cfg.n_radios);
+    for radio in 0..cfg.n_radios {
+        let lo = radio * share;
+        if lo >= n {
+            break;
+        }
+        let hi = (lo + share).min(n);
+        let my_channels = &cfg.channels[lo..hi];
+        let mut idx = 0usize;
+        // Measurements complete at the end of each 15 ms dwell.
+        let mut t = t0 + cfg.channel_scan_time_s;
+        while t <= t1 {
+            let ch = my_channels[idx % my_channels.len()];
+            let pos = path(t);
+            let raw = env.rssi_dbm(ch, pos, t);
+            let occl = Occlusion::total_loss_db(occlusions, t);
+            let slot = (t / cfg.channel_scan_time_s).round() as i64;
+            let noise = meas_noise(
+                cfg.seed ^ (radio as u64) << 32,
+                ch,
+                slot,
+                cfg.placement.noise_sigma_db(),
+            ) as f32;
+            let rssi = (raw - cfg.placement.attenuation_db() - occl + noise).max(NOISE_FLOOR_DBM);
+            out.push(ScanSample {
+                timestamp_s: t,
+                channel: ch,
+                rssi_dbm: rssi,
+            });
+            idx += 1;
+            t += cfg.channel_scan_time_s;
+        }
+    }
+    out.sort_by(|a, b| a.timestamp_s.total_cmp(&b.timestamp_s));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::EnvironmentClass;
+
+    fn env() -> GsmEnvironment {
+        GsmEnvironment::new(5, EnvironmentClass::SemiOpen, 3_000.0, 48)
+    }
+
+    #[test]
+    fn sweep_time_divides_by_radio_count() {
+        let chans: Vec<usize> = (0..90).collect();
+        let one = ScannerConfig::new(1, RadioPlacement::FrontPanel, chans.clone());
+        let ten = ScannerConfig::new(10, RadioPlacement::FrontPanel, chans);
+        assert!((one.sweep_time_s() - 1.35).abs() < 1e-9);
+        // §V-C: 90 channels over 10 radios take 135 ms.
+        assert!((ten.sweep_time_s() - 0.135).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_count_scales_with_radios() {
+        let e = env();
+        let chans: Vec<usize> = (0..48).collect();
+        let path = |t: f64| (10.0 * t, 0.0);
+        let one = scan_trace(
+            &e,
+            &ScannerConfig::new(1, RadioPlacement::FrontPanel, chans.clone()),
+            path,
+            0.0,
+            10.0,
+            &[],
+        );
+        let four = scan_trace(
+            &e,
+            &ScannerConfig::new(4, RadioPlacement::FrontPanel, chans),
+            path,
+            0.0,
+            10.0,
+            &[],
+        );
+        // Same overall measurement rate per radio; 4 radios → 4× samples.
+        assert!((four.len() as f64 / one.len() as f64 - 4.0).abs() < 0.1);
+        // Sorted by time.
+        assert!(four
+            .windows(2)
+            .all(|w| w[0].timestamp_s <= w[1].timestamp_s));
+    }
+
+    #[test]
+    fn all_channels_covered_when_stationary_long_enough() {
+        let e = env();
+        let chans: Vec<usize> = (0..48).collect();
+        let cfg = ScannerConfig::new(1, RadioPlacement::FrontPanel, chans);
+        let samples = scan_trace(&e, &cfg, |_| (100.0, 0.0), 0.0, 1.0, &[]);
+        let mut seen: Vec<usize> = samples.iter().map(|s| s.channel).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(
+            seen.len(),
+            48,
+            "1 s at 15 ms/channel covers 66 measurements"
+        );
+    }
+
+    #[test]
+    fn central_placement_reads_weaker() {
+        let e = env();
+        let ch = e.active_channels()[0];
+        let cfg_front = ScannerConfig::new(1, RadioPlacement::FrontPanel, vec![ch]);
+        let cfg_central = ScannerConfig::new(1, RadioPlacement::Central, vec![ch]);
+        let path = |_: f64| (1000.0, 0.0);
+        let front = scan_trace(&e, &cfg_front, path, 0.0, 5.0, &[]);
+        let central = scan_trace(&e, &cfg_central, path, 0.0, 5.0, &[]);
+        let mean =
+            |v: &[ScanSample]| v.iter().map(|s| s.rssi_dbm as f64).sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&front) - mean(&central) > 3.0,
+            "central radios should read ≈6 dB weaker: front {} central {}",
+            mean(&front),
+            mean(&central)
+        );
+    }
+
+    #[test]
+    fn occlusion_depresses_rssi_during_event() {
+        let e = env();
+        let ch = e.active_channels()[0];
+        let cfg = ScannerConfig::new(1, RadioPlacement::FrontPanel, vec![ch]);
+        let path = |_: f64| (1000.0, 0.0);
+        let occl = [Occlusion {
+            start_s: 2.0,
+            end_s: 4.0,
+            loss_db: 15.0,
+        }];
+        let clean = scan_trace(&e, &cfg, path, 0.0, 6.0, &[]);
+        let shadowed = scan_trace(&e, &cfg, path, 0.0, 6.0, &occl);
+        for (c, s) in clean.iter().zip(&shadowed) {
+            assert_eq!(c.timestamp_s, s.timestamp_s);
+            if c.timestamp_s >= 2.0 && c.timestamp_s < 4.0 && c.rssi_dbm > NOISE_FLOOR_DBM + 15.0 {
+                assert!((c.rssi_dbm - s.rssi_dbm - 15.0).abs() < 1e-3);
+            } else if c.timestamp_s < 2.0 {
+                assert_eq!(c.rssi_dbm, s.rssi_dbm);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let e = env();
+        let chans: Vec<usize> = (0..16).collect();
+        let cfg = ScannerConfig::new(2, RadioPlacement::FrontPanel, chans.clone()).with_seed(9);
+        let a = scan_trace(&e, &cfg, |t| (t, 0.0), 0.0, 3.0, &[]);
+        let b = scan_trace(&e, &cfg, |t| (t, 0.0), 0.0, 3.0, &[]);
+        assert_eq!(a, b);
+        let cfg2 = ScannerConfig::new(2, RadioPlacement::FrontPanel, chans).with_seed(10);
+        let c = scan_trace(&e, &cfg2, |t| (t, 0.0), 0.0, 3.0, &[]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one radio")]
+    fn zero_radios_rejected() {
+        ScannerConfig::new(0, RadioPlacement::FrontPanel, vec![0]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the GSM radio-environment simulator.
+
+use gsm_sim::{
+    scan_trace, EnvironmentClass, GsmEnvironment, Occlusion, RadioPlacement, ScannerConfig,
+    NOISE_FLOOR_DBM,
+};
+use proptest::prelude::*;
+
+fn any_class() -> impl Strategy<Value = EnvironmentClass> {
+    prop_oneof![
+        Just(EnvironmentClass::Open),
+        Just(EnvironmentClass::SemiOpen),
+        Just(EnvironmentClass::Close),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn field_is_a_pure_function(
+        seed in 0u64..1000,
+        class in any_class(),
+        ch in 0usize..32,
+        x in 0.0f64..5000.0,
+        y in -20.0f64..20.0,
+        t in 0.0f64..3600.0,
+    ) {
+        let env = GsmEnvironment::new(seed, class, 5_000.0, 32);
+        prop_assert_eq!(env.rssi_dbm(ch, (x, y), t), env.rssi_dbm(ch, (x, y), t));
+    }
+
+    #[test]
+    fn rssi_never_much_below_the_floor(
+        seed in 0u64..200,
+        class in any_class(),
+        x in 0.0f64..5000.0,
+        t in 0.0f64..3600.0,
+    ) {
+        let env = GsmEnvironment::new(seed, class, 5_000.0, 32);
+        for ch in 0..32 {
+            let v = env.rssi_dbm(ch, (x, 0.0), t);
+            prop_assert!(v >= NOISE_FLOOR_DBM - 4.0, "ch{ch} = {v}");
+            prop_assert!(v <= 0.0, "implausibly strong carrier: {v} dBm");
+        }
+    }
+
+    #[test]
+    fn field_is_continuous_in_space(
+        seed in 0u64..200,
+        class in any_class(),
+        x in 10.0f64..4990.0,
+    ) {
+        let env = GsmEnvironment::new(seed, class, 5_000.0, 16);
+        for ch in env.active_channels() {
+            let a = env.rssi_dbm(ch, (x, 0.0), 0.0);
+            let b = env.rssi_dbm(ch, (x + 0.05, 0.0), 0.0);
+            prop_assert!((a - b).abs() < 4.0, "5 cm step moved ch{ch} by {}", (a - b).abs());
+        }
+    }
+
+    #[test]
+    fn scan_trace_samples_are_ordered_in_band_and_in_window(
+        seed in 0u64..100,
+        n_radios in 1usize..5,
+        t0 in 0.0f64..100.0,
+        dur in 0.2f64..5.0,
+    ) {
+        let env = GsmEnvironment::new(seed, EnvironmentClass::SemiOpen, 2_000.0, 24);
+        let channels: Vec<usize> = (0..24).collect();
+        let cfg = ScannerConfig::new(n_radios, RadioPlacement::FrontPanel, channels.clone())
+            .with_seed(seed);
+        let samples = scan_trace(&env, &cfg, |t| (t * 10.0, 0.0), t0, t0 + dur, &[]);
+        prop_assert!(samples.windows(2).all(|w| w[0].timestamp_s <= w[1].timestamp_s));
+        for s in &samples {
+            prop_assert!(s.timestamp_s > t0 && s.timestamp_s <= t0 + dur);
+            prop_assert!(channels.contains(&s.channel));
+            prop_assert!(s.rssi_dbm >= NOISE_FLOOR_DBM - 1e-3);
+        }
+        // Sample count ≈ radios × duration / dwell.
+        let expect = (n_radios as f64 * dur / cfg.channel_scan_time_s) as i64;
+        prop_assert!((samples.len() as i64 - expect).abs() <= n_radios as i64 + 1,
+            "{} samples vs ≈{expect}", samples.len());
+    }
+
+    #[test]
+    fn occlusion_only_lowers_rssi(
+        seed in 0u64..100,
+        loss in 1.0f32..30.0,
+    ) {
+        let env = GsmEnvironment::new(seed, EnvironmentClass::Open, 2_000.0, 16);
+        let cfg = ScannerConfig::new(1, RadioPlacement::FrontPanel, (0..16).collect());
+        let occl = [Occlusion { start_s: 0.0, end_s: 10.0, loss_db: loss }];
+        let clean = scan_trace(&env, &cfg, |_| (500.0, 0.0), 0.0, 10.0, &[]);
+        let shadowed = scan_trace(&env, &cfg, |_| (500.0, 0.0), 0.0, 10.0, &occl);
+        for (c, s) in clean.iter().zip(&shadowed) {
+            prop_assert!(s.rssi_dbm <= c.rssi_dbm + 1e-3,
+                "occlusion raised RSSI: {} → {}", c.rssi_dbm, s.rssi_dbm);
+        }
+    }
+
+    #[test]
+    fn environment_survives_serde(seed in 0u64..50, class in any_class()) {
+        let env = GsmEnvironment::new(seed, class, 1_000.0, 16);
+        let json = serde_json::to_string(&env).unwrap();
+        let back: GsmEnvironment = serde_json::from_str(&json).unwrap();
+        for ch in 0..16 {
+            prop_assert_eq!(
+                env.rssi_dbm(ch, (400.0, 0.0), 7.0),
+                back.rssi_dbm(ch, (400.0, 0.0), 7.0)
+            );
+        }
+    }
+}

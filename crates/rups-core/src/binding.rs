@@ -1,0 +1,215 @@
+//! Trajectory binding: from time-domain scans to distance-domain power
+//! vectors (§IV-C).
+//!
+//! GSM scanners deliver `(time, channel, RSSI)` samples; RUPS needs one
+//! power vector per *metre*. The binder buffers incoming scan samples and,
+//! each time the dead-reckoner announces that the vehicle crossed the next
+//! metre mark at time `t_i`, folds every sample measured during
+//! `(t_{i−1}, t_i]` into that metre's power vector. Channels measured more
+//! than once within the interval are averaged; channels not reached remain
+//! *missing* and are interpolated later ([`crate::gsm::GsmTrajectory::interpolate_missing`]).
+//!
+//! The faster the vehicle moves (or the fewer parallel radios it carries),
+//! the fewer channels land in each metre — exactly the missing-channel
+//! phenomenon of Fig. 6.
+
+use crate::gsm::PowerVector;
+use serde::{Deserialize, Serialize};
+
+/// One RSSI measurement delivered by a GSM scanning radio.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScanSample {
+    /// Measurement timestamp in seconds.
+    pub timestamp_s: f64,
+    /// Dense channel index within the scanned band.
+    pub channel: usize,
+    /// Measured RSSI in dBm.
+    pub rssi_dbm: f32,
+}
+
+/// Accumulates scan samples and emits per-metre power vectors.
+#[derive(Debug, Clone)]
+pub struct TrajectoryBinder {
+    n_channels: usize,
+    /// Per-channel (sum, count) accumulators for the current metre interval.
+    sums: Vec<f64>,
+    counts: Vec<u32>,
+    /// Samples that arrived with timestamps beyond the last bound metre.
+    pending: Vec<ScanSample>,
+    last_bound_ts: f64,
+}
+
+impl TrajectoryBinder {
+    /// A binder for a band of `n_channels` channels. Samples timestamped at
+    /// or before `start_ts` are discarded.
+    pub fn new(n_channels: usize, start_ts: f64) -> Self {
+        Self {
+            n_channels,
+            sums: vec![0.0; n_channels],
+            counts: vec![0; n_channels],
+            pending: Vec::new(),
+            last_bound_ts: start_ts,
+        }
+    }
+
+    /// Number of channels in the band.
+    pub fn n_channels(&self) -> usize {
+        self.n_channels
+    }
+
+    /// Feeds one scan sample. Samples may arrive slightly out of order (as
+    /// from multiple parallel radios); samples older than the last bound
+    /// metre are dropped, as are samples for channels outside the band
+    /// (a misconfigured or foreign scanner must not poison the context).
+    pub fn push_scan(&mut self, sample: ScanSample) {
+        debug_assert!(
+            sample.channel < self.n_channels,
+            "channel index out of band"
+        );
+        if sample.channel >= self.n_channels || sample.timestamp_s <= self.last_bound_ts {
+            return;
+        }
+        self.pending.push(sample);
+    }
+
+    /// Number of scan samples waiting to be bound.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Binds every pending sample with timestamp in
+    /// `(last_metre_ts, metre_ts]` into the power vector of the metre mark
+    /// crossed at `metre_ts`. Duplicated channels are averaged.
+    pub fn bind_metre(&mut self, metre_ts: f64) -> PowerVector {
+        self.sums.fill(0.0);
+        self.counts.fill(0);
+        let mut i = 0;
+        while i < self.pending.len() {
+            let s = self.pending[i];
+            if s.timestamp_s <= metre_ts {
+                self.sums[s.channel] += s.rssi_dbm as f64;
+                self.counts[s.channel] += 1;
+                self.pending.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        self.last_bound_ts = metre_ts;
+        let sums = &self.sums;
+        let counts = &self.counts;
+        PowerVector::from_fn(self.n_channels, |ch| {
+            (counts[ch] > 0).then(|| (sums[ch] / counts[ch] as f64) as f32)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(t: f64, ch: usize, rssi: f32) -> ScanSample {
+        ScanSample {
+            timestamp_s: t,
+            channel: ch,
+            rssi_dbm: rssi,
+        }
+    }
+
+    #[test]
+    fn binds_samples_into_interval() {
+        let mut b = TrajectoryBinder::new(4, 0.0);
+        b.push_scan(s(0.2, 0, -60.0));
+        b.push_scan(s(0.5, 1, -70.0));
+        b.push_scan(s(1.5, 2, -80.0)); // next metre
+        let pv = b.bind_metre(1.0);
+        assert_eq!(pv.get(0), Some(-60.0));
+        assert_eq!(pv.get(1), Some(-70.0));
+        assert_eq!(pv.get(2), None);
+        assert_eq!(pv.get(3), None);
+        assert_eq!(b.pending_len(), 1);
+        let pv2 = b.bind_metre(2.0);
+        assert_eq!(pv2.get(2), Some(-80.0));
+        assert_eq!(pv2.get(0), None);
+    }
+
+    #[test]
+    fn duplicate_channel_measurements_average() {
+        let mut b = TrajectoryBinder::new(2, 0.0);
+        b.push_scan(s(0.1, 0, -60.0));
+        b.push_scan(s(0.9, 0, -64.0));
+        let pv = b.bind_metre(1.0);
+        assert_eq!(pv.get(0), Some(-62.0));
+    }
+
+    #[test]
+    fn boundary_sample_belongs_to_earlier_metre() {
+        // Interval is (t_{i-1}, t_i]: a sample exactly at the metre
+        // timestamp binds to that metre.
+        let mut b = TrajectoryBinder::new(1, 0.0);
+        b.push_scan(s(1.0, 0, -55.0));
+        let pv = b.bind_metre(1.0);
+        assert_eq!(pv.get(0), Some(-55.0));
+    }
+
+    #[test]
+    fn stale_samples_are_dropped() {
+        let mut b = TrajectoryBinder::new(1, 10.0);
+        b.push_scan(s(5.0, 0, -50.0)); // before start
+        let pv = b.bind_metre(11.0);
+        assert_eq!(pv.get(0), None);
+        // Samples at or before an already-bound metre are also dropped.
+        b.push_scan(s(11.0, 0, -50.0));
+        assert_eq!(b.pending_len(), 0);
+    }
+
+    #[test]
+    fn out_of_band_channels_are_dropped_in_release() {
+        // In release builds (no debug_assert) a rogue channel index must be
+        // ignored rather than panicking at bind time.
+        if cfg!(debug_assertions) {
+            return; // the debug_assert path is intentional in dev builds
+        }
+        let mut b = TrajectoryBinder::new(2, 0.0);
+        b.push_scan(s(0.5, 7, -50.0));
+        assert_eq!(b.pending_len(), 0);
+        let pv = b.bind_metre(1.0);
+        assert_eq!(pv.present_count(), 0);
+    }
+
+    #[test]
+    fn out_of_order_arrival_within_interval_is_fine() {
+        let mut b = TrajectoryBinder::new(3, 0.0);
+        b.push_scan(s(0.8, 2, -70.0));
+        b.push_scan(s(0.3, 1, -65.0)); // arrives later but timestamped earlier
+        let pv = b.bind_metre(1.0);
+        assert_eq!(pv.get(1), Some(-65.0));
+        assert_eq!(pv.get(2), Some(-70.0));
+    }
+
+    #[test]
+    fn slow_vehicle_gets_full_coverage_fast_vehicle_sparse() {
+        // A radio scanning 1 channel per 15 ms sweeping 10 channels takes
+        // 150 ms per sweep. At 1 m/s a metre spans 1 s → full coverage; at
+        // 20 m/s a metre spans 50 ms → at most 4 channels per metre.
+        let n_ch = 10;
+        let sweep = |binder: &mut TrajectoryBinder, t0: f64, duration: f64| {
+            let mut t = t0;
+            let mut ch = 0usize;
+            while t < t0 + duration {
+                binder.push_scan(s(t, ch % n_ch, -60.0));
+                ch += 1;
+                t += 0.015;
+            }
+        };
+        let mut slow = TrajectoryBinder::new(n_ch, 0.0);
+        sweep(&mut slow, 0.0, 1.0);
+        let pv = slow.bind_metre(1.0);
+        assert_eq!(pv.present_count(), n_ch);
+
+        let mut fast = TrajectoryBinder::new(n_ch, 0.0);
+        sweep(&mut fast, 0.0, 0.05);
+        let pv = fast.bind_metre(0.05);
+        assert!(pv.present_count() <= 4, "fast vehicle should miss channels");
+        assert!(pv.present_count() >= 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! GSM channel identifiers and band constants.
+//!
+//! The paper scans the **R-GSM-900** band with the OsmocomBB stack on
+//! Motorola C118 phones: 194 downlink channels that can be swept in 2.85 s
+//! (≈ 15 ms per channel, §V-C). Channels are identified here by a dense
+//! index `0..194` rather than by raw ARFCN, which keeps the trajectory
+//! matrices compact; [`ChannelId::arfcn`] maps back to the on-air numbering.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of downlink channels in the R-GSM-900 band as scanned by the
+/// paper's prototype (§III-A).
+pub const RGSM_900_CHANNELS: usize = 194;
+
+/// Time to measure the RSSI of a single GSM channel (§V-C: "it takes about
+/// 15 ms to sense a channel").
+pub const CHANNEL_SCAN_TIME_S: f64 = 0.015;
+
+/// Time for one radio to sweep the full R-GSM-900 band
+/// (§III-A: "all 194 channels … can be scanned within 2.85 seconds").
+pub const FULL_BAND_SCAN_TIME_S: f64 = RGSM_900_CHANNELS as f64 * CHANNEL_SCAN_TIME_S;
+
+/// Downlink base frequency of the R-GSM-900 band in MHz. The R-GSM extension
+/// stretches the ordinary GSM-900 downlink (935–960 MHz) down to 921 MHz.
+pub const RGSM_900_DOWNLINK_BASE_MHZ: f64 = 921.0;
+
+/// Downlink channel spacing in MHz (200 kHz for all GSM bands).
+pub const CHANNEL_SPACING_MHZ: f64 = 0.2;
+
+/// A received signal strength indicator in dBm.
+///
+/// GSM RXLEV maps `-110 dBm..=-47 dBm` onto 0..=63; we keep the physical
+/// dBm value as `f32` throughout and only quantize at the V2V codec
+/// boundary.
+pub type Rssi = f32;
+
+/// Dense identifier of a GSM channel within the scanned band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChannelId(pub u16);
+
+impl ChannelId {
+    /// Returns the dense index of this channel (0-based).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Downlink carrier frequency of this channel in MHz.
+    #[inline]
+    pub fn frequency_mhz(self) -> f64 {
+        RGSM_900_DOWNLINK_BASE_MHZ + CHANNEL_SPACING_MHZ * self.0 as f64
+    }
+
+    /// Absolute radio-frequency channel number. R-GSM ARFCNs run 955..=1023
+    /// followed by the classic GSM-900 range 0..=124, giving 194 channels in
+    /// ascending frequency order.
+    #[inline]
+    pub fn arfcn(self) -> u16 {
+        const R_GSM_LOW_COUNT: u16 = 69; // ARFCN 955..=1023
+        if self.0 < R_GSM_LOW_COUNT {
+            955 + self.0
+        } else {
+            self.0 - R_GSM_LOW_COUNT
+        }
+    }
+
+    /// Builds a [`ChannelId`] from an ARFCN, if the ARFCN lies within the
+    /// R-GSM-900 band.
+    pub fn from_arfcn(arfcn: u16) -> Option<Self> {
+        match arfcn {
+            955..=1023 => Some(ChannelId(arfcn - 955)),
+            0..=124 => Some(ChannelId(arfcn + 69)),
+            _ => None,
+        }
+    }
+
+    /// Iterator over every channel of the R-GSM-900 band.
+    pub fn all() -> impl Iterator<Item = ChannelId> {
+        (0..RGSM_900_CHANNELS as u16).map(ChannelId)
+    }
+}
+
+impl From<u16> for ChannelId {
+    fn from(v: u16) -> Self {
+        ChannelId(v)
+    }
+}
+
+impl std::fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_has_194_channels() {
+        assert_eq!(ChannelId::all().count(), RGSM_900_CHANNELS);
+    }
+
+    #[test]
+    fn full_band_sweep_takes_under_three_seconds() {
+        // §III-A: the OsmocomBB sweep of the whole band fits in 2.85 s.
+        assert!((FULL_BAND_SCAN_TIME_S - 2.91).abs() < 0.1);
+    }
+
+    #[test]
+    fn arfcn_roundtrip() {
+        for ch in ChannelId::all() {
+            let arfcn = ch.arfcn();
+            assert_eq!(ChannelId::from_arfcn(arfcn), Some(ch), "arfcn {arfcn}");
+        }
+    }
+
+    #[test]
+    fn arfcn_out_of_band_rejected() {
+        assert_eq!(ChannelId::from_arfcn(512), None); // DCS-1800
+        assert_eq!(ChannelId::from_arfcn(200), None);
+    }
+
+    #[test]
+    fn frequencies_ascend_with_index() {
+        let f: Vec<f64> = ChannelId::all().map(|c| c.frequency_mhz()).collect();
+        assert!(f.windows(2).all(|w| w[1] > w[0]));
+        assert!((f[0] - 921.0).abs() < 1e-9);
+        // Last channel sits at the top of the classic GSM-900 downlink.
+        assert!((f[RGSM_900_CHANNELS - 1] - (921.0 + 0.2 * 193.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(ChannelId(17).to_string(), "ch17");
+    }
+}

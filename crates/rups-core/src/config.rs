@@ -1,0 +1,212 @@
+//! RUPS configuration knobs with the paper's defaults.
+
+use serde::{Deserialize, Serialize};
+
+/// How multiple SYN-point distance estimates are combined (§VI-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregationScheme {
+    /// Use only the single best SYN point (the original RUPS of §IV).
+    Single,
+    /// Plain average over all SYN-point estimates.
+    SimpleAverage,
+    /// Drop the maximum and minimum estimate, average the rest — the
+    /// paper's most robust variant against passing-vehicle disturbances.
+    SelectiveAverage,
+    /// Median of the estimates (our ablation extension; not in the paper).
+    Median,
+}
+
+impl AggregationScheme {
+    /// Aggregates raw estimates into one value. `None` on empty input.
+    pub fn aggregate(self, estimates: &[f64]) -> Option<f64> {
+        use crate::stats;
+        match self {
+            AggregationScheme::Single => estimates.first().copied(),
+            AggregationScheme::SimpleAverage => stats::mean(estimates),
+            AggregationScheme::SelectiveAverage => stats::selective_average(estimates),
+            AggregationScheme::Median => stats::median(estimates),
+        }
+    }
+}
+
+/// Tunable parameters of a RUPS node. Defaults follow the paper's
+/// implementation (§V-A, §VI-B): 1000 m journey contexts, a checking window
+/// of the top 45 channels × 85 m, coherency threshold 1.2, and a selective
+/// average over 5 SYN points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RupsConfig {
+    /// Number of GSM channels carried in trajectories (194 for the full
+    /// R-GSM-900 band).
+    pub n_channels: usize,
+    /// Maximum journey-context length retained, in metres (§V-A: 1000 m).
+    pub max_context_m: usize,
+    /// Checking-window length in metres (§VI-B: 85 m; §V-A quotes 100 m).
+    pub window_len_m: usize,
+    /// Checking-window width: number of strongest channels compared
+    /// (§V-A/§VI-B: top 45 channels).
+    pub window_channels: usize,
+    /// Coherency threshold on the Eq. (2) trajectory correlation
+    /// coefficient, on its `[-2, 2]` scale (§VI-B: 1.2).
+    pub coherency_threshold: f64,
+    /// Number of most-recent context segments checked to obtain multiple
+    /// SYN points (§VI-C: five).
+    pub n_syn_points: usize,
+    /// Stride in metres between the trailing edges of successive SYN-search
+    /// segments when hunting for multiple SYN points.
+    pub syn_segment_stride_m: usize,
+    /// Aggregation applied to multi-SYN estimates.
+    pub aggregation: AggregationScheme,
+    /// Adaptive short-context handling (§V-C): smallest window RUPS will
+    /// shrink to when little context is available after a turn.
+    pub min_window_len_m: usize,
+    /// Coherency threshold applied at `min_window_len_m`; the effective
+    /// threshold interpolates linearly between this and
+    /// `coherency_threshold` as the window grows back to `window_len_m`.
+    pub min_window_threshold: f64,
+    /// Interpolate missing channels before matching (§IV-C). Disabling this
+    /// is an ablation, not a recommended mode.
+    pub interpolate_missing: bool,
+}
+
+impl Default for RupsConfig {
+    fn default() -> Self {
+        Self {
+            n_channels: crate::channel::RGSM_900_CHANNELS,
+            max_context_m: 1000,
+            window_len_m: 85,
+            window_channels: 45,
+            coherency_threshold: 1.2,
+            n_syn_points: 5,
+            syn_segment_stride_m: 20,
+            aggregation: AggregationScheme::SelectiveAverage,
+            min_window_len_m: 10,
+            min_window_threshold: 0.9,
+            interpolate_missing: true,
+        }
+    }
+}
+
+impl RupsConfig {
+    /// Effective coherency threshold for a (possibly shrunk) window of
+    /// `window_len` metres, per the adaptive policy of §V-C: shorter windows
+    /// get a laxer threshold so a vehicle that just turned onto a new road
+    /// can still identify neighbours, accepting a higher false-positive
+    /// rate until more context accumulates.
+    pub fn threshold_for_window(&self, window_len: usize) -> f64 {
+        if window_len >= self.window_len_m {
+            return self.coherency_threshold;
+        }
+        if window_len <= self.min_window_len_m {
+            return self.min_window_threshold;
+        }
+        let t = (window_len - self.min_window_len_m) as f64
+            / (self.window_len_m - self.min_window_len_m) as f64;
+        self.min_window_threshold + t * (self.coherency_threshold - self.min_window_threshold)
+    }
+
+    /// Validates internal consistency; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_channels == 0 {
+            return Err("n_channels must be positive".into());
+        }
+        if self.window_len_m < 2 {
+            return Err("window_len_m must be at least 2".into());
+        }
+        if self.window_len_m > self.max_context_m {
+            return Err("window_len_m must not exceed max_context_m".into());
+        }
+        if self.window_channels == 0 {
+            return Err("window_channels must be positive".into());
+        }
+        if self.min_window_len_m < 2 || self.min_window_len_m > self.window_len_m {
+            return Err("min_window_len_m must lie in [2, window_len_m]".into());
+        }
+        if self.n_syn_points == 0 {
+            return Err("n_syn_points must be positive".into());
+        }
+        if self.syn_segment_stride_m == 0 {
+            return Err("syn_segment_stride_m must be positive".into());
+        }
+        if !(-2.0..=2.0).contains(&self.coherency_threshold) {
+            return Err("coherency_threshold must lie in [-2, 2]".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = RupsConfig::default();
+        assert_eq!(c.max_context_m, 1000);
+        assert_eq!(c.window_channels, 45);
+        assert_eq!(c.window_len_m, 85);
+        assert!((c.coherency_threshold - 1.2).abs() < 1e-12);
+        assert_eq!(c.n_syn_points, 5);
+        assert_eq!(c.aggregation, AggregationScheme::SelectiveAverage);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn threshold_interpolates_with_window_length() {
+        let c = RupsConfig::default();
+        assert_eq!(c.threshold_for_window(85), 1.2);
+        assert_eq!(c.threshold_for_window(200), 1.2);
+        assert_eq!(c.threshold_for_window(10), 0.9);
+        assert_eq!(c.threshold_for_window(2), 0.9);
+        let mid = c.threshold_for_window(48);
+        assert!(mid > 0.9 && mid < 1.2, "mid-window threshold {mid}");
+        // Monotone in window length.
+        let mut prev = 0.0;
+        for w in (10..=85).step_by(5) {
+            let t = c.threshold_for_window(w);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let bad = RupsConfig {
+            window_len_m: 5000,
+            ..RupsConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = RupsConfig {
+            n_channels: 0,
+            ..RupsConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = RupsConfig {
+            coherency_threshold: 3.0,
+            ..RupsConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = RupsConfig {
+            min_window_len_m: 0,
+            ..RupsConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = RupsConfig {
+            syn_segment_stride_m: 0,
+            ..RupsConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn aggregation_schemes() {
+        let est = [10.0, 12.0, 8.0, 30.0, 11.0];
+        assert_eq!(AggregationScheme::Single.aggregate(&est), Some(10.0));
+        assert!((AggregationScheme::SimpleAverage.aggregate(&est).unwrap() - 14.2).abs() < 1e-12);
+        assert!(
+            (AggregationScheme::SelectiveAverage.aggregate(&est).unwrap() - 11.0).abs() < 1e-12
+        );
+        assert_eq!(AggregationScheme::Median.aggregate(&est), Some(11.0));
+        assert_eq!(AggregationScheme::Median.aggregate(&[]), None);
+    }
+}

@@ -1,0 +1,265 @@
+//! Minimal DSP kernels: an iterative radix-2 FFT and FFT-based
+//! cross-correlation.
+//!
+//! The reference SYN search costs `O(mwk)` (§V-A). For *dense* contexts
+//! (after missing-channel interpolation) the per-channel sliding dot
+//! products are a plain cross-correlation, which an FFT computes in
+//! `O(m log m)` — the engine behind [`crate::syn_fast`]. No external DSP
+//! crates are available offline, so the transform is implemented here from
+//! scratch and tested against naive references.
+
+/// A complex number as a bare `(re, im)` pair — all we need for the FFT.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Constructs a complex number.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Complex {
+        Complex::new(self.re, -self.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+/// Smallest power of two ≥ `n`.
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// `data.len()` must be a power of two. `inverse` computes the unscaled
+/// inverse transform; divide by `n` afterwards to invert exactly (the
+/// convolution helpers below handle that).
+pub fn fft(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2usize;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        let mut i = 0usize;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Linear cross-correlation of real inputs via FFT:
+/// `out[j] = Σ_i f[i] · s[j + i]` for `j ∈ 0 ..= s.len() − f.len()`.
+///
+/// This is exactly the per-channel sliding dot product of the SYN search
+/// with `f` the fixed window and `s` the sliding trajectory row. Panics if
+/// `f` is longer than `s` or either is empty.
+pub fn sliding_dot(f: &[f64], s: &[f64]) -> Vec<f64> {
+    assert!(
+        !f.is_empty() && f.len() <= s.len(),
+        "need 0 < f.len() <= s.len()"
+    );
+    let n_out = s.len() - f.len() + 1;
+    let size = next_pow2(s.len() + f.len());
+    let mut fa = vec![Complex::default(); size];
+    let mut fb = vec![Complex::default(); size];
+    // Reverse f so the convolution theorem yields correlation.
+    for (i, &v) in f.iter().rev().enumerate() {
+        fa[i] = Complex::new(v, 0.0);
+    }
+    for (i, &v) in s.iter().enumerate() {
+        fb[i] = Complex::new(v, 0.0);
+    }
+    fft(&mut fa, false);
+    fft(&mut fb, false);
+    for (a, b) in fa.iter_mut().zip(&fb) {
+        *a = *a * *b;
+    }
+    fft(&mut fa, true);
+    let scale = 1.0 / size as f64;
+    // Correlation lag j lives at convolution index (f.len() − 1) + j.
+    (0..n_out).map(|j| fa[f.len() - 1 + j].re * scale).collect()
+}
+
+/// Prefix sums of `x` and `x²`: `out.0[j] = Σ_{i<j} x[i]` (length `n+1`).
+pub fn prefix_sums(x: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let mut s = Vec::with_capacity(x.len() + 1);
+    let mut ss = Vec::with_capacity(x.len() + 1);
+    s.push(0.0);
+    ss.push(0.0);
+    let (mut acc, mut acc2) = (0.0f64, 0.0f64);
+    for &v in x {
+        acc += v;
+        acc2 += v * v;
+        s.push(acc);
+        ss.push(acc2);
+    }
+    (s, ss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_sliding_dot(f: &[f64], s: &[f64]) -> Vec<f64> {
+        (0..=s.len() - f.len())
+            .map(|j| f.iter().zip(&s[j..]).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    #[test]
+    fn fft_roundtrip_recovers_signal() {
+        let n = 64;
+        let orig: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let mut data = orig.clone();
+        fft(&mut data, false);
+        fft(&mut data, true);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((a.re / n as f64 - b.re).abs() < 1e-10);
+            assert!((a.im / n as f64 - b.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::default(); 16];
+        data[0] = Complex::new(1.0, 0.0);
+        fft(&mut data, false);
+        for c in &data {
+            assert!((c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_parseval() {
+        let n = 128;
+        let sig: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 1.1).sin(), 0.0))
+            .collect();
+        let time_energy: f64 = sig.iter().map(|c| c.re * c.re + c.im * c.im).sum();
+        let mut freq = sig.clone();
+        fft(&mut freq, false);
+        let freq_energy: f64 =
+            freq.iter().map(|c| c.re * c.re + c.im * c.im).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_pow2() {
+        let mut data = vec![Complex::default(); 12];
+        fft(&mut data, false);
+    }
+
+    #[test]
+    fn sliding_dot_matches_naive() {
+        let f: Vec<f64> = (0..23).map(|i| ((i * 7) % 11) as f64 - 5.0).collect();
+        let s: Vec<f64> = (0..100).map(|i| ((i * 13) % 17) as f64 - 8.0).collect();
+        let fast = sliding_dot(&f, &s);
+        let naive = naive_sliding_dot(&f, &s);
+        assert_eq!(fast.len(), naive.len());
+        for (a, b) in fast.iter().zip(&naive) {
+            assert!((a - b).abs() < 1e-6, "fast {a} vs naive {b}");
+        }
+    }
+
+    #[test]
+    fn sliding_dot_degenerate_sizes() {
+        // f.len() == s.len(): one output.
+        let f = [1.0, 2.0, 3.0];
+        let out = sliding_dot(&f, &f);
+        assert_eq!(out.len(), 1);
+        assert!((out[0] - 14.0).abs() < 1e-9);
+        // Single-element window: identity.
+        let out = sliding_dot(&[2.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(out.len(), 3);
+        assert!((out[1] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefix_sums_windows() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let (s, ss) = prefix_sums(&x);
+        assert_eq!(s, vec![0.0, 1.0, 3.0, 6.0, 10.0]);
+        assert_eq!(ss, vec![0.0, 1.0, 5.0, 14.0, 30.0]);
+        // Window [1, 3): sum = 5, sumsq = 13.
+        assert_eq!(s[3] - s[1], 5.0);
+        assert_eq!(ss[3] - ss[1], 13.0);
+    }
+
+    #[test]
+    fn complex_algebra() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+    }
+}

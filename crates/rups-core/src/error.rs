@@ -1,0 +1,94 @@
+//! Error types of the RUPS core.
+
+use std::fmt;
+
+/// Errors surfaced by the RUPS pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RupsError {
+    /// A journey context is too short for the requested operation.
+    InsufficientContext {
+        /// Metres of context available.
+        available_m: usize,
+        /// Metres of context required.
+        required_m: usize,
+    },
+    /// The two trajectories disagree on channel count.
+    ChannelMismatch {
+        /// Channel count on our side.
+        ours: usize,
+        /// Channel count on the neighbour's side.
+        theirs: usize,
+    },
+    /// The double-sliding check found no window whose trajectory correlation
+    /// coefficient clears the coherency threshold: the vehicles' recent
+    /// journeys do not overlap (they are unrelated, §IV-D).
+    NoSynPoint {
+        /// Best correlation observed during the search.
+        best_score: f64,
+        /// Threshold that had to be cleared.
+        threshold: f64,
+    },
+    /// A configuration failed validation.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for RupsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RupsError::InsufficientContext {
+                available_m,
+                required_m,
+            } => write!(
+                f,
+                "insufficient journey context: {available_m} m available, {required_m} m required"
+            ),
+            RupsError::ChannelMismatch { ours, theirs } => {
+                write!(f, "channel count mismatch: ours {ours}, neighbour {theirs}")
+            }
+            RupsError::NoSynPoint {
+                best_score,
+                threshold,
+            } => write!(
+                f,
+                "no SYN point: best trajectory correlation {best_score:.3} \
+                 below coherency threshold {threshold:.3}"
+            ),
+            RupsError::InvalidConfig(msg) => write!(f, "invalid RUPS configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RupsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RupsError::InsufficientContext {
+            available_m: 12,
+            required_m: 85,
+        };
+        assert!(e.to_string().contains("12 m"));
+        assert!(e.to_string().contains("85 m"));
+        let e = RupsError::NoSynPoint {
+            best_score: 0.73,
+            threshold: 1.2,
+        };
+        assert!(e.to_string().contains("0.730"));
+        let e = RupsError::ChannelMismatch {
+            ours: 194,
+            theirs: 45,
+        };
+        assert!(e.to_string().contains("194"));
+        let e = RupsError::InvalidConfig("boom".into());
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&RupsError::InvalidConfig("x".into()));
+    }
+}

@@ -1,0 +1,571 @@
+//! Motion sensing: coordinate reorientation, heading/speed inference and
+//! dead reckoning (§IV-B).
+//!
+//! RUPS estimates the geographical trajectory from cheap on-board motion
+//! sensors. Because a phone or aftermarket sensor box is mounted at an
+//! arbitrary attitude, the sensor frame must first be re-oriented into the
+//! vehicle frame with a rotation matrix `R = [x; y; z]` derived from
+//! accelerometer and gyroscope readings (the scheme of Han et al. \[31\] the
+//! paper adopts). Heading then follows from the magnetometer, the travelled
+//! distance from OBD-II speed or wheel odometry, and the
+//! [`DeadReckoner`] integrates both into per-metre
+//! [`crate::geo::GeoSample`] values.
+//!
+//! ## Conventions
+//!
+//! Vehicle frame: `x` right, `y` forward, `z` up. World frame: right-handed
+//! with magnetic north along `+y`; headings are radians counter-clockwise
+//! from `+x` (so heading `π/2` = facing magnetic north).
+
+use crate::geo::{angle_diff, GeoSample};
+use serde::{Deserialize, Serialize};
+
+/// A minimal 3-vector for sensor math.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Constructs a vector.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3::new(0.0, 0.0, 0.0);
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit vector in this direction; `None` for (near-)zero vectors.
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        (n > 1e-12).then(|| self.scale(1.0 / n))
+    }
+
+    /// Scalar multiple.
+    #[inline]
+    pub fn scale(self, k: f64) -> Vec3 {
+        Vec3::new(self.x * k, self.y * k, self.z * k)
+    }
+}
+
+impl std::ops::Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl std::ops::Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+/// One raw inertial/magnetic sample in the *sensor* frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImuSample {
+    /// Timestamp in seconds.
+    pub timestamp_s: f64,
+    /// Specific force in m/s² (includes the gravity reaction).
+    pub accel: Vec3,
+    /// Angular rate in rad/s.
+    pub gyro: Vec3,
+    /// Magnetic field (arbitrary units; only direction matters).
+    pub mag: Vec3,
+}
+
+/// Rotation from the sensor frame into the vehicle frame, stored as the
+/// three vehicle axes expressed in sensor coordinates (`R = [x; y; z]`,
+/// §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RotationMatrix {
+    /// Vehicle x-axis (right) in sensor coordinates.
+    pub x: Vec3,
+    /// Vehicle y-axis (forward) in sensor coordinates.
+    pub y: Vec3,
+    /// Vehicle z-axis (up) in sensor coordinates.
+    pub z: Vec3,
+}
+
+impl RotationMatrix {
+    /// The identity reorientation (sensor already aligned with vehicle).
+    pub const IDENTITY: RotationMatrix = RotationMatrix {
+        x: Vec3::new(1.0, 0.0, 0.0),
+        y: Vec3::new(0.0, 1.0, 0.0),
+        z: Vec3::new(0.0, 0.0, 1.0),
+    };
+
+    /// Maps a sensor-frame vector into the vehicle frame.
+    #[inline]
+    pub fn to_vehicle(&self, v: Vec3) -> Vec3 {
+        Vec3::new(self.x.dot(v), self.y.dot(v), self.z.dot(v))
+    }
+
+    /// Maps a vehicle-frame vector into the sensor frame (the transpose).
+    #[inline]
+    pub fn to_sensor(&self, v: Vec3) -> Vec3 {
+        Vec3::new(
+            self.x.x * v.x + self.y.x * v.y + self.z.x * v.z,
+            self.x.y * v.x + self.y.y * v.y + self.z.y * v.z,
+            self.x.z * v.x + self.y.z * v.y + self.z.z * v.z,
+        )
+    }
+
+    /// How far this matrix deviates from a proper rotation (max abs error of
+    /// pairwise axis dot products and unit norms). Useful in tests.
+    pub fn orthonormality_error(&self) -> f64 {
+        let e = [
+            self.x.dot(self.y).abs(),
+            self.y.dot(self.z).abs(),
+            self.x.dot(self.z).abs(),
+            (self.x.norm() - 1.0).abs(),
+            (self.y.norm() - 1.0).abs(),
+            (self.z.norm() - 1.0).abs(),
+        ];
+        e.into_iter().fold(0.0, f64::max)
+    }
+}
+
+/// Errors from the reorientation estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReorientError {
+    /// The stationary window contained no usable gravity signal.
+    NoGravity,
+    /// The acceleration window contained no forward-acceleration signal
+    /// distinguishable from gravity.
+    NoForwardAcceleration,
+}
+
+impl std::fmt::Display for ReorientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReorientError::NoGravity => write!(f, "no gravity signal in stationary window"),
+            ReorientError::NoForwardAcceleration => {
+                write!(f, "no forward acceleration signal in acceleration window")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReorientError {}
+
+/// Estimates the sensor→vehicle rotation matrix from two calibration
+/// windows, following Han et al. \[31\] as adopted by the paper:
+///
+/// 1. the mean accelerometer reading while the vehicle is **stationary**
+///    points along vehicle `+z` (the gravity reaction);
+/// 2. the mean accelerometer reading while the vehicle **accelerates
+///    straight ahead**, with the gravity component projected out, points
+///    along vehicle `+y`;
+/// 3. `x = y × z`, and `z` is re-derived as `x × y` to cancel slope effects
+///    (§IV-B).
+pub fn estimate_reorientation(
+    stationary: &[ImuSample],
+    accelerating: &[ImuSample],
+) -> Result<RotationMatrix, ReorientError> {
+    let mean = |w: &[ImuSample]| {
+        w.iter()
+            .fold(Vec3::ZERO, |acc, s| acc + s.accel)
+            .scale(if w.is_empty() {
+                0.0
+            } else {
+                1.0 / w.len() as f64
+            })
+    };
+    let g = mean(stationary);
+    let z = g.normalized().ok_or(ReorientError::NoGravity)?;
+    let a = mean(accelerating);
+    // Remove the gravity component to isolate forward acceleration.
+    let forward = a - z.scale(a.dot(z));
+    let y = forward
+        .normalized()
+        .ok_or(ReorientError::NoForwardAcceleration)?;
+    let x = y
+        .cross(z)
+        .normalized()
+        .ok_or(ReorientError::NoForwardAcceleration)?;
+    // Recalibrated z = x × y eliminates residual slope tilt.
+    let z = x.cross(y).normalized().expect("x and y are orthonormal");
+    Ok(RotationMatrix { x, y, z })
+}
+
+/// Heading from a magnetometer reading already rotated into the vehicle
+/// frame: the angle between the vehicle's forward axis and magnetic north,
+/// expressed as a world heading (radians CCW from `+x`, north = `π/2`).
+///
+/// Uses only the horizontal (x, y) components, per §IV-B ("the sum of
+/// magnetization vectors along x- and y-axis").
+pub fn heading_from_mag(mag_vehicle: Vec3) -> f64 {
+    // With the world field along +y (north) and the vehicle heading at
+    // world angle θ: forward·north = sin θ and right·north = −cos θ, so
+    // θ = atan2(m_forward, −m_right).
+    mag_vehicle.y.atan2(-mag_vehicle.x)
+}
+
+/// The magnetometer reading a vehicle at world heading `heading_rad` would
+/// observe in its own frame, given a horizontal field strength `h` (and no
+/// vertical component). Inverse of [`heading_from_mag`]; used by sensor
+/// simulators.
+pub fn mag_for_heading(heading_rad: f64, h: f64) -> Vec3 {
+    Vec3::new(-h * heading_rad.cos(), h * heading_rad.sin(), 0.0)
+}
+
+/// Speed source abstraction: OBD-II readings or Hall-sensor wheel pulses
+/// (§VI-A instruments both).
+#[derive(Debug, Clone)]
+pub struct SpeedEstimator {
+    last_obd: Option<(f64, f64)>,
+    prev_obd: Option<(f64, f64)>,
+    wheel_circumference_m: f64,
+}
+
+impl SpeedEstimator {
+    /// A speed estimator; `wheel_circumference_m` is used by the wheel-pulse
+    /// path (≈ 1.94 m for a typical 195/65 R15 tyre).
+    pub fn new(wheel_circumference_m: f64) -> Self {
+        Self {
+            last_obd: None,
+            prev_obd: None,
+            wheel_circumference_m,
+        }
+    }
+
+    /// Feeds an OBD-II speed report (sparse, ~0.3 Hz per §V-A).
+    pub fn push_obd(&mut self, timestamp_s: f64, speed_mps: f64) {
+        self.prev_obd = self.last_obd;
+        self.last_obd = Some((timestamp_s, speed_mps));
+    }
+
+    /// Speed estimate at time `t`: linear extrapolation between the two most
+    /// recent OBD samples, clamped at zero; zero-order hold with a single
+    /// sample; `None` before any sample.
+    pub fn speed_at(&self, t: f64) -> Option<f64> {
+        match (self.prev_obd, self.last_obd) {
+            (Some((t0, v0)), Some((t1, v1))) if t1 > t0 => {
+                let slope = (v1 - v0) / (t1 - t0);
+                Some((v1 + slope * (t - t1)).max(0.0))
+            }
+            (_, Some((_, v1))) => Some(v1.max(0.0)),
+            _ => None,
+        }
+    }
+
+    /// Mean speed implied by `pulses` wheel revolutions over `dt` seconds
+    /// (the Hall-sensor path of §VI-A).
+    pub fn speed_from_wheel(&self, pulses: u32, dt_s: f64) -> Option<f64> {
+        (dt_s > 0.0).then(|| pulses as f64 * self.wheel_circumference_m / dt_s)
+    }
+}
+
+/// Integrates heading and speed into per-metre [`GeoSample`]s.
+///
+/// Heading fuses gyroscope yaw-rate integration (fast, drifts) with
+/// magnetometer headings (noisy, absolute) through a complementary filter.
+/// Distance integrates speed over time; every time the odometer crosses a
+/// whole metre, a `GeoSample` is emitted with the current heading and a
+/// timestamp linearly interpolated inside the update interval.
+#[derive(Debug, Clone)]
+pub struct DeadReckoner {
+    heading: Option<f64>,
+    carry_m: f64,
+    last_t: Option<f64>,
+    mag_gain: f64,
+}
+
+impl DeadReckoner {
+    /// `mag_gain` is the complementary-filter gain pulling the integrated
+    /// heading toward each magnetometer fix (0 = gyro only, 1 = mag only).
+    pub fn new(mag_gain: f64) -> Self {
+        Self {
+            heading: None,
+            carry_m: 0.0,
+            last_t: None,
+            mag_gain: mag_gain.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Current fused heading (radians), if any fix has been received.
+    pub fn heading(&self) -> Option<f64> {
+        self.heading
+    }
+
+    /// Advances the reckoner to time `t` with the current speed (m/s),
+    /// vehicle-frame yaw rate (rad/s, positive CCW) and an optional
+    /// magnetometer heading fix. Returns the metre marks crossed during the
+    /// interval, oldest first.
+    pub fn update(
+        &mut self,
+        t: f64,
+        speed_mps: f64,
+        yaw_rate_rps: f64,
+        mag_heading: Option<f64>,
+    ) -> Vec<GeoSample> {
+        let dt = match self.last_t {
+            Some(prev) if t > prev => t - prev,
+            Some(_) => return Vec::new(),
+            None => {
+                self.last_t = Some(t);
+                if let Some(m) = mag_heading {
+                    self.heading = Some(m);
+                }
+                return Vec::new();
+            }
+        };
+        self.last_t = Some(t);
+
+        // Heading propagation: integrate the gyro, then lean toward the
+        // magnetometer fix.
+        let mut heading = match self.heading {
+            Some(h) => h + yaw_rate_rps * dt,
+            None => mag_heading.unwrap_or(0.0),
+        };
+        if let Some(m) = mag_heading {
+            heading += self.mag_gain * angle_diff(m, heading);
+        }
+        self.heading = Some(heading);
+
+        // Distance integration and metre-mark emission.
+        let dist = speed_mps.max(0.0) * dt;
+        let mut out = Vec::new();
+        let start = self.carry_m;
+        self.carry_m += dist;
+        let mut next_mark = start.floor() + 1.0;
+        while next_mark <= self.carry_m + 1e-9 {
+            // Fraction of the interval at which the mark was crossed.
+            let frac = if dist > 0.0 {
+                (next_mark - start) / dist
+            } else {
+                1.0
+            };
+            out.push(GeoSample {
+                heading_rad: heading,
+                timestamp_s: t - dt + frac.clamp(0.0, 1.0) * dt,
+            });
+            next_mark += 1.0;
+        }
+        // Keep the fractional carry bounded.
+        if self.carry_m >= 1e12 {
+            self.carry_m = self.carry_m.fract();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn imu(accel: Vec3) -> ImuSample {
+        ImuSample {
+            timestamp_s: 0.0,
+            accel,
+            gyro: Vec3::ZERO,
+            mag: Vec3::ZERO,
+        }
+    }
+
+    #[test]
+    fn vec3_algebra() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(a.cross(b), Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!((a + b).norm(), 2.0f64.sqrt());
+        assert_eq!(Vec3::ZERO.normalized(), None);
+        let n = Vec3::new(3.0, 4.0, 0.0).normalized().unwrap();
+        assert!((n.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_reorientation_roundtrip() {
+        let r = RotationMatrix::IDENTITY;
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(r.to_vehicle(v), v);
+        assert_eq!(r.to_sensor(v), v);
+        assert!(r.orthonormality_error() < 1e-12);
+    }
+
+    /// A sensor mounted rotated 90° about the vehicle z axis: sensor x =
+    /// vehicle forward (y).
+    fn rotated_mount() -> RotationMatrix {
+        RotationMatrix {
+            x: Vec3::new(0.0, -1.0, 0.0),
+            y: Vec3::new(1.0, 0.0, 0.0),
+            z: Vec3::new(0.0, 0.0, 1.0),
+        }
+    }
+
+    #[test]
+    fn reorientation_recovers_known_mount() {
+        let mount = rotated_mount();
+        // Gravity reaction: +9.81 along vehicle z, observed in sensor frame.
+        let g_sensor = mount.to_sensor(Vec3::new(0.0, 0.0, 9.81));
+        // Forward acceleration: 2 m/s² along vehicle y (plus gravity).
+        let a_sensor = mount.to_sensor(Vec3::new(0.0, 2.0, 9.81));
+        let stationary = vec![imu(g_sensor); 10];
+        let accelerating = vec![imu(a_sensor); 10];
+        let r = estimate_reorientation(&stationary, &accelerating).unwrap();
+        assert!(r.orthonormality_error() < 1e-9);
+        // The recovered matrix must map sensor readings back to vehicle
+        // frame: the acceleration sample becomes (0, 2, 9.81).
+        let back = r.to_vehicle(a_sensor);
+        assert!((back.x).abs() < 1e-9);
+        assert!((back.y - 2.0).abs() < 1e-9);
+        assert!((back.z - 9.81).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reorientation_cancels_slope() {
+        // Vehicle parked on a 5° slope: gravity is tilted in the vehicle
+        // frame, but the re-derived z = x × y (§IV-B) must stay orthonormal.
+        let tilt = 5.0f64.to_radians();
+        let g_vehicle = Vec3::new(0.0, 9.81 * tilt.sin(), 9.81 * tilt.cos());
+        let a_vehicle = g_vehicle + Vec3::new(0.0, 2.0, 0.0);
+        let stationary = vec![imu(g_vehicle); 8];
+        let accelerating = vec![imu(a_vehicle); 8];
+        let r = estimate_reorientation(&stationary, &accelerating).unwrap();
+        assert!(r.orthonormality_error() < 1e-9);
+    }
+
+    #[test]
+    fn reorientation_error_cases() {
+        assert_eq!(
+            estimate_reorientation(&[imu(Vec3::ZERO)], &[imu(Vec3::new(0.0, 1.0, 0.0))]),
+            Err(ReorientError::NoGravity)
+        );
+        let g = Vec3::new(0.0, 0.0, 9.81);
+        // Accelerating window identical to gravity → no forward component.
+        assert_eq!(
+            estimate_reorientation(&[imu(g)], &[imu(g)]),
+            Err(ReorientError::NoForwardAcceleration)
+        );
+        assert_eq!(
+            estimate_reorientation(&[], &[imu(g)]),
+            Err(ReorientError::NoGravity)
+        );
+    }
+
+    #[test]
+    fn heading_from_mag_convention() {
+        // Facing north (+y world): forward picks up the whole field.
+        assert!((heading_from_mag(Vec3::new(0.0, 1.0, 0.0)) - FRAC_PI_2).abs() < 1e-12);
+        // Facing east (+x world): north is to the left → m_right = −1.
+        assert!(heading_from_mag(Vec3::new(-1.0, 0.0, 0.0)).abs() < 1e-12);
+        // Facing west: north is to the right.
+        assert!((heading_from_mag(Vec3::new(1.0, 0.0, 0.0)).abs() - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mag_roundtrips_heading() {
+        for i in -8..=8 {
+            let theta = i as f64 * 0.37;
+            let m = mag_for_heading(theta, 0.6);
+            let got = heading_from_mag(m);
+            assert!(angle_diff(got, theta).abs() < 1e-9, "θ {theta} → {got}");
+        }
+    }
+
+    #[test]
+    fn speed_estimator_interpolates_obd() {
+        let mut se = SpeedEstimator::new(1.94);
+        assert_eq!(se.speed_at(0.0), None);
+        se.push_obd(0.0, 10.0);
+        assert_eq!(se.speed_at(1.0), Some(10.0)); // hold
+        se.push_obd(3.0, 16.0); // accelerating 2 m/s²
+        let v = se.speed_at(4.0).unwrap();
+        assert!((v - 18.0).abs() < 1e-12);
+        // Clamped at zero under hard extrapolated deceleration.
+        se.push_obd(5.0, 2.0);
+        assert_eq!(se.speed_at(20.0), Some(0.0));
+    }
+
+    #[test]
+    fn wheel_speed() {
+        let se = SpeedEstimator::new(2.0);
+        assert_eq!(se.speed_from_wheel(5, 1.0), Some(10.0));
+        assert_eq!(se.speed_from_wheel(5, 0.0), None);
+    }
+
+    #[test]
+    fn dead_reckoner_emits_metre_marks() {
+        let mut dr = DeadReckoner::new(0.1);
+        assert!(dr.update(0.0, 5.0, 0.0, Some(0.0)).is_empty()); // first fix
+        let marks = dr.update(1.0, 5.0, 0.0, Some(0.0));
+        assert_eq!(marks.len(), 5);
+        // Timestamps are interpolated inside the interval.
+        assert!((marks[0].timestamp_s - 0.2).abs() < 1e-9);
+        assert!((marks[4].timestamp_s - 1.0).abs() < 1e-9);
+        assert!(marks.iter().all(|m| m.heading_rad.abs() < 1e-9));
+    }
+
+    #[test]
+    fn dead_reckoner_fractional_carry() {
+        let mut dr = DeadReckoner::new(0.0);
+        dr.update(0.0, 0.0, 0.0, Some(0.0));
+        // 0.6 m, then 0.6 m: one mark total, crossed in the second update.
+        assert!(dr.update(1.0, 0.6, 0.0, None).is_empty());
+        let marks = dr.update(2.0, 0.6, 0.0, None);
+        assert_eq!(marks.len(), 1);
+        // Crossed at 0.4/0.6 of the second interval.
+        assert!((marks[0].timestamp_s - (1.0 + 0.4 / 0.6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dead_reckoner_gyro_integration_with_mag_correction() {
+        let mut dr = DeadReckoner::new(0.5);
+        dr.update(0.0, 1.0, 0.0, Some(0.0));
+        // Pure gyro for 1 s at 0.1 rad/s.
+        dr.update(1.0, 1.0, 0.1, None);
+        assert!((dr.heading().unwrap() - 0.1).abs() < 1e-12);
+        // A magnetometer fix at 0.3 pulls halfway (gain 0.5) from 0.2.
+        dr.update(2.0, 1.0, 0.1, Some(0.3));
+        assert!((dr.heading().unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_reckoner_ignores_time_reversal() {
+        let mut dr = DeadReckoner::new(0.1);
+        dr.update(5.0, 3.0, 0.0, Some(0.0));
+        assert!(dr.update(4.0, 3.0, 0.0, None).is_empty());
+    }
+
+    #[test]
+    fn dead_reckoner_stationary_emits_nothing() {
+        let mut dr = DeadReckoner::new(0.1);
+        dr.update(0.0, 0.0, 0.0, Some(1.0));
+        for i in 1..10 {
+            assert!(dr.update(i as f64, 0.0, 0.0, None).is_empty());
+        }
+    }
+}

@@ -1,0 +1,582 @@
+//! The end-to-end RUPS node: journey-context maintenance, snapshot exchange
+//! and relative-distance queries (§IV-A, Fig. 5).
+//!
+//! [`RupsNode`] is the type a deployment embeds per vehicle. It owns the
+//! rolling *journey context* — the most recent `max_context_m` metres of the
+//! geographical trajectory plus the bound GSM-aware trajectory — and answers
+//! relative-distance queries against neighbour [`ContextSnapshot`]s received
+//! over V2V.
+
+use crate::binding::{ScanSample, TrajectoryBinder};
+use crate::config::RupsConfig;
+use crate::error::RupsError;
+use crate::geo::{GeoSample, GeoTrajectory};
+use crate::gsm::{GsmTrajectory, PowerVector};
+use crate::resolve;
+use crate::syn::{self, SynPoint};
+use crate::tracker::{NeighbourTracker, TrackedFix};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An exchangeable copy of a vehicle's recent journey context — what a RUPS
+/// vehicle broadcasts to its neighbours (serialized by the `v2v-sim` crate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContextSnapshot {
+    /// Optional stable identifier of the sending vehicle.
+    pub vehicle_id: Option<u64>,
+    /// Per-metre geographical trajectory (oldest first).
+    pub geo: GeoTrajectory,
+    /// GSM-aware trajectory aligned with `geo`.
+    pub gsm: GsmTrajectory,
+}
+
+impl ContextSnapshot {
+    /// Context length in metres.
+    pub fn len(&self) -> usize {
+        self.gsm.len()
+    }
+
+    /// True when the snapshot carries no context.
+    pub fn is_empty(&self) -> bool {
+        self.gsm.is_empty()
+    }
+}
+
+/// The result of a relative-distance query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistanceFix {
+    /// Aggregated relative distance in metres; positive = neighbour ahead.
+    pub distance_m: f64,
+    /// Every SYN point that contributed (most recent segment first).
+    pub syn_points: Vec<SynPoint>,
+    /// Raw per-SYN distance estimates, aligned with `syn_points`.
+    pub estimates_m: Vec<f64>,
+    /// Best trajectory correlation coefficient observed (Eq. (2) scale).
+    pub best_score: f64,
+}
+
+/// A RUPS vehicle node (Fig. 5): perceives its GSM-aware trajectory and
+/// fixes relative distances to neighbours.
+#[derive(Debug, Clone)]
+pub struct RupsNode {
+    cfg: RupsConfig,
+    vehicle_id: Option<u64>,
+    geo: GeoTrajectory,
+    gsm: GsmTrajectory,
+    binder: TrajectoryBinder,
+    /// Per-neighbour anchored-tracking state (§V-B), keyed by the
+    /// neighbour's vehicle id.
+    trackers: HashMap<u64, NeighbourTracker>,
+}
+
+impl RupsNode {
+    /// Creates a node with the given configuration.
+    ///
+    /// # Panics
+    /// Panics when the configuration is invalid; use [`RupsNode::try_new`]
+    /// to handle that gracefully.
+    pub fn new(cfg: RupsConfig) -> Self {
+        Self::try_new(cfg).expect("invalid RUPS configuration")
+    }
+
+    /// Creates a node, validating the configuration.
+    pub fn try_new(cfg: RupsConfig) -> Result<Self, RupsError> {
+        cfg.validate().map_err(RupsError::InvalidConfig)?;
+        let n = cfg.n_channels;
+        Ok(Self {
+            cfg,
+            vehicle_id: None,
+            geo: GeoTrajectory::new(),
+            gsm: GsmTrajectory::new(n),
+            binder: TrajectoryBinder::new(n, f64::NEG_INFINITY),
+            trackers: HashMap::new(),
+        })
+    }
+
+    /// Sets the identifier stamped on outgoing snapshots.
+    pub fn with_vehicle_id(mut self, id: u64) -> Self {
+        self.vehicle_id = Some(id);
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RupsConfig {
+        &self.cfg
+    }
+
+    /// Metres of journey context currently held.
+    pub fn context_len(&self) -> usize {
+        self.gsm.len()
+    }
+
+    /// The geographical half of the journey context.
+    pub fn geo_trajectory(&self) -> &GeoTrajectory {
+        &self.geo
+    }
+
+    /// The GSM-aware half of the journey context (raw: missing cells are
+    /// `NaN`; interpolation happens at query/snapshot time).
+    pub fn gsm_trajectory(&self) -> &GsmTrajectory {
+        &self.gsm
+    }
+
+    /// Feeds one GSM scan sample into the binder (the "Collecting GSM
+    /// channel RSSI" box of Fig. 5).
+    pub fn push_scan(&mut self, sample: ScanSample) {
+        self.binder.push_scan(sample);
+    }
+
+    /// Announces that the vehicle crossed the next metre mark: binds every
+    /// pending scan sample into that metre's power vector and appends both
+    /// halves of the journey context (the "Trajectory binding" box of
+    /// Fig. 5).
+    pub fn advance_metre(&mut self, geo: GeoSample) {
+        let pv = self.binder.bind_metre(geo.timestamp_s);
+        self.append(geo, &pv);
+    }
+
+    /// Directly appends a pre-bound metre (used when the caller does its own
+    /// binding, e.g. in trace replay).
+    pub fn append_metre(&mut self, geo: GeoSample, power: &PowerVector) -> Result<(), RupsError> {
+        if power.n_channels() != self.cfg.n_channels {
+            return Err(RupsError::ChannelMismatch {
+                ours: self.cfg.n_channels,
+                theirs: power.n_channels(),
+            });
+        }
+        self.append(geo, power);
+        Ok(())
+    }
+
+    fn append(&mut self, geo: GeoSample, power: &PowerVector) {
+        self.geo.push(geo);
+        self.gsm.push(power);
+        if self.gsm.len() > self.cfg.max_context_m {
+            let drop = self.gsm.len() - self.cfg.max_context_m;
+            self.gsm.drain_front(drop);
+            self.geo.drain_front(drop);
+        }
+    }
+
+    /// Produces the snapshot this vehicle would broadcast: the most recent
+    /// `last_m` metres (or the whole context), with missing channels
+    /// interpolated when the configuration asks for it.
+    pub fn snapshot(&self, last_m: Option<usize>) -> ContextSnapshot {
+        let len = last_m.unwrap_or(self.gsm.len()).min(self.gsm.len());
+        let mut gsm = self.gsm.tail(len);
+        if self.cfg.interpolate_missing {
+            gsm.interpolate_missing();
+        }
+        ContextSnapshot {
+            vehicle_id: self.vehicle_id,
+            geo: self.geo.tail(len),
+            gsm,
+        }
+    }
+
+    /// Prepares our own context for matching (interpolated per config).
+    fn own_matching_context(&self) -> GsmTrajectory {
+        if self.cfg.interpolate_missing {
+            self.gsm.interpolated()
+        } else {
+            self.gsm.clone()
+        }
+    }
+
+    /// Answers a relative-distance query against a neighbour snapshot: the
+    /// full RUPS pipeline of seeking SYN points (§IV-D) and resolving /
+    /// aggregating the distance (§IV-E, §VI-C).
+    ///
+    /// Positive distances mean the neighbour is ahead.
+    pub fn fix_distance(&self, neighbour: &ContextSnapshot) -> Result<DistanceFix, RupsError> {
+        self.fix_distance_impl(neighbour, false)
+    }
+
+    /// Like [`RupsNode::fix_distance`] but parallelises the sliding-window
+    /// search over the rayon pool — the right call for long contexts or
+    /// when servicing many neighbours at once.
+    pub fn fix_distance_parallel(
+        &self,
+        neighbour: &ContextSnapshot,
+    ) -> Result<DistanceFix, RupsError> {
+        self.fix_distance_impl(neighbour, true)
+    }
+
+    fn fix_distance_impl(
+        &self,
+        neighbour: &ContextSnapshot,
+        parallel: bool,
+    ) -> Result<DistanceFix, RupsError> {
+        let ours = self.own_matching_context();
+        let points = if parallel {
+            syn::find_syn_points_parallel(&ours, &neighbour.gsm, &self.cfg)?
+        } else {
+            syn::find_syn_points(&ours, &neighbour.gsm, &self.cfg)?
+        };
+        let (distance_m, estimates_m) = resolve::aggregate_distance(
+            &points,
+            ours.len(),
+            neighbour.gsm.len(),
+            self.cfg.aggregation,
+        )?;
+        let best_score = points
+            .iter()
+            .map(|p| p.score)
+            .fold(f64::NEG_INFINITY, f64::max);
+        Ok(DistanceFix {
+            distance_m,
+            syn_points: points,
+            estimates_m,
+            best_score,
+        })
+    }
+
+    /// Continuous-tracking query (§V-B): like [`RupsNode::fix_distance`]
+    /// but stateful per neighbour. The first query against a neighbour id
+    /// runs the full multi-SYN search; subsequent queries only verify and
+    /// refine the known SYN anchor within a small slack — a fraction of the
+    /// full cost, suitable for 10 Hz tracking. Falls back to the full
+    /// search automatically if the anchor is lost.
+    ///
+    /// Snapshots without a `vehicle_id` cannot be tracked and always take
+    /// the full path.
+    ///
+    /// ```
+    /// use rups_core::prelude::*;
+    /// use rups_core::testfield;
+    ///
+    /// let cfg = RupsConfig { n_channels: 16, window_channels: 16, ..RupsConfig::default() };
+    /// let mk = |start: usize| {
+    ///     let mut node = RupsNode::new(cfg.clone()).with_vehicle_id(start as u64);
+    ///     for i in 0..300 {
+    ///         let s = (start + i) as f64;
+    ///         node.append_metre(
+    ///             GeoSample { heading_rad: 0.0, timestamp_s: s },
+    ///             &PowerVector::from_fn(16, |ch| Some(testfield::rssi(1, s, ch))),
+    ///         ).unwrap();
+    ///     }
+    ///     node
+    /// };
+    /// let mut rear = mk(0);
+    /// let front = mk(45);
+    /// let first = rear.tracked_fix(&front.snapshot(None)).unwrap();
+    /// assert_eq!(first.mode, TrackMode::Full);
+    /// let second = rear.tracked_fix(&front.snapshot(None)).unwrap();
+    /// assert_eq!(second.mode, TrackMode::Incremental);
+    /// assert!((second.distance_m - 45.0).abs() < 1.0);
+    /// ```
+    pub fn tracked_fix(&mut self, neighbour: &ContextSnapshot) -> Result<TrackedFix, RupsError> {
+        let ours = self.own_matching_context();
+        match neighbour.vehicle_id {
+            Some(id) => {
+                let cfg = self.cfg.clone();
+                let tracker = self
+                    .trackers
+                    .entry(id)
+                    .or_insert_with(|| NeighbourTracker::new(cfg));
+                tracker.update(&ours, &neighbour.gsm)
+            }
+            None => {
+                let mut one_shot = NeighbourTracker::new(self.cfg.clone());
+                one_shot.update(&ours, &neighbour.gsm)
+            }
+        }
+    }
+
+    /// Drops the tracking anchor held for a neighbour (e.g. after it left
+    /// radio range). Returns whether state existed.
+    pub fn forget_neighbour(&mut self, vehicle_id: u64) -> bool {
+        self.trackers.remove(&vehicle_id).is_some()
+    }
+
+    /// Number of neighbours currently tracked.
+    pub fn tracked_neighbours(&self) -> usize {
+        self.trackers.len()
+    }
+
+    /// Fixes distances to many neighbours concurrently (one rayon task per
+    /// neighbour), preserving input order. This is the heavy-traffic path
+    /// discussed in §V-B.
+    pub fn fix_distances_parallel(
+        &self,
+        neighbours: &[ContextSnapshot],
+    ) -> Vec<Result<DistanceFix, RupsError>> {
+        let ours = self.own_matching_context();
+        neighbours
+            .par_iter()
+            .map(|nb| {
+                let points = syn::find_syn_points(&ours, &nb.gsm, &self.cfg)?;
+                let (distance_m, estimates_m) = resolve::aggregate_distance(
+                    &points,
+                    ours.len(),
+                    nb.gsm.len(),
+                    self.cfg.aggregation,
+                )?;
+                let best_score = points
+                    .iter()
+                    .map(|p| p.score)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                Ok(DistanceFix {
+                    distance_m,
+                    syn_points: points,
+                    estimates_m,
+                    best_score,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Structured synthetic field, deterministic in road metre + channel.
+    fn field(s: f64, ch: usize) -> f32 {
+        crate::testfield::rssi(7, s, ch)
+    }
+
+    fn cfg() -> RupsConfig {
+        RupsConfig {
+            n_channels: 32,
+            window_channels: 24,
+            ..RupsConfig::default()
+        }
+    }
+
+    fn drive(node: &mut RupsNode, start_m: usize, len: usize) {
+        for i in 0..len {
+            let s = (start_m + i) as f64;
+            let geo = GeoSample {
+                heading_rad: 0.0,
+                timestamp_s: s,
+            };
+            let pv = PowerVector::from_fn(32, |ch| Some(field(s, ch)));
+            node.append_metre(geo, &pv).unwrap();
+        }
+    }
+
+    #[test]
+    fn end_to_end_distance_fix() {
+        let mut a = RupsNode::new(cfg());
+        let mut b = RupsNode::new(cfg()).with_vehicle_id(2);
+        drive(&mut a, 0, 400);
+        drive(&mut b, 70, 400);
+        let snap = b.snapshot(None);
+        assert_eq!(snap.vehicle_id, Some(2));
+        let fix = a.fix_distance(&snap).unwrap();
+        assert!(
+            (fix.distance_m - 70.0).abs() < 1.0,
+            "distance {}",
+            fix.distance_m
+        );
+        assert!(!fix.syn_points.is_empty());
+        assert_eq!(fix.syn_points.len(), fix.estimates_m.len());
+        assert!(fix.best_score > 1.2);
+        // Symmetry: from B's perspective A is behind.
+        let fix_b = b.fix_distance(&a.snapshot(None)).unwrap();
+        assert!(
+            (fix_b.distance_m + 70.0).abs() < 1.0,
+            "distance {}",
+            fix_b.distance_m
+        );
+    }
+
+    #[test]
+    fn parallel_query_agrees_with_sequential() {
+        let mut a = RupsNode::new(cfg());
+        let mut b = RupsNode::new(cfg());
+        drive(&mut a, 0, 300);
+        drive(&mut b, 40, 300);
+        let snap = b.snapshot(None);
+        let s = a.fix_distance(&snap).unwrap();
+        let p = a.fix_distance_parallel(&snap).unwrap();
+        assert_eq!(s.syn_points.len(), p.syn_points.len());
+        assert!((s.distance_m - p.distance_m).abs() < 1e-9);
+    }
+
+    #[test]
+    fn many_neighbours_in_parallel() {
+        let mut a = RupsNode::new(cfg());
+        drive(&mut a, 0, 400);
+        let snaps: Vec<ContextSnapshot> = [30usize, 60, 90]
+            .iter()
+            .map(|&off| {
+                let mut v = RupsNode::new(cfg());
+                drive(&mut v, off, 400);
+                v.snapshot(None)
+            })
+            .collect();
+        let fixes = a.fix_distances_parallel(&snaps);
+        assert_eq!(fixes.len(), 3);
+        for (fix, expect) in fixes.iter().zip([30.0, 60.0, 90.0]) {
+            let d = fix.as_ref().unwrap().distance_m;
+            assert!((d - expect).abs() < 1.0, "expected {expect}, got {d}");
+        }
+    }
+
+    #[test]
+    fn rolling_context_is_bounded() {
+        let mut a = RupsNode::new(RupsConfig {
+            max_context_m: 100,
+            n_channels: 8,
+            window_channels: 8,
+            ..RupsConfig::default()
+        });
+        for i in 0..250 {
+            let geo = GeoSample {
+                heading_rad: 0.0,
+                timestamp_s: i as f64,
+            };
+            let pv = PowerVector::from_fn(8, |ch| Some(field(i as f64, ch)));
+            a.append_metre(geo, &pv).unwrap();
+        }
+        assert_eq!(a.context_len(), 100);
+        assert_eq!(a.geo_trajectory().len(), 100);
+        // The retained context is the most recent one.
+        assert_eq!(a.geo_trajectory().samples()[0].timestamp_s, 150.0);
+    }
+
+    #[test]
+    fn snapshot_respects_requested_length_and_interpolation() {
+        let mut a = RupsNode::new(cfg());
+        drive(&mut a, 0, 200);
+        let snap = a.snapshot(Some(50));
+        assert_eq!(snap.len(), 50);
+        assert_eq!(snap.geo.len(), 50);
+        // Default config interpolates: snapshot has full coverage even if
+        // we now punch holes into the raw context.
+        let mut holey = RupsNode::new(cfg());
+        for i in 0..200 {
+            let geo = GeoSample {
+                heading_rad: 0.0,
+                timestamp_s: i as f64,
+            };
+            let pv =
+                PowerVector::from_fn(32, |ch| ((ch + i) % 3 != 0).then(|| field(i as f64, ch)));
+            holey.append_metre(geo, &pv).unwrap();
+        }
+        assert!(holey.gsm_trajectory().coverage() < 1.0);
+        let snap = holey.snapshot(None);
+        assert!((snap.gsm.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scan_binding_path_produces_same_context_as_direct_append() {
+        // Drive 3 m at 1 m/s, scanning 4 channels per metre interval.
+        let mut node = RupsNode::new(RupsConfig {
+            n_channels: 4,
+            window_channels: 4,
+            ..RupsConfig::default()
+        });
+        for metre in 0..3usize {
+            let t0 = metre as f64;
+            for ch in 0..4usize {
+                node.push_scan(ScanSample {
+                    timestamp_s: t0 + 0.2 * (ch as f64 + 1.0),
+                    channel: ch,
+                    rssi_dbm: field(metre as f64, ch),
+                });
+            }
+            node.advance_metre(GeoSample {
+                heading_rad: 0.0,
+                timestamp_s: t0 + 1.0,
+            });
+        }
+        assert_eq!(node.context_len(), 3);
+        let g = node.gsm_trajectory();
+        for metre in 0..3 {
+            for ch in 0..4 {
+                assert_eq!(g.get(ch, metre), Some(field(metre as f64, ch)));
+            }
+        }
+    }
+
+    #[test]
+    fn unrelated_vehicles_get_no_fix() {
+        let mut a = RupsNode::new(cfg());
+        let mut b = RupsNode::new(cfg());
+        drive(&mut a, 0, 300);
+        drive(&mut b, 500_000, 300);
+        assert!(matches!(
+            a.fix_distance(&b.snapshot(None)),
+            Err(RupsError::NoSynPoint { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let bad = RupsConfig {
+            window_len_m: 0,
+            ..RupsConfig::default()
+        };
+        assert!(matches!(
+            RupsNode::try_new(bad),
+            Err(RupsError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn tracked_fix_goes_incremental_and_can_forget() {
+        use crate::tracker::TrackMode;
+        let mut a = RupsNode::new(cfg());
+        let mut b = RupsNode::new(cfg()).with_vehicle_id(9);
+        drive(&mut a, 0, 400);
+        drive(&mut b, 70, 400);
+        let snap = b.snapshot(None);
+        let f0 = a.tracked_fix(&snap).unwrap();
+        assert_eq!(f0.mode, TrackMode::Full);
+        assert!((f0.distance_m - 70.0).abs() < 1.0);
+        assert_eq!(a.tracked_neighbours(), 1);
+        // Both advance 15 m; the second query is incremental.
+        drive(&mut a, 400, 15);
+        drive(&mut b, 470, 15);
+        let f1 = a.tracked_fix(&b.snapshot(None)).unwrap();
+        assert_eq!(f1.mode, TrackMode::Incremental);
+        assert!((f1.distance_m - 70.0).abs() < 1.0, "got {}", f1.distance_m);
+        assert!(a.forget_neighbour(9));
+        assert!(!a.forget_neighbour(9));
+        assert_eq!(a.tracked_neighbours(), 0);
+        // Anonymous snapshots always run the full path and hold no state.
+        let anon = ContextSnapshot {
+            vehicle_id: None,
+            ..b.snapshot(None)
+        };
+        let f2 = a.tracked_fix(&anon).unwrap();
+        assert_eq!(f2.mode, TrackMode::Full);
+        assert_eq!(a.tracked_neighbours(), 0);
+    }
+
+    #[test]
+    fn zero_length_snapshot_and_empty_neighbour() {
+        let mut a = RupsNode::new(cfg());
+        drive(&mut a, 0, 200);
+        let empty = a.snapshot(Some(0));
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+        // Fixing against an empty neighbour context errors cleanly.
+        let b = RupsNode::new(cfg());
+        assert!(matches!(
+            a.fix_distance(&b.snapshot(None)),
+            Err(RupsError::InsufficientContext { .. })
+        ));
+    }
+
+    #[test]
+    fn append_metre_channel_mismatch() {
+        let mut a = RupsNode::new(cfg());
+        let geo = GeoSample {
+            heading_rad: 0.0,
+            timestamp_s: 0.0,
+        };
+        let pv = PowerVector::missing(7);
+        assert!(matches!(
+            a.append_metre(geo, &pv),
+            Err(RupsError::ChannelMismatch {
+                ours: 32,
+                theirs: 7
+            })
+        ));
+    }
+}

@@ -1,0 +1,197 @@
+//! Fix-quality assessment: how much should a safety application trust a
+//! distance fix?
+//!
+//! The paper's motivating applications (hard-brake alerts, rear-approach
+//! warnings, §I) act on the fix — so they need to know when *not* to act.
+//! RUPS exposes two internal signals that correlate with error:
+//!
+//! * the **peak correlation score** — how decisively the SYN windows
+//!   matched (Eq. (2) scale; 2.0 = perfect, the coherency threshold ≈ 1.2
+//!   is the floor), and
+//! * the **spread of the multi-SYN estimates** — independent SYN points
+//!   that disagree signal a disturbed context (the Fig. 10 mechanism).
+//!
+//! [`assess`] folds both into a [`FixQuality`] grade plus a conservative
+//! error bound applications can compare against their safety margin.
+
+use crate::pipeline::DistanceFix;
+use serde::{Deserialize, Serialize};
+
+/// Confidence grade of a distance fix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FixQuality {
+    /// Weak match or widely disagreeing SYN points: display only, do not
+    /// trigger safety actions.
+    Low,
+    /// Usable for advisory features (following-distance display).
+    Medium,
+    /// Decisive match with agreeing SYN points: suitable for alerts.
+    High,
+}
+
+/// A quality assessment of one fix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityReport {
+    /// The grade.
+    pub quality: FixQuality,
+    /// Conservative 1-sided error bound, metres: the true gap is unlikely
+    /// to differ from the estimate by more than this.
+    pub error_bound_m: f64,
+    /// Sample standard deviation of the per-SYN estimates (0 for a single
+    /// SYN point).
+    pub estimate_spread_m: f64,
+    /// The peak Eq. (2) score backing the fix.
+    pub score: f64,
+}
+
+/// Tunable thresholds of the assessment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityConfig {
+    /// Score at or above which a match counts as decisive.
+    pub high_score: f64,
+    /// Estimate spread (std, metres) below which SYN points "agree".
+    pub tight_spread_m: f64,
+    /// Baseline error bound for a decisive, agreeing fix, metres.
+    pub base_bound_m: f64,
+}
+
+impl Default for QualityConfig {
+    fn default() -> Self {
+        Self {
+            high_score: 1.6,
+            tight_spread_m: 3.0,
+            base_bound_m: 3.0,
+        }
+    }
+}
+
+/// Assesses a fix.
+///
+/// ```
+/// use rups_core::pipeline::DistanceFix;
+/// use rups_core::quality::{assess, FixQuality, QualityConfig};
+/// use rups_core::syn::SynPoint;
+///
+/// let p = |i: usize| SynPoint {
+///     self_end: 500 - i * 20, other_end: 460 - i * 20,
+///     refine_m: 0.0, score: 1.9, window_len: 85,
+/// };
+/// let fix = DistanceFix {
+///     distance_m: 40.0,
+///     syn_points: (0..5).map(p).collect(),
+///     estimates_m: vec![40.0, 40.3, 39.8, 40.1, 39.9],
+///     best_score: 1.9,
+/// };
+/// let report = assess(&fix, &QualityConfig::default());
+/// assert_eq!(report.quality, FixQuality::High);
+/// assert!(report.error_bound_m < 5.0);
+/// ```
+pub fn assess(fix: &DistanceFix, cfg: &QualityConfig) -> QualityReport {
+    let spread = crate::stats::stddev(&fix.estimates_m).unwrap_or(0.0);
+    let n = fix.syn_points.len();
+
+    let decisive = fix.best_score >= cfg.high_score;
+    let agreeing = spread <= cfg.tight_spread_m;
+    let corroborated = n >= 3;
+
+    let quality = match (decisive, agreeing, corroborated) {
+        (true, true, true) => FixQuality::High,
+        (true, true, false) | (true, false, true) | (false, true, true) => FixQuality::Medium,
+        _ => FixQuality::Low,
+    };
+
+    // Error bound: baseline, widened by estimate disagreement and by a weak
+    // score (linearly up to 3× as the score falls from high_score to the
+    // 1.2 coherency floor).
+    let score_factor =
+        1.0 + 2.0 * ((cfg.high_score - fix.best_score) / (cfg.high_score - 1.2)).clamp(0.0, 1.0);
+    let error_bound_m = (cfg.base_bound_m + 2.0 * spread) * score_factor;
+
+    QualityReport {
+        quality,
+        error_bound_m,
+        estimate_spread_m: spread,
+        score: fix.best_score,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syn::SynPoint;
+
+    fn fix(score: f64, estimates: Vec<f64>) -> DistanceFix {
+        let syn_points = estimates
+            .iter()
+            .enumerate()
+            .map(|(i, _)| SynPoint {
+                self_end: 500 - i * 20,
+                other_end: 460 - i * 20,
+                refine_m: 0.0,
+                score,
+                window_len: 85,
+            })
+            .collect();
+        DistanceFix {
+            distance_m: estimates.iter().sum::<f64>() / estimates.len() as f64,
+            syn_points,
+            estimates_m: estimates,
+            best_score: score,
+        }
+    }
+
+    #[test]
+    fn decisive_agreeing_corroborated_is_high() {
+        let f = fix(1.9, vec![40.0, 40.5, 39.8, 40.2, 40.1]);
+        let r = assess(&f, &QualityConfig::default());
+        assert_eq!(r.quality, FixQuality::High);
+        assert!(r.error_bound_m < 5.0, "bound {}", r.error_bound_m);
+        assert!(r.estimate_spread_m < 0.5);
+    }
+
+    #[test]
+    fn disagreeing_estimates_downgrade_and_widen_the_bound() {
+        let tight = assess(
+            &fix(1.9, vec![40.0, 40.2, 39.9, 40.1, 40.0]),
+            &QualityConfig::default(),
+        );
+        let loose = assess(
+            &fix(1.9, vec![40.0, 55.0, 28.0, 47.0, 33.0]),
+            &QualityConfig::default(),
+        );
+        assert!(loose.quality < tight.quality);
+        assert!(loose.error_bound_m > 2.0 * tight.error_bound_m);
+    }
+
+    #[test]
+    fn weak_scores_are_low_quality() {
+        let r = assess(&fix(1.25, vec![40.0]), &QualityConfig::default());
+        assert_eq!(r.quality, FixQuality::Low);
+        // The bound approaches 3× the baseline at the coherency floor.
+        assert!(r.error_bound_m > 2.5 * QualityConfig::default().base_bound_m);
+    }
+
+    #[test]
+    fn single_decisive_syn_is_medium_at_best() {
+        let r = assess(&fix(1.95, vec![40.0]), &QualityConfig::default());
+        assert_eq!(r.quality, FixQuality::Medium);
+        assert_eq!(r.estimate_spread_m, 0.0);
+    }
+
+    #[test]
+    fn grades_are_ordered() {
+        assert!(FixQuality::Low < FixQuality::Medium);
+        assert!(FixQuality::Medium < FixQuality::High);
+    }
+
+    #[test]
+    fn score_factor_is_clamped() {
+        // Scores above high_score do not shrink the bound below baseline +
+        // spread; scores below the floor do not blow it past 3×.
+        let cfg = QualityConfig::default();
+        let hi = assess(&fix(2.0, vec![40.0, 40.0, 40.0]), &cfg);
+        assert!((hi.error_bound_m - cfg.base_bound_m).abs() < 1e-9);
+        let lo = assess(&fix(0.9, vec![40.0, 40.0, 40.0]), &cfg);
+        assert!((lo.error_bound_m - 3.0 * cfg.base_bound_m).abs() < 1e-9);
+    }
+}

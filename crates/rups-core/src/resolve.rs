@@ -1,0 +1,154 @@
+//! Relative-distance resolution from SYN points (§IV-E, §VI-C).
+//!
+//! Once a SYN point is known, each vehicle knows how far it has travelled
+//! since the shared road location — simply the number of metres between the
+//! SYN offset and the end of its trajectory. The relative front–rear
+//! distance is the difference of the two travel distances (Fig. 8). With
+//! multiple SYN points, each yields an independent estimate and an
+//! aggregation scheme combines them, which is what makes RUPS robust to
+//! transient disturbances such as passing trucks (§VI-C, Fig. 10).
+
+use crate::config::AggregationScheme;
+use crate::error::RupsError;
+use crate::syn::SynPoint;
+
+/// Relative distance implied by one SYN point, in metres.
+///
+/// `len_self` / `len_other` are the lengths of the two trajectories at query
+/// time. Positive means the *neighbour* is ahead of us: it has travelled
+/// further since the shared road location.
+#[inline]
+pub fn resolve_relative_distance(syn: &SynPoint, len_self: usize, len_other: usize) -> f64 {
+    let travelled_self = len_self as f64 - syn.self_end as f64;
+    let travelled_other = len_other as f64 - syn.other_end_refined();
+    travelled_other - travelled_self
+}
+
+/// Resolves and aggregates the relative distance over several SYN points.
+///
+/// Returns the aggregated distance along with the per-SYN raw estimates
+/// (useful for diagnostics and for the Fig. 10 experiment). Errors with
+/// [`RupsError::NoSynPoint`] when the SYN list is empty.
+pub fn aggregate_distance(
+    syn_points: &[SynPoint],
+    len_self: usize,
+    len_other: usize,
+    scheme: AggregationScheme,
+) -> Result<(f64, Vec<f64>), RupsError> {
+    let estimates: Vec<f64> = syn_points
+        .iter()
+        .map(|p| resolve_relative_distance(p, len_self, len_other))
+        .collect();
+    let distance = scheme.aggregate(&estimates).ok_or(RupsError::NoSynPoint {
+        best_score: f64::NEG_INFINITY,
+        threshold: f64::NAN,
+    })?;
+    Ok((distance, estimates))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syn(self_end: usize, other_end: usize) -> SynPoint {
+        SynPoint {
+            self_end,
+            other_end,
+            refine_m: 0.0,
+            score: 1.5,
+            window_len: 85,
+        }
+    }
+
+    #[test]
+    fn neighbour_ahead_is_positive() {
+        // Both trajectories 500 m long. We matched our end (self_end = 500)
+        // against their offset 460: they travelled 40 m since the SYN point,
+        // we travelled 0 m → they are 40 m ahead.
+        let p = syn(500, 460);
+        assert_eq!(resolve_relative_distance(&p, 500, 500), 40.0);
+    }
+
+    #[test]
+    fn neighbour_behind_is_negative() {
+        // Their end matched 30 m before our end: we are ahead by 30 m.
+        let p = syn(470, 500);
+        assert_eq!(resolve_relative_distance(&p, 500, 500), -30.0);
+    }
+
+    #[test]
+    fn different_context_lengths() {
+        // Our context 300 m, theirs 800 m. SYN at our metre 249 (end 250)
+        // and their metre 699 (end 700): we travelled 50, they travelled
+        // 100 → +50.
+        let p = syn(250, 700);
+        assert_eq!(resolve_relative_distance(&p, 300, 800), 50.0);
+    }
+
+    #[test]
+    fn refinement_shifts_distance_subsample() {
+        let mut p = syn(500, 460);
+        p.refine_m = 0.25;
+        // other_end_refined = 460.25 → they travelled 39.75.
+        assert!((resolve_relative_distance(&p, 500, 500) - 39.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_fig8() {
+        // Fig. 8: SYN point behind both vehicles; v1 (self) travelled d1,
+        // v2 travelled d2 since the point; the gap is the difference.
+        // Make d1 = 35 m and d2 = 50 m → v2 is 15 m ahead.
+        let p = syn(465, 450);
+        assert_eq!(resolve_relative_distance(&p, 500, 500), 15.0);
+    }
+
+    #[test]
+    fn aggregation_selective_average_rejects_outlier() {
+        let pts = vec![
+            syn(500, 460),
+            syn(480, 440),
+            syn(460, 421),
+            syn(440, 300),
+            syn(420, 381),
+        ];
+        // Raw estimates: 40, 40, 39, 140(outlier), 39.
+        let (d, est) = aggregate_distance(
+            &pts,
+            500,
+            500,
+            crate::config::AggregationScheme::SelectiveAverage,
+        )
+        .unwrap();
+        assert_eq!(est.len(), 5);
+        assert!(
+            (d - (40.0 + 40.0 + 39.0) / 3.0).abs() < 1e-9,
+            "selective avg got {d}"
+        );
+        // Simple average is dragged by the outlier.
+        let (ds, _) = aggregate_distance(
+            &pts,
+            500,
+            500,
+            crate::config::AggregationScheme::SimpleAverage,
+        )
+        .unwrap();
+        assert!(ds > 55.0);
+        // Single uses the first (most recent) SYN point.
+        let (d1, _) =
+            aggregate_distance(&pts, 500, 500, crate::config::AggregationScheme::Single).unwrap();
+        assert_eq!(d1, 40.0);
+    }
+
+    #[test]
+    fn empty_syn_list_errors() {
+        assert!(matches!(
+            aggregate_distance(
+                &[],
+                100,
+                100,
+                crate::config::AggregationScheme::SimpleAverage
+            ),
+            Err(RupsError::NoSynPoint { .. })
+        ));
+    }
+}

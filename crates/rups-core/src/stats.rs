@@ -1,0 +1,373 @@
+//! Small statistics kernels shared by the RUPS correlation machinery.
+//!
+//! Everything here operates on `f32` slices where `NaN` marks a *missing*
+//! measurement (a channel the scanner did not reach at that metre, §IV-C).
+//! Pairwise statistics skip positions where either operand is missing, which
+//! is exactly how the prototype treats unmeasured channels before
+//! interpolation.
+
+/// Raw pairwise sums over the positions where both inputs are present —
+/// the single-pass accumulator behind every correlation in the SYN search.
+///
+/// Division-free inner loop: the `O(mwk)` sliding search executes this for
+/// every (placement, channel) pair, so the element step must stay a handful
+/// of fused multiply-adds. dBm-scale magnitudes over ≤ a few hundred
+/// samples keep the f64 sums far from any cancellation trouble.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PairSums {
+    /// Number of positions where both operands were present.
+    pub n: usize,
+    /// Σa over the common support.
+    pub sum_a: f64,
+    /// Σb.
+    pub sum_b: f64,
+    /// Σa².
+    pub sum_aa: f64,
+    /// Σb².
+    pub sum_bb: f64,
+    /// Σab.
+    pub sum_ab: f64,
+}
+
+impl PairSums {
+    /// Accumulates the sums in one pass, skipping positions where either
+    /// value is `NaN`.
+    pub fn accumulate(a: &[f32], b: &[f32]) -> PairSums {
+        debug_assert_eq!(a.len(), b.len(), "pair operands must align");
+        let mut s = PairSums::default();
+        for (&xa, &xb) in a.iter().zip(b) {
+            if !xa.is_nan() && !xb.is_nan() {
+                let xa = xa as f64;
+                let xb = xb as f64;
+                s.n += 1;
+                s.sum_a += xa;
+                s.sum_b += xb;
+                s.sum_aa += xa * xa;
+                s.sum_bb += xb * xb;
+                s.sum_ab += xa * xb;
+            }
+        }
+        s
+    }
+
+    /// Pearson's correlation coefficient from the sums; `None` for fewer
+    /// than two points or zero variance on either side.
+    pub fn pearson(&self) -> Option<f64> {
+        if self.n < 2 {
+            return None;
+        }
+        let n = self.n as f64;
+        let var_a = self.sum_aa - self.sum_a * self.sum_a / n;
+        let var_b = self.sum_bb - self.sum_b * self.sum_b / n;
+        // Constant slices leave a rounding residue in the sums-based
+        // variance; reject anything within that numerical noise band.
+        let tol_a = self.sum_aa.abs() * f64::EPSILON * n;
+        let tol_b = self.sum_bb.abs() * f64::EPSILON * n;
+        if var_a <= tol_a || var_b <= tol_b {
+            return None;
+        }
+        let cov = self.sum_ab - self.sum_a * self.sum_b / n;
+        Some((cov / (var_a * var_b).sqrt()).clamp(-1.0, 1.0))
+    }
+
+    /// Means of both operands over the common support.
+    pub fn means(&self) -> Option<(f64, f64)> {
+        (self.n > 0).then(|| (self.sum_a / self.n as f64, self.sum_b / self.n as f64))
+    }
+}
+
+/// Result of a single-pass mean/variance/covariance accumulation over the
+/// positions where both inputs are present (derived from [`PairSums`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairMoments {
+    /// Number of positions where both operands were present.
+    pub n: usize,
+    /// Mean of the first operand over the common support.
+    pub mean_a: f64,
+    /// Mean of the second operand over the common support.
+    pub mean_b: f64,
+    /// Sum of squared deviations of the first operand.
+    pub ss_a: f64,
+    /// Sum of squared deviations of the second operand.
+    pub ss_b: f64,
+    /// Sum of cross deviations.
+    pub ss_ab: f64,
+}
+
+/// Accumulates pairwise moments, ignoring any position where either value
+/// is `NaN`.
+pub fn pair_moments(a: &[f32], b: &[f32]) -> PairMoments {
+    let s = PairSums::accumulate(a, b);
+    if s.n == 0 {
+        return PairMoments {
+            n: 0,
+            mean_a: 0.0,
+            mean_b: 0.0,
+            ss_a: 0.0,
+            ss_b: 0.0,
+            ss_ab: 0.0,
+        };
+    }
+    let n = s.n as f64;
+    PairMoments {
+        n: s.n,
+        mean_a: s.sum_a / n,
+        mean_b: s.sum_b / n,
+        ss_a: s.sum_aa - s.sum_a * s.sum_a / n,
+        ss_b: s.sum_bb - s.sum_b * s.sum_b / n,
+        ss_ab: s.sum_ab - s.sum_a * s.sum_b / n,
+    }
+}
+
+/// Pearson's correlation coefficient (Eq. (1) of the paper) between two
+/// equal-length slices, computed over the positions where both are present.
+///
+/// Returns `None` when fewer than two common positions exist or when either
+/// side has zero variance (the coefficient is undefined there; callers treat
+/// such windows as "no evidence" rather than as a perfect match).
+pub fn pearson(a: &[f32], b: &[f32]) -> Option<f64> {
+    PairSums::accumulate(a, b).pearson()
+}
+
+/// Mean over the present (non-NaN) entries; `None` if everything is missing.
+pub fn present_mean(a: &[f32]) -> Option<f64> {
+    let mut n = 0usize;
+    let mut sum = 0.0f64;
+    for &x in a {
+        if !x.is_nan() {
+            n += 1;
+            sum += x as f64;
+        }
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+/// Euclidean norm over present entries.
+pub fn present_norm(a: &[f32]) -> f64 {
+    a.iter()
+        .filter(|x| !x.is_nan())
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Relative change `‖X − X'‖ / ‖X‖` (Eq. (3) of the paper) between two power
+/// vectors, computed over the common support. `None` when the common support
+/// is empty or the reference vector has zero norm.
+pub fn relative_change(reference: &[f32], other: &[f32]) -> Option<f64> {
+    debug_assert_eq!(reference.len(), other.len());
+    let mut diff_sq = 0.0f64;
+    let mut ref_sq = 0.0f64;
+    let mut n = 0usize;
+    for (&x, &y) in reference.iter().zip(other) {
+        if x.is_nan() || y.is_nan() {
+            continue;
+        }
+        n += 1;
+        let d = (x - y) as f64;
+        diff_sq += d * d;
+        ref_sq += (x as f64) * (x as f64);
+    }
+    if n == 0 || ref_sq <= f64::EPSILON {
+        return None;
+    }
+    Some((diff_sq / ref_sq).sqrt())
+}
+
+/// Arithmetic mean of a slice of `f64` estimates. `None` on empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    (!xs.is_empty()).then(|| xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample standard deviation; `None` for fewer than two samples.
+pub fn stddev(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    Some((ss / (xs.len() - 1) as f64).sqrt())
+}
+
+/// Median of the inputs (average of the two middle elements for even
+/// lengths). `None` on empty input. Does not require pre-sorted input.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("median input must not contain NaN"));
+    let mid = v.len() / 2;
+    Some(if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        0.5 * (v[mid - 1] + v[mid])
+    })
+}
+
+/// "Selective average" of §VI-C: drop the single maximum and the single
+/// minimum estimate, then average the rest. Falls back to the plain mean
+/// when fewer than three estimates are available.
+pub fn selective_average(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 3 {
+        return mean(xs);
+    }
+    let (mut lo, mut hi) = (0usize, 0usize);
+    for (i, &x) in xs.iter().enumerate() {
+        if x < xs[lo] {
+            lo = i;
+        }
+        if x > xs[hi] {
+            hi = i;
+        }
+    }
+    let mut n = 0usize;
+    let mut sum = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        if i != lo && i != hi {
+            n += 1;
+            sum += x;
+        }
+    }
+    // When lo == hi (all values equal) we dropped one element only.
+    if n == 0 {
+        return mean(xs);
+    }
+    Some(sum / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NAN: f32 = f32::NAN;
+
+    #[test]
+    fn pearson_of_identical_vectors_is_one() {
+        let a = [1.0, 2.0, 3.0, 4.5, -2.0];
+        assert!((pearson(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_negated_vector_is_minus_one() {
+        let a = [1.0, 2.0, 3.0, 4.5, -2.0];
+        let b: Vec<f32> = a.iter().map(|x| -x).collect();
+        assert!((pearson(&a, &b).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_is_shift_and_scale_invariant() {
+        let a = [-75.0f32, -62.0, -88.0, -70.0, -65.0, -91.0];
+        let b: Vec<f32> = a.iter().map(|x| 3.0 * x + 17.0).collect();
+        assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_skips_missing_positions() {
+        let a = [1.0, NAN, 3.0, 4.0, 100.0];
+        let b = [2.0, 5.0, 6.0, 8.0, NAN];
+        // Effective pairs: (1,2), (3,6), (4,8) — perfectly proportional.
+        assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_undefined_cases() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[2.0, 2.0, 2.0], &[1.0, 5.0, 9.0]), None); // zero variance
+        assert_eq!(pearson(&[NAN, NAN], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn pearson_uncorrelated_is_near_zero() {
+        // Orthogonal patterns around their means.
+        let a = [1.0f32, -1.0, 1.0, -1.0];
+        let b = [1.0f32, 1.0, -1.0, -1.0];
+        assert!(pearson(&a, &b).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_change_matches_eq3() {
+        let x = [3.0f32, 4.0];
+        let y = [0.0f32, 0.0];
+        // ‖x−y‖ = 5, ‖x‖ = 5 → 1.0
+        assert!((relative_change(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        assert!((relative_change(&x, &x).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_change_ignores_missing() {
+        let x = [3.0f32, NAN, 4.0];
+        let y = [3.0f32, 7.0, 0.0];
+        // Common support: positions 0 and 2 → ‖(0,4)‖ / ‖(3,4)‖ = 4/5.
+        assert!((relative_change(&x, &y).unwrap() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_change_empty_support() {
+        assert_eq!(relative_change(&[NAN], &[1.0]), None);
+        assert_eq!(relative_change(&[0.0, 0.0], &[1.0, 1.0]), None); // zero ref norm
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn selective_average_drops_extremes() {
+        // 100 is an outlier; selective average ignores it (and the min).
+        let est = [10.0, 11.0, 9.0, 100.0, 10.5];
+        let sel = selective_average(&est).unwrap();
+        assert!((sel - (10.0 + 11.0 + 10.5) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selective_average_small_inputs_fall_back_to_mean() {
+        assert_eq!(selective_average(&[4.0, 6.0]), Some(5.0));
+        assert_eq!(selective_average(&[7.0]), Some(7.0));
+        assert_eq!(selective_average(&[]), None);
+    }
+
+    #[test]
+    fn selective_average_all_equal() {
+        assert_eq!(selective_average(&[5.0, 5.0, 5.0, 5.0]), Some(5.0));
+    }
+
+    #[test]
+    fn stddev_basics() {
+        assert_eq!(stddev(&[1.0]), None);
+        let s = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn present_mean_and_norm() {
+        assert_eq!(present_mean(&[NAN, NAN]), None);
+        assert_eq!(present_mean(&[2.0, NAN, 4.0]), Some(3.0));
+        assert!((present_norm(&[3.0, NAN, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_matches_naive_two_pass() {
+        let a: Vec<f32> = (0..64)
+            .map(|i| (i as f32 * 0.37).sin() * 20.0 - 70.0)
+            .collect();
+        let b: Vec<f32> = (0..64)
+            .map(|i| (i as f32 * 0.11).cos() * 15.0 - 60.0)
+            .collect();
+        let m = pair_moments(&a, &b);
+        let na = a.len() as f64;
+        let mean_a: f64 = a.iter().map(|&x| x as f64).sum::<f64>() / na;
+        let mean_b: f64 = b.iter().map(|&x| x as f64).sum::<f64>() / na;
+        let ss_ab: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| (x as f64 - mean_a) * (y as f64 - mean_b))
+            .sum();
+        assert!((m.mean_a - mean_a).abs() < 1e-9);
+        assert!((m.mean_b - mean_b).abs() < 1e-9);
+        assert!((m.ss_ab - ss_ab).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,628 @@
+//! SYN-point search: the double-sliding context-consistency check (§IV-D).
+//!
+//! Given the GSM-aware trajectories of two vehicles, RUPS looks for a
+//! *SYN point* — a pair of trajectory offsets at which both vehicles
+//! traversed the same road location. The most recent `w`-metre segment of
+//! trajectory A is slid across every window position of trajectory B (and
+//! vice versa — the "double-sliding check" of Fig. 7), scoring each
+//! placement with the trajectory correlation coefficient of Eq. (2). The
+//! placement with the maximum score wins, provided it clears the coherency
+//! threshold; otherwise the two trajectories are declared unrelated.
+//!
+//! The search over window placements is embarrassingly parallel; the
+//! `*_parallel` variants fan the placements out over rayon.
+
+use crate::config::RupsConfig;
+use crate::error::RupsError;
+use crate::gsm::GsmTrajectory;
+use crate::window::CheckWindow;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A matched pair of trajectory offsets.
+///
+/// The window `[self_end − len, self_end)` of the querying vehicle's
+/// trajectory matched the window `[other_end − len, other_end)` of the
+/// neighbour's trajectory: metre `self_end − 1` on our trajectory and metre
+/// `other_end − 1` on theirs are (estimates of) the same road location.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SynPoint {
+    /// Exclusive end index of the matched window on the querying vehicle's
+    /// trajectory.
+    pub self_end: usize,
+    /// Exclusive end index of the matched window on the neighbour's
+    /// trajectory.
+    pub other_end: usize,
+    /// Sub-metre refinement of `other_end` from parabolic interpolation of
+    /// the correlation peak, in `[-0.5, 0.5]` metres. Add to `other_end`
+    /// when resolving distances.
+    pub refine_m: f64,
+    /// Trajectory correlation coefficient at the peak (Eq. (2), `[-2, 2]`).
+    pub score: f64,
+    /// Length of the matched window in metres.
+    pub window_len: usize,
+}
+
+impl SynPoint {
+    /// Refined (fractional) end offset on the neighbour trajectory.
+    #[inline]
+    pub fn other_end_refined(&self) -> f64 {
+        self.other_end as f64 + self.refine_m
+    }
+}
+
+/// Correlation score of one fixed segment against every window placement on
+/// `sliding`. Entry `j` of the result is the score of the `sliding` window
+/// ending at `w + j` (i.e. covering `[j, j + w)`); `NaN` where undefined.
+pub fn slide_scores(
+    fixed: &GsmTrajectory,
+    fixed_start: usize,
+    sliding: &GsmTrajectory,
+    window: &CheckWindow,
+) -> Vec<f64> {
+    let w = window.len_m;
+    if sliding.len() < w {
+        return Vec::new();
+    }
+    let n_pos = sliding.len() - w + 1;
+    (0..n_pos)
+        .map(|j| {
+            fixed
+                .correlation(
+                    fixed_start..fixed_start + w,
+                    sliding,
+                    j..j + w,
+                    Some(&window.channels),
+                )
+                .unwrap_or(f64::NAN)
+        })
+        .collect()
+}
+
+/// Parallel variant of [`slide_scores`]; placements are scored across the
+/// rayon pool. Results are identical.
+pub fn slide_scores_parallel(
+    fixed: &GsmTrajectory,
+    fixed_start: usize,
+    sliding: &GsmTrajectory,
+    window: &CheckWindow,
+) -> Vec<f64> {
+    let w = window.len_m;
+    if sliding.len() < w {
+        return Vec::new();
+    }
+    let n_pos = sliding.len() - w + 1;
+    (0..n_pos)
+        .into_par_iter()
+        .map(|j| {
+            fixed
+                .correlation(
+                    fixed_start..fixed_start + w,
+                    sliding,
+                    j..j + w,
+                    Some(&window.channels),
+                )
+                .unwrap_or(f64::NAN)
+        })
+        .collect()
+}
+
+/// Correlation score of one fixed segment against window placements whose
+/// start index lies in `j_range` (clamped to the valid placement range).
+/// Entry `i` of the result corresponds to placement `j_range.start + i`.
+/// Used by the tracking mode, which only re-checks placements near the
+/// previously established SYN shift (§V-B).
+pub fn slide_scores_range(
+    fixed: &GsmTrajectory,
+    fixed_start: usize,
+    sliding: &GsmTrajectory,
+    window: &CheckWindow,
+    j_range: std::ops::Range<usize>,
+) -> Vec<f64> {
+    let w = window.len_m;
+    if sliding.len() < w {
+        return Vec::new();
+    }
+    let max_j = sliding.len() - w;
+    let lo = j_range.start.min(max_j + 1);
+    let hi = j_range.end.min(max_j + 1);
+    (lo..hi)
+        .map(|j| {
+            fixed
+                .correlation(
+                    fixed_start..fixed_start + w,
+                    sliding,
+                    j..j + w,
+                    Some(&window.channels),
+                )
+                .unwrap_or(f64::NAN)
+        })
+        .collect()
+}
+
+/// Index and value of the maximum finite score, with parabolic sub-sample
+/// refinement of the peak position. `None` when every score is NaN.
+fn peak(scores: &[f64]) -> Option<(usize, f64, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &s) in scores.iter().enumerate() {
+        if s.is_nan() {
+            continue;
+        }
+        if best.is_none_or(|(_, b)| s > b) {
+            best = Some((i, s));
+        }
+    }
+    let (i, s) = best?;
+    // Parabolic interpolation around the peak for sub-metre resolution.
+    let refine = if i > 0 && i + 1 < scores.len() {
+        let l = scores[i - 1];
+        let r = scores[i + 1];
+        if l.is_nan() || r.is_nan() {
+            0.0
+        } else {
+            let denom = l - 2.0 * s + r;
+            if denom.abs() < 1e-12 {
+                0.0
+            } else {
+                (0.5 * (l - r) / denom).clamp(-0.5, 0.5)
+            }
+        }
+    } else {
+        0.0
+    };
+    Some((i, s, refine))
+}
+
+/// How sliding-window placements are scored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SearchMode {
+    /// Reference sequential scan (`O(mwk)`).
+    Sequential,
+    /// Placements fanned out over the rayon pool.
+    Parallel,
+    /// FFT/prefix-sum scan for dense contexts (`O(k·m log m)`), falling
+    /// back to the sequential scan when missing values are present.
+    Fft,
+}
+
+/// Runs one directed sliding pass: the window of `a` ending at `a_end` slid
+/// over all of `b`. Returns the best placement as a [`SynPoint`] (without
+/// threshold filtering), or `None` if nothing correlates at all.
+fn directed_best(
+    a: &GsmTrajectory,
+    a_end: usize,
+    b: &GsmTrajectory,
+    window: &CheckWindow,
+    mode: SearchMode,
+) -> Option<SynPoint> {
+    let w = window.len_m;
+    if a_end < w || b.len() < w {
+        return None;
+    }
+    let scores = match mode {
+        SearchMode::Parallel => slide_scores_parallel(a, a_end - w, b, window),
+        SearchMode::Fft => crate::syn_fast::slide_scores_fast(a, a_end - w, b, window)
+            .unwrap_or_else(|| slide_scores(a, a_end - w, b, window)),
+        SearchMode::Sequential => slide_scores(a, a_end - w, b, window),
+    };
+    let (j, score, refine) = peak(&scores)?;
+    Some(SynPoint {
+        self_end: a_end,
+        other_end: j + w,
+        refine_m: refine,
+        score,
+        window_len: w,
+    })
+}
+
+/// The full double-sliding check of §IV-D between the most recent windows of
+/// `ours` and `theirs`, returning the best SYN point above the coherency
+/// threshold.
+///
+/// Pass 1 slides our most recent window over the whole neighbour trajectory;
+/// pass 2 slides the neighbour's most recent window over ours. The global
+/// maximum across both passes is the SYN-point estimate.
+pub fn find_best_syn(
+    ours: &GsmTrajectory,
+    theirs: &GsmTrajectory,
+    cfg: &RupsConfig,
+) -> Result<SynPoint, RupsError> {
+    find_best_syn_impl(ours, theirs, cfg, SearchMode::Sequential)
+}
+
+/// Parallel variant of [`find_best_syn`] (placements scored across rayon).
+pub fn find_best_syn_parallel(
+    ours: &GsmTrajectory,
+    theirs: &GsmTrajectory,
+    cfg: &RupsConfig,
+) -> Result<SynPoint, RupsError> {
+    find_best_syn_impl(ours, theirs, cfg, SearchMode::Parallel)
+}
+
+/// FFT-accelerated variant of [`find_best_syn`]: `O(k·m log m)` per pass on
+/// dense (interpolated) contexts, transparently falling back to the
+/// reference scan when missing values remain. Scores match the reference to
+/// floating-point rounding (see [`crate::syn_fast`]).
+pub fn find_best_syn_fft(
+    ours: &GsmTrajectory,
+    theirs: &GsmTrajectory,
+    cfg: &RupsConfig,
+) -> Result<SynPoint, RupsError> {
+    find_best_syn_impl(ours, theirs, cfg, SearchMode::Fft)
+}
+
+fn find_best_syn_impl(
+    ours: &GsmTrajectory,
+    theirs: &GsmTrajectory,
+    cfg: &RupsConfig,
+    mode: SearchMode,
+) -> Result<SynPoint, RupsError> {
+    if ours.n_channels() != theirs.n_channels() {
+        return Err(RupsError::ChannelMismatch {
+            ours: ours.n_channels(),
+            theirs: theirs.n_channels(),
+        });
+    }
+    let shorter = ours.len().min(theirs.len());
+    // Adaptive window sizing (§V-C): use the configured length when both
+    // contexts are long; with short contexts, cap the window at 60 % of the
+    // shorter context so the sliding pass retains room to discover partial
+    // overlaps (a full-context window could only test perfect alignment).
+    let cap = (shorter * 3) / 5;
+    let len = cfg
+        .window_len_m
+        .min(cap.max(cfg.min_window_len_m))
+        .min(shorter);
+    let too_short = || RupsError::InsufficientContext {
+        available_m: shorter,
+        required_m: cfg.min_window_len_m.max(2),
+    };
+    if len < cfg.min_window_len_m.max(2) {
+        return Err(too_short());
+    }
+    let window = CheckWindow::with_len(ours, cfg, len, ours.len()).ok_or_else(too_short)?;
+
+    // Pass 1: our most recent window over their trajectory.
+    let fwd = directed_best(ours, ours.len(), theirs, &window, mode);
+    // Pass 2: their most recent window over our trajectory (window channels
+    // re-selected from their context).
+    let rev_window = CheckWindow::with_len(theirs, cfg, window.len_m, theirs.len());
+    let rev = rev_window
+        .and_then(|wnd| directed_best(theirs, theirs.len(), ours, &wnd, mode))
+        // A reverse-pass hit anchors *their* end and a window on *us*; swap
+        // roles so the SynPoint is always expressed from our perspective.
+        .map(|p| SynPoint {
+            self_end: p.other_end,
+            other_end: p.self_end,
+            // The refinement belongs to the swept (our) axis after the swap;
+            // flip its sign so it still corrects the *other* offset when the
+            // caller applies it to `other_end`.
+            refine_m: -p.refine_m,
+            ..p
+        });
+
+    let best = match (fwd, rev) {
+        (Some(f), Some(r)) => {
+            if f.score >= r.score {
+                f
+            } else {
+                r
+            }
+        }
+        (Some(f), None) => f,
+        (None, Some(r)) => r,
+        (None, None) => {
+            return Err(RupsError::NoSynPoint {
+                best_score: f64::NEG_INFINITY,
+                threshold: window.threshold,
+            })
+        }
+    };
+    if best.score < window.threshold {
+        return Err(RupsError::NoSynPoint {
+            best_score: best.score,
+            threshold: window.threshold,
+        });
+    }
+    Ok(best)
+}
+
+/// Finds up to `cfg.n_syn_points` SYN points by repeating the directed check
+/// with windows ending at successively older offsets of our trajectory
+/// (§VI-C: "select multiple most-recent journey context segments … and
+/// therefore locate multiple SYN points").
+///
+/// Each segment contributes at most one SYN point (its best placement above
+/// the threshold). The returned list is ordered from the most recent segment
+/// to the oldest and may be shorter than `cfg.n_syn_points`.
+pub fn find_syn_points(
+    ours: &GsmTrajectory,
+    theirs: &GsmTrajectory,
+    cfg: &RupsConfig,
+) -> Result<Vec<SynPoint>, RupsError> {
+    find_syn_points_impl(ours, theirs, cfg, SearchMode::Sequential)
+}
+
+/// Parallel variant of [`find_syn_points`].
+pub fn find_syn_points_parallel(
+    ours: &GsmTrajectory,
+    theirs: &GsmTrajectory,
+    cfg: &RupsConfig,
+) -> Result<Vec<SynPoint>, RupsError> {
+    find_syn_points_impl(ours, theirs, cfg, SearchMode::Parallel)
+}
+
+/// FFT-accelerated variant of [`find_syn_points`] (see
+/// [`find_best_syn_fft`]).
+pub fn find_syn_points_fft(
+    ours: &GsmTrajectory,
+    theirs: &GsmTrajectory,
+    cfg: &RupsConfig,
+) -> Result<Vec<SynPoint>, RupsError> {
+    find_syn_points_impl(ours, theirs, cfg, SearchMode::Fft)
+}
+
+fn find_syn_points_impl(
+    ours: &GsmTrajectory,
+    theirs: &GsmTrajectory,
+    cfg: &RupsConfig,
+    mode: SearchMode,
+) -> Result<Vec<SynPoint>, RupsError> {
+    if ours.n_channels() != theirs.n_channels() {
+        return Err(RupsError::ChannelMismatch {
+            ours: ours.n_channels(),
+            theirs: theirs.n_channels(),
+        });
+    }
+    // The first (most recent) segment uses the full double-sliding check so
+    // single-SYN behaviour is preserved.
+    let first = find_best_syn_impl(ours, theirs, cfg, mode)?;
+    let mut points = vec![first];
+    let w = first.window_len;
+
+    // Older segments repeat the check symmetrically: a segment of ours slid
+    // over their context *and* a segment of theirs slid over ours, keeping
+    // the better hit. The symmetry matters whenever the querier is the
+    // front vehicle — its recent road is absent from the rear neighbour's
+    // context, and only the reverse pass anchors correctly (cf. Fig. 7).
+    for s in 1..cfg.n_syn_points {
+        let fwd = ours
+            .len()
+            .checked_sub(s * cfg.syn_segment_stride_m)
+            .filter(|&end| end >= w)
+            .and_then(|end| CheckWindow::with_len(ours, cfg, w, end).map(|wnd| (end, wnd)))
+            .and_then(|(end, wnd)| {
+                directed_best(ours, end, theirs, &wnd, mode).filter(|p| p.score >= wnd.threshold)
+            });
+        let rev = theirs
+            .len()
+            .checked_sub(s * cfg.syn_segment_stride_m)
+            .filter(|&end| end >= w)
+            .and_then(|end| CheckWindow::with_len(theirs, cfg, w, end).map(|wnd| (end, wnd)))
+            .and_then(|(end, wnd)| {
+                directed_best(theirs, end, ours, &wnd, mode).filter(|p| p.score >= wnd.threshold)
+            })
+            .map(|p| SynPoint {
+                self_end: p.other_end,
+                other_end: p.self_end,
+                refine_m: -p.refine_m,
+                ..p
+            });
+        let cand = match (fwd, rev) {
+            (Some(f), Some(r)) => Some(if f.score >= r.score { f } else { r }),
+            (f, r) => f.or(r),
+        };
+        if let Some(p) = cand {
+            points.push(p);
+        }
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gsm::PowerVector;
+
+    /// Deterministic aperiodic road field: RSSI as a function of absolute
+    /// road metre and channel.
+    fn field(s: f64, ch: usize) -> f32 {
+        crate::testfield::rssi(42, s, ch)
+    }
+
+    fn road_traj(start_m: usize, len: usize, n_channels: usize) -> GsmTrajectory {
+        let mut t = GsmTrajectory::new(n_channels);
+        for i in 0..len {
+            let s = (start_m + i) as f64;
+            t.push(&PowerVector::from_fn(n_channels, |ch| Some(field(s, ch))));
+        }
+        t
+    }
+
+    fn cfg(n_channels: usize) -> RupsConfig {
+        RupsConfig {
+            n_channels,
+            window_channels: n_channels.min(45),
+            ..RupsConfig::default()
+        }
+    }
+
+    #[test]
+    fn finds_exact_offset_between_shifted_trajectories() {
+        // Vehicle A covered road metres 0..400; vehicle B covered 60..460.
+        let a = road_traj(0, 400, 24);
+        let b = road_traj(60, 400, 24);
+        let p = find_best_syn(&a, &b, &cfg(24)).unwrap();
+        // A's trajectory end (road metre 399) must match B's offset such
+        // that other_end - 1 + 60 == 399, i.e. other_end == 340.
+        assert_eq!(p.self_end, 400);
+        assert_eq!(p.other_end, 340);
+        assert!(
+            p.score > 1.8,
+            "noise-free self-match should be near 2, got {}",
+            p.score
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let a = road_traj(0, 300, 24);
+        let b = road_traj(45, 300, 24);
+        let ps = find_best_syn(&a, &b, &cfg(24)).unwrap();
+        let pp = find_best_syn_parallel(&a, &b, &cfg(24)).unwrap();
+        assert_eq!(ps.self_end, pp.self_end);
+        assert_eq!(ps.other_end, pp.other_end);
+        assert!((ps.score - pp.score).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrelated_roads_yield_no_syn_point() {
+        let a = road_traj(0, 300, 24);
+        let b = road_traj(100_000, 300, 24); // far-away road, unrelated field
+        match find_best_syn(&a, &b, &cfg(24)) {
+            Err(RupsError::NoSynPoint {
+                best_score,
+                threshold,
+            }) => {
+                assert!(best_score < threshold);
+            }
+            other => panic!("expected NoSynPoint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn channel_mismatch_is_reported() {
+        let a = road_traj(0, 200, 24);
+        let b = road_traj(0, 200, 12);
+        assert!(matches!(
+            find_best_syn(&a, &b, &cfg(24)),
+            Err(RupsError::ChannelMismatch {
+                ours: 24,
+                theirs: 12
+            })
+        ));
+    }
+
+    #[test]
+    fn insufficient_context_is_reported() {
+        let a = road_traj(0, 4, 24);
+        let b = road_traj(0, 300, 24);
+        assert!(matches!(
+            find_best_syn(&a, &b, &cfg(24)),
+            Err(RupsError::InsufficientContext { .. })
+        ));
+    }
+
+    #[test]
+    fn reverse_pass_covers_leading_vehicle_query() {
+        // B (the neighbour) drove *behind* A: B's recent window lies within
+        // A's trajectory, but A's recent window is beyond B's coverage.
+        // Only the reverse pass can anchor the match.
+        let a = road_traj(200, 300, 24); // covers 200..500
+        let b = road_traj(0, 300, 24); // covers 0..300
+        let p = find_best_syn(&a, &b, &cfg(24)).unwrap();
+        // B's end (road 299) matches A's offset end: 299 - 200 + 1 = 100.
+        assert_eq!(p.other_end, 300);
+        assert_eq!(p.self_end, 100);
+    }
+
+    #[test]
+    fn short_contexts_shrink_the_window_adaptively() {
+        // 40 m of shared context only: full 85 m window cannot fit, the
+        // adaptive policy (§V-C) shrinks it.
+        let a = road_traj(0, 40, 24);
+        let b = road_traj(10, 40, 24);
+        let p = find_best_syn(&a, &b, &cfg(24)).unwrap();
+        assert!(p.window_len <= 40);
+        assert_eq!(p.self_end as i64 - p.other_end as i64, 10);
+    }
+
+    #[test]
+    fn multi_syn_returns_multiple_consistent_points() {
+        let a = road_traj(0, 500, 24);
+        let b = road_traj(80, 500, 24);
+        let pts = find_syn_points(&a, &b, &cfg(24)).unwrap();
+        assert!(
+            pts.len() >= 3,
+            "expected several SYN points, got {}",
+            pts.len()
+        );
+        for p in &pts {
+            // Every SYN point implies the same 80 m shift.
+            assert_eq!(
+                p.self_end as i64 - p.other_end as i64,
+                80,
+                "inconsistent SYN point {p:?}"
+            );
+        }
+        // Most recent first.
+        assert_eq!(pts[0].self_end, 500);
+        assert!(pts.windows(2).all(|w| w[1].self_end < w[0].self_end));
+    }
+
+    #[test]
+    fn multi_syn_parallel_matches_sequential() {
+        let a = road_traj(0, 400, 16);
+        let b = road_traj(30, 400, 16);
+        let s = find_syn_points(&a, &b, &cfg(16)).unwrap();
+        let p = find_syn_points_parallel(&a, &b, &cfg(16)).unwrap();
+        assert_eq!(s.len(), p.len());
+        for (x, y) in s.iter().zip(&p) {
+            assert_eq!(x.self_end, y.self_end);
+            assert_eq!(x.other_end, y.other_end);
+        }
+    }
+
+    #[test]
+    fn peak_refinement_is_subsample() {
+        // Symmetric triangle peak: refinement must be 0.
+        let scores = [0.0, 1.0, 2.0, 1.0, 0.0];
+        let (i, s, r) = peak(&scores).unwrap();
+        assert_eq!(i, 2);
+        assert_eq!(s, 2.0);
+        assert!(r.abs() < 1e-12);
+        // Asymmetric peak leans toward the larger neighbour.
+        let scores = [0.0, 1.0, 2.0, 1.8, 0.0];
+        let (_, _, r) = peak(&scores).unwrap();
+        assert!(r > 0.0 && r <= 0.5);
+        // All-NaN yields None.
+        assert!(peak(&[f64::NAN, f64::NAN]).is_none());
+        // Peak at the boundary gets no refinement.
+        let scores = [3.0, 1.0, 0.0];
+        let (i, _, r) = peak(&scores).unwrap();
+        assert_eq!(i, 0);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn slide_scores_range_matches_full_scan_on_its_window() {
+        let a = road_traj(0, 200, 16);
+        let b = road_traj(50, 200, 16);
+        let c = cfg(16);
+        let w = CheckWindow::for_context(&a, &c).unwrap();
+        let full = slide_scores(&a, 200 - w.len_m, &b, &w);
+        let ranged = slide_scores_range(&a, 200 - w.len_m, &b, &w, 20..40);
+        assert_eq!(ranged.len(), 20);
+        for (i, r) in ranged.iter().enumerate() {
+            assert!((full[20 + i] - r).abs() < 1e-12, "placement {}", 20 + i);
+        }
+        // Out-of-range windows clamp to the valid placements.
+        let tail = slide_scores_range(&a, 200 - w.len_m, &b, &w, 10_000..20_000);
+        assert!(tail.is_empty());
+        let clipped = slide_scores_range(&a, 200 - w.len_m, &b, &w, 0..usize::MAX);
+        assert_eq!(clipped.len(), full.len());
+    }
+
+    #[test]
+    fn slide_scores_length_and_peak_position() {
+        let a = road_traj(0, 200, 16);
+        let b = road_traj(50, 200, 16);
+        let c = cfg(16);
+        let w = CheckWindow::for_context(&a, &c).unwrap();
+        let scores = slide_scores(&a, 200 - w.len_m, &b, &w);
+        assert_eq!(scores.len(), 200 - w.len_m + 1);
+        let (j, _, _) = peak(&scores).unwrap();
+        // Window [115, 200) on A ≡ road [115, 200) ≡ B indices [65, 150).
+        assert_eq!(j, 200 - w.len_m - 50);
+    }
+}

@@ -1,0 +1,191 @@
+//! FFT-accelerated SYN search for dense contexts.
+//!
+//! The reference double-sliding check costs `O(mwk)` (§V-A): every window
+//! placement recomputes per-channel sums over `w` metres. After
+//! missing-channel interpolation the rows are dense, and all the
+//! placement-dependent quantities reduce to
+//!
+//! * per-channel sliding dot products `Σ f_i · s_{j+i}` — a cross-
+//!   correlation, `O(m log m)` via [`crate::dsp::sliding_dot`], and
+//! * per-channel window sums/sum-of-squares — `O(m)` via prefix sums,
+//!
+//! bringing one directed pass down to `O(k · m log m)`. Scores match the
+//! reference implementation to floating-point rounding; the public entry
+//! points transparently fall back to the reference path when a selected
+//! channel contains missing values.
+
+use crate::dsp::{prefix_sums, sliding_dot};
+use crate::gsm::GsmTrajectory;
+use crate::stats::{self, PairSums};
+use crate::window::CheckWindow;
+use std::ops::Range;
+
+/// FFT-based equivalent of [`crate::syn::slide_scores`].
+///
+/// Returns `None` when any selected channel row carries a `NaN` within the
+/// relevant ranges (the caller then falls back to the NaN-aware reference
+/// path).
+pub fn slide_scores_fast(
+    fixed: &GsmTrajectory,
+    fixed_start: usize,
+    sliding: &GsmTrajectory,
+    window: &CheckWindow,
+) -> Option<Vec<f64>> {
+    let w = window.len_m;
+    if sliding.len() < w || w == 0 {
+        return Some(Vec::new());
+    }
+    let n_pos = sliding.len() - w + 1;
+    let fixed_range: Range<usize> = fixed_start..fixed_start + w;
+
+    // Per-placement accumulation of the Eq. (2) terms.
+    let mut chan_sum = vec![0.0f64; n_pos];
+    let mut chan_n = vec![0u32; n_pos];
+    // Per-channel means feeding the mean-profile term, kept as f32 to match
+    // the reference implementation bit-for-bit in its quantisation.
+    let mut mean_f: Vec<f32> = Vec::with_capacity(window.channels.len());
+    let mut mean_s: Vec<Vec<f32>> = Vec::with_capacity(window.channels.len());
+
+    for &ch in &window.channels {
+        let f_row = &fixed.channel(ch)[fixed_range.clone()];
+        let s_row = sliding.channel(ch);
+        if f_row.iter().any(|v| v.is_nan()) || s_row.iter().any(|v| v.is_nan()) {
+            return None;
+        }
+        let f64s: Vec<f64> = f_row.iter().map(|&v| v as f64).collect();
+        let s64s: Vec<f64> = s_row.iter().map(|&v| v as f64).collect();
+        let dots = sliding_dot(&f64s, &s64s);
+        let (ps, pss) = prefix_sums(&s64s);
+        let sum_f: f64 = f64s.iter().sum();
+        let sumsq_f: f64 = f64s.iter().map(|v| v * v).sum();
+
+        let mut means_row = Vec::with_capacity(n_pos);
+        for j in 0..n_pos {
+            let sum_s = ps[j + w] - ps[j];
+            let sumsq_s = pss[j + w] - pss[j];
+            // Reuse the exact PairSums → Pearson math of the reference path
+            // so thresholds and degenerate-variance handling agree.
+            let sums = PairSums {
+                n: w,
+                sum_a: sum_f,
+                sum_b: sum_s,
+                sum_aa: sumsq_f,
+                sum_bb: sumsq_s,
+                sum_ab: dots[j],
+            };
+            if let Some(r) = sums.pearson() {
+                chan_sum[j] += r;
+                chan_n[j] += 1;
+            }
+            means_row.push((sum_s / w as f64) as f32);
+        }
+        mean_f.push((sum_f / w as f64) as f32);
+        mean_s.push(means_row);
+    }
+
+    // Mean-profile Pearson across channels, per placement.
+    let k = mean_f.len();
+    let mut scores = Vec::with_capacity(n_pos);
+    let mut profile = vec![0.0f32; k];
+    for j in 0..n_pos {
+        if chan_n[j] == 0 {
+            scores.push(f64::NAN);
+            continue;
+        }
+        for (slot, row) in profile.iter_mut().zip(&mean_s) {
+            *slot = row[j];
+        }
+        match stats::pearson(&mean_f, &profile) {
+            Some(mp) => scores.push(chan_sum[j] / chan_n[j] as f64 + mp),
+            None => scores.push(f64::NAN),
+        }
+    }
+    Some(scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RupsConfig;
+    use crate::gsm::PowerVector;
+    use crate::syn::{find_best_syn, find_best_syn_fft, slide_scores};
+    use crate::testfield;
+
+    fn dense_traj(seed: u64, start: usize, len: usize, n_channels: usize) -> GsmTrajectory {
+        let mut t = GsmTrajectory::with_capacity(n_channels, len);
+        for i in 0..len {
+            let s = (start + i) as f64;
+            t.push(&PowerVector::from_fn(n_channels, |ch| {
+                Some(testfield::rssi(seed, s, ch))
+            }));
+        }
+        t
+    }
+
+    fn cfg(n_channels: usize) -> RupsConfig {
+        RupsConfig {
+            n_channels,
+            window_channels: n_channels.min(45),
+            ..RupsConfig::default()
+        }
+    }
+
+    #[test]
+    fn fast_scores_match_reference_on_dense_contexts() {
+        let a = dense_traj(3, 0, 260, 20);
+        let b = dense_traj(3, 40, 260, 20);
+        let c = cfg(20);
+        let w = CheckWindow::for_context(&a, &c).unwrap();
+        let reference = slide_scores(&a, a.len() - w.len_m, &b, &w);
+        let fast = slide_scores_fast(&a, a.len() - w.len_m, &b, &w).expect("dense input");
+        assert_eq!(reference.len(), fast.len());
+        for (i, (r, f)) in reference.iter().zip(&fast).enumerate() {
+            match (r.is_nan(), f.is_nan()) {
+                (true, true) => {}
+                (false, false) => {
+                    assert!((r - f).abs() < 1e-6, "placement {i}: ref {r} vs fft {f}")
+                }
+                _ => panic!("definedness mismatch at {i}: ref {r}, fft {f}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fft_entry_point_equals_reference_syn_point() {
+        let a = dense_traj(9, 0, 400, 24);
+        let b = dense_traj(9, 75, 400, 24);
+        let c = cfg(24);
+        let reference = find_best_syn(&a, &b, &c).unwrap();
+        let fast = find_best_syn_fft(&a, &b, &c).unwrap();
+        assert_eq!(reference.self_end, fast.self_end);
+        assert_eq!(reference.other_end, fast.other_end);
+        assert!((reference.score - fast.score).abs() < 1e-6);
+        assert!((reference.refine_m - fast.refine_m).abs() < 1e-4);
+    }
+
+    #[test]
+    fn falls_back_on_missing_values() {
+        let a = dense_traj(5, 0, 300, 16);
+        let mut b = dense_traj(5, 50, 300, 16);
+        // Punch a hole into a channel the window will select.
+        let mut rows: Vec<Vec<f32>> = (0..16).map(|ch| b.channel(ch).to_vec()).collect();
+        rows[0][120] = f32::NAN;
+        b = GsmTrajectory::from_rows(rows);
+        let c = cfg(16);
+        let w = CheckWindow::for_context(&a, &c).unwrap();
+        assert!(slide_scores_fast(&a, a.len() - w.len_m, &b, &w).is_none());
+        // The public entry point still answers via the fallback.
+        let p = find_best_syn_fft(&a, &b, &c).unwrap();
+        assert_eq!(p.self_end as i64 - p.other_end as i64, 50);
+    }
+
+    #[test]
+    fn window_longer_than_sliding_context_is_empty() {
+        let a = dense_traj(1, 0, 120, 8);
+        let b = dense_traj(1, 0, 30, 8);
+        let c = cfg(8);
+        let w = CheckWindow::for_context(&a, &c).unwrap();
+        let scores = slide_scores_fast(&a, a.len() - w.len_m, &b, &w).unwrap();
+        assert!(scores.is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! Checking windows for the context-consistency test (§IV-D, §V-C).
+//!
+//! A checking window is `w` metres long and `k` channels wide: only the `k`
+//! strongest channels of the querying vehicle's recent context take part in
+//! the correlation, which both cuts the `O(mwk)` search cost and drops
+//! channels too weak to be informative. When a vehicle has just turned onto
+//! a new road and has little context, the window shrinks adaptively and the
+//! coherency threshold is relaxed (§V-C).
+
+use crate::config::RupsConfig;
+use crate::gsm::GsmTrajectory;
+use serde::{Deserialize, Serialize};
+
+/// A fully resolved checking window: its length, the channel subset to
+/// compare, and the coherency threshold in force for this length.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckWindow {
+    /// Window length in metres.
+    pub len_m: usize,
+    /// Sorted indices of the channels taking part in the correlation.
+    pub channels: Vec<usize>,
+    /// Coherency threshold (Eq. (2) scale, `[-2, 2]`) for this window.
+    pub threshold: f64,
+}
+
+impl CheckWindow {
+    /// Resolves the checking window for a vehicle whose journey context is
+    /// `context`. Returns `None` when even the adaptive minimum window does
+    /// not fit the available context.
+    ///
+    /// The window length is `min(cfg.window_len_m, context.len())` but never
+    /// below `cfg.min_window_len_m`; the channel subset is the top
+    /// `cfg.window_channels` strongest channels over the most recent window
+    /// of the context; the threshold follows
+    /// [`RupsConfig::threshold_for_window`].
+    pub fn for_context(context: &GsmTrajectory, cfg: &RupsConfig) -> Option<CheckWindow> {
+        let len = cfg.window_len_m.min(context.len());
+        if len < cfg.min_window_len_m || len < 2 {
+            return None;
+        }
+        let start = context.len() - len;
+        let channels = context.top_k_channels(start..context.len(), cfg.window_channels);
+        if channels.is_empty() {
+            return None;
+        }
+        Some(CheckWindow {
+            len_m: len,
+            channels,
+            threshold: cfg.threshold_for_window(len),
+        })
+    }
+
+    /// Like [`CheckWindow::for_context`] but with an explicit window length
+    /// (used by the multi-SYN search, which places windows at several
+    /// trailing offsets).
+    pub fn with_len(
+        context: &GsmTrajectory,
+        cfg: &RupsConfig,
+        len_m: usize,
+        end: usize,
+    ) -> Option<CheckWindow> {
+        if len_m < 2 || end < len_m || end > context.len() {
+            return None;
+        }
+        let channels = context.top_k_channels(end - len_m..end, cfg.window_channels);
+        if channels.is_empty() {
+            return None;
+        }
+        Some(CheckWindow {
+            len_m,
+            channels,
+            threshold: cfg.threshold_for_window(len_m),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gsm::PowerVector;
+
+    fn traj(n_channels: usize, len: usize) -> GsmTrajectory {
+        let mut t = GsmTrajectory::new(n_channels);
+        for i in 0..len {
+            let pv = PowerVector::from_fn(n_channels, |ch| {
+                Some(-50.0 - ch as f32 + (i as f32 * 0.1).sin())
+            });
+            t.push(&pv);
+        }
+        t
+    }
+
+    #[test]
+    fn full_window_when_context_is_long() {
+        let cfg = RupsConfig {
+            n_channels: 60,
+            ..RupsConfig::default()
+        };
+        let t = traj(60, 500);
+        let w = CheckWindow::for_context(&t, &cfg).unwrap();
+        assert_eq!(w.len_m, 85);
+        assert_eq!(w.channels.len(), 45);
+        assert_eq!(w.threshold, 1.2);
+        // Channels are the strongest (lowest index = strongest here).
+        assert_eq!(w.channels, (0..45).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn window_shrinks_with_short_context() {
+        let cfg = RupsConfig {
+            n_channels: 60,
+            ..RupsConfig::default()
+        };
+        let t = traj(60, 30);
+        let w = CheckWindow::for_context(&t, &cfg).unwrap();
+        assert_eq!(w.len_m, 30);
+        assert!(w.threshold < 1.2);
+        assert!(w.threshold >= 0.9);
+    }
+
+    #[test]
+    fn too_short_context_yields_none() {
+        let cfg = RupsConfig {
+            n_channels: 60,
+            ..RupsConfig::default()
+        };
+        let t = traj(60, 5);
+        assert!(CheckWindow::for_context(&t, &cfg).is_none());
+    }
+
+    #[test]
+    fn with_len_places_window_at_offset() {
+        let cfg = RupsConfig {
+            n_channels: 20,
+            window_channels: 8,
+            ..RupsConfig::default()
+        };
+        let t = traj(20, 300);
+        let w = CheckWindow::with_len(&t, &cfg, 50, 200).unwrap();
+        assert_eq!(w.len_m, 50);
+        assert_eq!(w.channels.len(), 8);
+        // End before window start is rejected.
+        assert!(CheckWindow::with_len(&t, &cfg, 50, 40).is_none());
+        // End beyond context is rejected.
+        assert!(CheckWindow::with_len(&t, &cfg, 50, 500).is_none());
+    }
+
+    #[test]
+    fn fewer_channels_than_requested_is_ok() {
+        let cfg = RupsConfig {
+            n_channels: 10,
+            ..RupsConfig::default()
+        };
+        let t = traj(10, 200);
+        let w = CheckWindow::for_context(&t, &cfg).unwrap();
+        assert_eq!(w.channels.len(), 10);
+    }
+}

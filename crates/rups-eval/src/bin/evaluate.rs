@@ -1,0 +1,216 @@
+//! `evaluate` — regenerates every figure/table of the RUPS paper.
+//!
+//! ```text
+//! evaluate [--quick] [--json DIR] [FIGURE ...]
+//!
+//!   FIGURE   any of: fig1 fig2 fig3 fig4 sec5a sec5b fig9 fig10 fig11 fig12
+//!            ext-fpr ext-multiband ext-pedestrian   (default: all)
+//!   --quick  reduced scale (fast; for smoke runs and debug builds)
+//!   --json DIR  also write each figure as DIR/<id>.json
+//! ```
+//!
+//! Run with `--release`: the accuracy experiments replay hundreds of
+//! queries over ~200-channel × 900 s traces.
+
+use rups_eval::figures::{self, EvalScale};
+use rups_eval::series::Figure;
+use std::io::Write as _;
+
+struct Args {
+    quick: bool,
+    json_dir: Option<String>,
+    figures: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        json_dir: None,
+        figures: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--json" => {
+                args.json_dir = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--json needs a directory argument");
+                    std::process::exit(2);
+                }))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: evaluate [--quick] [--json DIR] [FIGURE ...]\n\
+                     figures: fig1 fig2 fig3 fig4 sec5a sec5b fig9 fig10 fig11 fig12 \
+                              ext-fpr ext-multiband ext-pedestrian \
+                              abl-window abl-channels abl-interp"
+                );
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            other => args.figures.push(other.to_string()),
+        }
+    }
+    args
+}
+
+fn run_figure(id: &str, quick: bool, scale: EvalScale) -> Figure {
+    match id {
+        "fig1" => {
+            let mut p = figures::fig01::Params::default();
+            if quick {
+                p.n_channels = 64;
+            }
+            figures::fig01::run(&p)
+        }
+        "fig2" => {
+            let p = if quick {
+                figures::fig02::quick_params()
+            } else {
+                figures::fig02::Params::default()
+            };
+            figures::fig02::run(&p)
+        }
+        "fig3" => {
+            let p = if quick {
+                figures::fig03::quick_params()
+            } else {
+                figures::fig03::Params::default()
+            };
+            figures::fig03::run(&p)
+        }
+        "fig4" => {
+            let p = if quick {
+                figures::fig04::quick_params()
+            } else {
+                figures::fig04::Params::default()
+            };
+            figures::fig04::run(&p)
+        }
+        "sec5a" => {
+            let p = if quick {
+                figures::cost::quick_params()
+            } else {
+                figures::cost::Params::default()
+            };
+            figures::cost::run(&p)
+        }
+        "sec5b" => {
+            let p = if quick {
+                figures::comm::quick_params()
+            } else {
+                figures::comm::Params::default()
+            };
+            figures::comm::run(&p)
+        }
+        "fig9" => figures::fig09::run(&figures::fig09::Params {
+            scale,
+            ..figures::fig09::Params::default()
+        }),
+        "fig10" => figures::fig10::run(&figures::fig10::Params {
+            scale,
+            ..figures::fig10::Params::default()
+        }),
+        "fig11" => figures::fig11::run(&figures::fig11::Params { scale }),
+        "fig12" => figures::fig12::run(&figures::fig12::Params { scale }),
+        "ext-fpr" => {
+            let p = if quick {
+                figures::ext_fpr::quick_params()
+            } else {
+                figures::ext_fpr::Params::default()
+            };
+            figures::ext_fpr::run(&p)
+        }
+        "ext-multiband" => figures::ext_multiband::run(&figures::ext_multiband::Params {
+            scale,
+            ..figures::ext_multiband::Params::default()
+        }),
+        "ext-pedestrian" => figures::ext_pedestrian::run(&figures::ext_pedestrian::Params {
+            scale,
+            ..figures::ext_pedestrian::Params::default()
+        }),
+        "ext-scalability" => figures::ext_scalability::run(&figures::ext_scalability::Params {
+            scale,
+            ..figures::ext_scalability::Params::default()
+        }),
+        "abl-window" => figures::ablations::window_length(&figures::ablations::Params {
+            scale,
+            ..figures::ablations::Params::default()
+        }),
+        "abl-channels" => figures::ablations::channel_count(&figures::ablations::Params {
+            scale,
+            ..figures::ablations::Params::default()
+        }),
+        "abl-interp" => figures::ablations::interpolation(&figures::ablations::Params {
+            scale,
+            ..figures::ablations::Params::default()
+        }),
+        other => {
+            eprintln!("unknown figure {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+const ALL_FIGURES: [&str; 17] = [
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "sec5a",
+    "sec5b",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ext-fpr",
+    "ext-multiband",
+    "ext-pedestrian",
+    "ext-scalability",
+    "abl-window",
+    "abl-channels",
+    "abl-interp",
+];
+
+fn main() {
+    let args = parse_args();
+    let scale = if args.quick {
+        EvalScale::quick()
+    } else {
+        EvalScale::paper()
+    };
+
+    let selected: Vec<String> = if args.figures.is_empty() {
+        ALL_FIGURES.iter().map(|s| s.to_string()).collect()
+    } else {
+        for want in &args.figures {
+            if !ALL_FIGURES.contains(&want.as_str()) {
+                eprintln!("unknown figure {want}");
+                std::process::exit(2);
+            }
+        }
+        args.figures.clone()
+    };
+
+    if let Some(dir) = &args.json_dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+    }
+
+    for id in &selected {
+        let t0 = std::time::Instant::now();
+        let fig = run_figure(id, args.quick, scale);
+        let dt = t0.elapsed().as_secs_f64();
+        println!("{}", fig.render_text(12));
+        println!("   [{id} regenerated in {dt:.1} s]\n");
+        if let Some(dir) = &args.json_dir {
+            let path = format!("{dir}/{id}.json");
+            let mut f = std::fs::File::create(&path).expect("create json file");
+            let json = serde_json::to_string_pretty(&fig).expect("serialize figure");
+            f.write_all(json.as_bytes()).expect("write json");
+            println!("   [wrote {path}]");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Trace persistence: save generated scenario traces to disk and replay
+//! them later.
+//!
+//! The paper's methodology is *trace-driven*: collect once, evaluate many
+//! times. This module gives the synthetic equivalent the same workflow —
+//! a [`ScenarioTrace`] serialises to a single JSON file (the whole thing is
+//! deterministic data: ground-truth motion, metre marks, bound RSSI
+//! matrices, occlusion schedule), so parameter studies can reuse a trace
+//! without regenerating it, and traces can be shared as artifacts.
+
+use crate::tracegen::ScenarioTrace;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// Errors from trace persistence.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// (De)serialisation failure.
+    Codec(serde_json::Error),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Io(e) => write!(f, "trace file I/O failed: {e}"),
+            ReplayError::Codec(e) => write!(f, "trace (de)serialisation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<std::io::Error> for ReplayError {
+    fn from(e: std::io::Error) -> Self {
+        ReplayError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ReplayError {
+    fn from(e: serde_json::Error) -> Self {
+        ReplayError::Codec(e)
+    }
+}
+
+/// Writes a trace to `path` as JSON.
+pub fn save_trace(trace: &ScenarioTrace, path: impl AsRef<Path>) -> Result<(), ReplayError> {
+    let file = std::fs::File::create(path)?;
+    serde_json::to_writer(BufWriter::new(file), trace)?;
+    Ok(())
+}
+
+/// Loads a trace previously written by [`save_trace`].
+pub fn load_trace(path: impl AsRef<Path>) -> Result<ScenarioTrace, ReplayError> {
+    let file = std::fs::File::open(path)?;
+    Ok(serde_json::from_reader(BufReader::new(file))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{query_at, sample_query_times};
+    use crate::tracegen::{generate, TraceConfig};
+    use rups_core::config::RupsConfig;
+    use urban_sim::road::RoadClass;
+
+    #[test]
+    fn saved_trace_replays_identically() {
+        let trace = generate(&TraceConfig::quick(77, RoadClass::Urban4Lane));
+        let dir = std::env::temp_dir().join("rups_replay_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        save_trace(&trace, &path).unwrap();
+        let loaded = load_trace(&path).unwrap();
+
+        // Structure survives.
+        assert_eq!(loaded.config, trace.config);
+        assert_eq!(loaded.follower.len(), trace.follower.len());
+        assert_eq!(loaded.occlusions, trace.occlusions);
+
+        // Queries against the reloaded trace produce identical outcomes.
+        let cfg = RupsConfig {
+            n_channels: 64,
+            window_channels: 24,
+            max_context_m: 600,
+            ..RupsConfig::default()
+        };
+        for &t in sample_query_times(&trace, 4, 1).iter() {
+            let a = query_at(&trace, &cfg, t);
+            let b = query_at(&loaded, &cfg, t);
+            // JSON number formatting may perturb the last float bit; the
+            // replayed outcomes must agree to far below measurement noise.
+            match (a.fix, b.fix) {
+                (Some(fa), Some(fb)) => {
+                    assert!((fa.distance_m - fb.distance_m).abs() < 1e-6)
+                }
+                (None, None) => {}
+                other => panic!("fix presence diverged: {other:?}"),
+            }
+            assert!((a.truth_m - b.truth_m).abs() < 1e-9);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_errors_are_reported() {
+        assert!(matches!(
+            load_trace("/nonexistent/trace.json"),
+            Err(ReplayError::Io(_))
+        ));
+        let dir = std::env::temp_dir().join("rups_replay_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, b"not json at all").unwrap();
+        let e = match load_trace(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("garbage must not parse"),
+        };
+        assert!(matches!(e, ReplayError::Codec(_)));
+        assert!(e.to_string().contains("serialisation"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,263 @@
+//! Data series, CDFs and text tables for the experiment harness.
+//!
+//! Every reproduced figure is emitted as one or more [`Series`] plus a
+//! rendered text table, and can be dumped as JSON for external plotting.
+
+use serde::{Deserialize, Serialize};
+
+/// One labelled (x, y) series of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// X coordinates.
+    pub x: Vec<f64>,
+    /// Y coordinates.
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    /// Builds a series; panics when x and y lengths differ.
+    pub fn new(label: impl Into<String>, x: Vec<f64>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "series axes must align");
+        Self {
+            label: label.into(),
+            x,
+            y,
+        }
+    }
+
+    /// The empirical CDF of the samples: x = sorted values, y = cumulative
+    /// probability.
+    pub fn cdf(label: impl Into<String>, mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let n = samples.len();
+        let y = (1..=n).map(|i| i as f64 / n as f64).collect();
+        Self {
+            label: label.into(),
+            x: samples,
+            y,
+        }
+    }
+
+    /// Linear interpolation of the CDF at `x` (fraction of samples ≤ x).
+    /// Only meaningful for series built with [`Series::cdf`].
+    pub fn cdf_at(&self, x: f64) -> f64 {
+        if self.x.is_empty() {
+            return 0.0;
+        }
+        let n = self.x.partition_point(|&v| v <= x);
+        n as f64 / self.x.len() as f64
+    }
+
+    /// Percentile (0..=100) of a CDF series.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!(!self.x.is_empty(), "empty series has no percentiles");
+        let idx = ((p / 100.0) * (self.x.len() - 1) as f64).round() as usize;
+        self.x[idx.min(self.x.len() - 1)]
+    }
+}
+
+/// Mean, standard deviation, and a 95 % normal-approximation confidence
+/// half-width of a sample set (the error bars of Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SampleStats {
+    /// Number of samples.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// 95 % confidence half-width (1.96·σ/√n).
+    pub ci95: f64,
+}
+
+impl SampleStats {
+    /// Computes the statistics; `None` on empty input.
+    pub fn of(samples: &[f64]) -> Option<SampleStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let std = var.sqrt();
+        Some(SampleStats {
+            n,
+            mean,
+            std,
+            ci95: 1.96 * std / (n as f64).sqrt(),
+        })
+    }
+}
+
+/// A reproduced figure/table: id, title, series and free-form notes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Paper identifier, e.g. "fig2" or "sec5a".
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The data series of the figure.
+    pub series: Vec<Series>,
+    /// Key observations / headline numbers, one per line.
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Renders the figure as a text block: title, notes, and per-series
+    /// summaries sampled at up to `max_points` x positions.
+    pub fn render_text(&self, max_points: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        for n in &self.notes {
+            let _ = writeln!(out, "   {n}");
+        }
+        for s in &self.series {
+            let _ = writeln!(out, "  series: {}", s.label);
+            if s.x.is_empty() {
+                let _ = writeln!(out, "    (empty)");
+                continue;
+            }
+            let step = (s.x.len() / max_points.max(1)).max(1);
+            let mut line = String::from("    ");
+            for i in (0..s.x.len()).step_by(step) {
+                let _ = write!(line, "({:.3}, {:.3}) ", s.x[i], s.y[i]);
+                if line.len() > 90 {
+                    let _ = writeln!(out, "{line}");
+                    line = String::from("    ");
+                }
+            }
+            if !line.trim().is_empty() {
+                let _ = writeln!(out, "{line}");
+            }
+        }
+        out
+    }
+}
+
+/// Renders an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_monotone_and_normalised() {
+        let s = Series::cdf("t", vec![3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(s.x, vec![1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(s.y, vec![0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(s.cdf_at(0.5), 0.0);
+        assert_eq!(s.cdf_at(2.0), 0.75);
+        assert_eq!(s.cdf_at(10.0), 1.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let s = Series::cdf("t", (1..=100).map(|i| i as f64).collect());
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        let median = s.percentile(50.0);
+        assert!((49.0..=51.0).contains(&median));
+    }
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let st = SampleStats::of(&[2.0, 4.0, 6.0]).unwrap();
+        assert_eq!(st.n, 3);
+        assert!((st.mean - 4.0).abs() < 1e-12);
+        assert!((st.std - 2.0).abs() < 1e-12);
+        assert!((st.ci95 - 1.96 * 2.0 / 3.0f64.sqrt()).abs() < 1e-12);
+        assert!(SampleStats::of(&[]).is_none());
+        let single = SampleStats::of(&[5.0]).unwrap();
+        assert_eq!(single.std, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "axes must align")]
+    fn mismatched_series_rejected() {
+        Series::new("x", vec![1.0], vec![]);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["env", "mean"],
+            &[
+                vec!["open".into(), "3.40".into()],
+                vec!["under elevated".into(), "6.90".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("env"));
+        assert!(lines[3].contains("6.90"));
+        // Columns align: "mean" and the numbers start at the same offset.
+        let col = lines[0].find("mean").unwrap();
+        assert_eq!(lines[2].find("3.40").unwrap(), col);
+    }
+
+    #[test]
+    fn figure_renders_without_panicking() {
+        let fig = Figure {
+            id: "fig0".into(),
+            title: "test".into(),
+            series: vec![
+                Series::cdf("a", vec![1.0, 2.0]),
+                Series::new("b", vec![], vec![]),
+            ],
+            notes: vec!["note".into()],
+        };
+        let txt = fig.render_text(10);
+        assert!(txt.contains("fig0"));
+        assert!(txt.contains("note"));
+        assert!(txt.contains("(empty)"));
+    }
+
+    #[test]
+    fn figure_serialises() {
+        let fig = Figure {
+            id: "fig2".into(),
+            title: "stability".into(),
+            series: vec![Series::cdf("s", vec![0.5, 0.9])],
+            notes: vec![],
+        };
+        let json = serde_json::to_string(&fig).unwrap();
+        let back: Figure = serde_json::from_str(&json).unwrap();
+        assert_eq!(fig, back);
+    }
+}

@@ -1,0 +1,727 @@
+//! Trace generation: the synthetic counterpart of the paper's two
+//! instrumented cars (§VI-A).
+//!
+//! A [`ScenarioTrace`] is one leader/follower drive through one radio
+//! environment, with both vehicles' GSM-aware trajectories already bound to
+//! their perceived metre marks. Experiments then sample query times and ask
+//! RUPS (and GPS) for the gap.
+
+use gsm_sim::{
+    scan_trace, EnvironmentClass, GsmEnvironment, Occlusion, RadioPlacement, ScannerConfig,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rups_core::binding::TrajectoryBinder;
+use rups_core::geo::{GeoSample, GeoTrajectory};
+use rups_core::gsm::GsmTrajectory;
+use rups_core::pipeline::ContextSnapshot;
+use serde::{Deserialize, Serialize};
+use urban_sim::drive::{MetreMark, MotionProfile, OdometryModel};
+use urban_sim::road::{RoadClass, Route};
+use urban_sim::scenario::{FollowerParams, TwoVehicleScenario};
+
+/// Maps the paper's road settings onto GSM propagation classes.
+///
+/// 4-lane urban roads sit among dense towers (semi-open, richest
+/// fingerprints — the setting where the paper reports RUPS's best
+/// accuracy); wide 8-lane majors and suburban roads are open; under
+/// elevated roads is the close class with deck attenuation.
+pub fn env_class_for_road(road: RoadClass) -> EnvironmentClass {
+    match road {
+        RoadClass::Suburban2Lane => EnvironmentClass::Open,
+        RoadClass::Urban4Lane => EnvironmentClass::SemiOpen,
+        RoadClass::Urban8Lane => EnvironmentClass::Open,
+        RoadClass::UnderElevated => EnvironmentClass::Close,
+    }
+}
+
+/// Default passing-big-vehicle occlusion rate per minute per road class —
+/// heavy multi-lane traffic produces the §VI-C disturbances.
+pub fn default_occlusion_rate(road: RoadClass) -> f64 {
+    match road {
+        RoadClass::Suburban2Lane => 0.15,
+        RoadClass::Urban4Lane => 0.6,
+        RoadClass::Urban8Lane => 1.6,
+        RoadClass::UnderElevated => 0.9,
+    }
+}
+
+/// Full configuration of one generated scenario trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Road setting.
+    pub road: RoadClass,
+    /// Channels in the trajectory band.
+    pub n_channels: usize,
+    /// Channels actually swept by the scanners (the paper's prototype scans
+    /// a 115-channel subset, §VI-A). Capped at `n_channels`.
+    pub scanned_channels: usize,
+    /// Route length, metres.
+    pub route_len_m: f64,
+    /// Drive duration, seconds.
+    pub duration_s: f64,
+    /// Initial leader gap, metres.
+    pub initial_gap_m: f64,
+    /// Leader scanner: radio count.
+    pub leader_radios: usize,
+    /// Leader scanner placement.
+    pub leader_placement: RadioPlacement,
+    /// Follower scanner: radio count.
+    pub follower_radios: usize,
+    /// Follower scanner placement.
+    pub follower_placement: RadioPlacement,
+    /// Leader lane index (0 = rightmost).
+    pub leader_lane: usize,
+    /// Follower lane index.
+    pub follower_lane: usize,
+    /// Occlusion events per minute (per vehicle).
+    pub occlusion_rate_per_min: f64,
+    /// Use the realistic odometry/heading error model (vs ideal).
+    pub realistic_odometry: bool,
+    /// Lateral in-lane wander amplitude, metres (std ≈ 0.35 m for a human
+    /// driver). Decorrelates the sub-metre fading between the two vehicles
+    /// — without it the simulation is unrealistically favourable to RUPS.
+    pub lane_wander_m: f64,
+    /// FM broadcast channels fused into the fingerprint (0 = GSM only).
+    /// The §VII future-work extension: each vehicle carries one FM tuner
+    /// sweeping the band; FM rows are appended after the GSM rows.
+    pub fm_channels: usize,
+    /// Who is moving: cars (default), bicyclists or pedestrians (§VII).
+    pub mobility: Mobility,
+    /// Route geometry: a straight corridor (default) or a generated
+    /// itinerary with curves and 90° turns.
+    pub route_shape: RouteShape,
+}
+
+/// Route geometry selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteShape {
+    /// One straight segment (controlled experiments).
+    Straight,
+    /// `Route::generate`: mostly straight with occasional curves and turns.
+    Winding,
+}
+
+/// Mobility class of the tracked pair (§VII future work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mobility {
+    /// Cars with road-class free-flow speeds.
+    Vehicle,
+    /// Bicyclists (~16 km/h).
+    Bicycle,
+    /// Pedestrians (~5 km/h).
+    Pedestrian,
+}
+
+impl Mobility {
+    /// The kinematic profile for a route of the given class.
+    pub fn profile(self, road: RoadClass) -> MotionProfile {
+        match self {
+            Mobility::Vehicle => MotionProfile::vehicle(road),
+            Mobility::Bicycle => MotionProfile::bicycle(),
+            Mobility::Pedestrian => MotionProfile::pedestrian(),
+        }
+    }
+}
+
+impl TraceConfig {
+    /// The paper's reference setup on the given road: 194-channel band,
+    /// 115 scanned channels, 4 front radios per car, same lane, realistic
+    /// odometry, class-default occlusion rate.
+    pub fn new(seed: u64, road: RoadClass) -> Self {
+        Self {
+            seed,
+            road,
+            n_channels: rups_core::channel::RGSM_900_CHANNELS,
+            scanned_channels: 115,
+            route_len_m: 12_000.0,
+            duration_s: 600.0,
+            initial_gap_m: 40.0,
+            leader_radios: 4,
+            leader_placement: RadioPlacement::FrontPanel,
+            follower_radios: 4,
+            follower_placement: RadioPlacement::FrontPanel,
+            leader_lane: 0,
+            follower_lane: 0,
+            occlusion_rate_per_min: default_occlusion_rate(road),
+            realistic_odometry: true,
+            lane_wander_m: 0.30,
+            fm_channels: 0,
+            mobility: Mobility::Vehicle,
+            route_shape: RouteShape::Straight,
+        }
+    }
+
+    /// A reduced-size configuration for unit tests and benches: narrower
+    /// band, shorter drive.
+    pub fn quick(seed: u64, road: RoadClass) -> Self {
+        Self {
+            n_channels: 64,
+            scanned_channels: 48,
+            route_len_m: 5_000.0,
+            duration_s: 240.0,
+            ..Self::new(seed, road)
+        }
+    }
+}
+
+/// One vehicle's perceived journey: metre marks plus the bound GSM-aware
+/// trajectory (raw, missing channels as NaN).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VehicleTrace {
+    /// Perceived metre marks (ground-truth arc length + crossing time +
+    /// measured heading).
+    pub marks: Vec<MetreMark>,
+    /// The bound GSM-aware trajectory, aligned with `marks`.
+    pub gsm: GsmTrajectory,
+}
+
+impl VehicleTrace {
+    /// Number of perceived metres.
+    pub fn len(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// True when the vehicle never completed a metre.
+    pub fn is_empty(&self) -> bool {
+        self.marks.is_empty()
+    }
+
+    /// The journey context available at query time `t`: the most recent
+    /// `max_m` metres with marks at or before `t`. Returns the exchangeable
+    /// snapshot (missing channels interpolated when `interpolate`) plus the
+    /// ground-truth arc length of each context index (for SYN-error
+    /// scoring). `None` when no context exists yet.
+    pub fn context_at(
+        &self,
+        t: f64,
+        max_m: usize,
+        interpolate: bool,
+        vehicle_id: Option<u64>,
+    ) -> Option<(ContextSnapshot, Vec<f64>)> {
+        let end = self.marks.partition_point(|m| m.t <= t);
+        if end == 0 {
+            return None;
+        }
+        let start = end.saturating_sub(max_m);
+        let mut geo = GeoTrajectory::with_capacity(end - start);
+        let mut true_s = Vec::with_capacity(end - start);
+        for m in &self.marks[start..end] {
+            geo.push(GeoSample {
+                heading_rad: m.heading_meas,
+                timestamp_s: m.t,
+            });
+            true_s.push(m.true_s);
+        }
+        let mut gsm = self.gsm.slice(start..end);
+        if interpolate {
+            gsm.interpolate_missing();
+        }
+        Some((
+            ContextSnapshot {
+                vehicle_id,
+                geo,
+                gsm,
+            },
+            true_s,
+        ))
+    }
+}
+
+/// A complete two-vehicle scenario trace.
+#[derive(Serialize, Deserialize)]
+pub struct ScenarioTrace {
+    /// The configuration that produced it.
+    pub config: TraceConfig,
+    /// The route driven.
+    pub route: Route,
+    /// The radio environment.
+    pub env: GsmEnvironment,
+    /// Ground-truth motion of both vehicles.
+    pub scenario: TwoVehicleScenario,
+    /// Leader's perceived trace.
+    pub leader: VehicleTrace,
+    /// Follower's perceived trace.
+    pub follower: VehicleTrace,
+    /// Occlusion events that affected the follower's scanners.
+    pub occlusions: Vec<Occlusion>,
+    /// The FM broadcast environment, when FM fusion is enabled.
+    pub fm_env: Option<GsmEnvironment>,
+}
+
+impl ScenarioTrace {
+    /// Ground-truth gap at time `t` (leader ahead = positive).
+    pub fn truth_gap_at(&self, t: f64) -> f64 {
+        self.scenario.gap_at(t)
+    }
+}
+
+/// Draws Poisson occlusion events over `[0, duration_s)`.
+fn gen_occlusions(seed: u64, duration_s: f64, rate_per_min: f64) -> Vec<Occlusion> {
+    if rate_per_min <= 0.0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mean_gap_s = 60.0 / rate_per_min;
+    let mut out = Vec::new();
+    let mut t = 0.0f64;
+    loop {
+        // Exponential inter-arrival via inverse CDF.
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        t += -mean_gap_s * u.ln();
+        if t >= duration_s {
+            break;
+        }
+        let dur = rng.gen_range(4.0..15.0);
+        let loss = rng.gen_range(10.0..22.0) as f32;
+        out.push(Occlusion {
+            start_s: t,
+            end_s: (t + dur).min(duration_s),
+            loss_db: loss,
+        });
+        t += dur;
+    }
+    out
+}
+
+/// The channels the scanners sweep: every active carrier first, padded with
+/// the lowest inactive indices up to `scanned_channels` (the paper's
+/// "selected 115 channels", §VI-A).
+fn scanned_channel_set(env: &GsmEnvironment, scanned_channels: usize) -> Vec<usize> {
+    let mut set = env.active_channels();
+    let want = scanned_channels.min(env.n_channels());
+    let mut next = 0usize;
+    while set.len() < want && next < env.n_channels() {
+        if !set.contains(&next) {
+            set.push(next);
+        }
+        next += 1;
+    }
+    set.truncate(want);
+    set.sort_unstable();
+    set
+}
+
+/// Binds one vehicle's scan samples to its metre marks.
+fn bind_vehicle(
+    n_channels: usize,
+    marks: &[MetreMark],
+    scans: Vec<rups_core::binding::ScanSample>,
+) -> GsmTrajectory {
+    let mut binder = TrajectoryBinder::new(n_channels, f64::NEG_INFINITY);
+    let mut gsm = GsmTrajectory::with_capacity(n_channels, marks.len());
+    let mut scan_iter = scans.into_iter().peekable();
+    for mark in marks {
+        while let Some(s) = scan_iter.peek() {
+            if s.timestamp_s <= mark.t {
+                binder.push_scan(*s);
+                scan_iter.next();
+            } else {
+                break;
+            }
+        }
+        gsm.push(&binder.bind_metre(mark.t));
+    }
+    gsm
+}
+
+/// Generates a full scenario trace from a configuration.
+pub fn generate(cfg: &TraceConfig) -> ScenarioTrace {
+    let route = match cfg.route_shape {
+        RouteShape::Straight => Route::straight(cfg.road, cfg.route_len_m),
+        RouteShape::Winding => Route::generate(cfg.seed ^ 0x40AD, cfg.road, cfg.route_len_m),
+    };
+    let env = GsmEnvironment::new(
+        cfg.seed ^ 0xE5F1,
+        env_class_for_road(cfg.road),
+        cfg.route_len_m,
+        cfg.n_channels,
+    );
+    let fm_env = (cfg.fm_channels > 0).then(|| {
+        GsmEnvironment::with_band(
+            cfg.seed ^ 0xF0F0,
+            env_class_for_road(cfg.road),
+            gsm_sim::BandKind::FmBroadcast,
+            cfg.route_len_m,
+            cfg.fm_channels,
+        )
+    });
+    let profile = cfg.mobility.profile(cfg.road);
+    let follower_params = match cfg.mobility {
+        Mobility::Vehicle => FollowerParams::default(),
+        // Softer following for slow movers: shorter gaps, gentler gains.
+        Mobility::Bicycle | Mobility::Pedestrian => FollowerParams {
+            target_gap_m: cfg.initial_gap_m.min(20.0),
+            gap_gain: 0.05,
+            speed_gain: 0.6,
+            a_max: profile.a_max,
+            b_max: profile.b_max,
+        },
+    };
+    let scenario = TwoVehicleScenario::simulate_with(
+        &route,
+        cfg.seed ^ 0xD21E,
+        cfg.initial_gap_m,
+        &follower_params,
+        cfg.duration_s,
+        &profile,
+    )
+    .with_lanes(&route, cfg.leader_lane, cfg.follower_lane);
+
+    let odo = |vseed: u64| {
+        if cfg.realistic_odometry {
+            OdometryModel::realistic(cfg.seed ^ vseed)
+        } else {
+            OdometryModel::ideal()
+        }
+    };
+    let leader_marks = scenario
+        .leader
+        .metre_marks(&route, &odo(0x1EAD), cfg.seed ^ 0x1EAD);
+    let follower_marks = scenario
+        .follower
+        .metre_marks(&route, &odo(0xF011), cfg.seed ^ 0xF011);
+
+    let channels = scanned_channel_set(&env, cfg.scanned_channels);
+    let occlusions = gen_occlusions(
+        cfg.seed ^ 0x0CC1,
+        cfg.duration_s,
+        cfg.occlusion_rate_per_min,
+    );
+
+    // In-lane lateral wander: a smooth, per-vehicle function of distance
+    // travelled, so the two vehicles sample slightly different microscopic
+    // signal tracks even in the same lane.
+    let wander = |vseed: u64, drive: &urban_sim::drive::Drive, t: f64| -> f64 {
+        if cfg.lane_wander_m <= 0.0 {
+            return 0.0;
+        }
+        let s = drive.distance_at(t);
+        cfg.lane_wander_m * gsm_sim::noise::noise1(cfg.seed ^ vseed, 0, s / 25.0)
+    };
+
+    // The radio field is evaluated in *unrolled route coordinates*
+    // (arc length along the route, lateral offset): identical to world
+    // coordinates on straight routes, and it keeps the 1-D corridor tower
+    // deployment valid for winding routes — what matters to RUPS is the
+    // signal structure *along the path*, which unrolling preserves.
+    let leader_scans = scan_trace(
+        &env,
+        &ScannerConfig::new(cfg.leader_radios, cfg.leader_placement, channels.clone())
+            .with_seed(cfg.seed ^ 0x5CA1),
+        |t| {
+            let off = scenario.leader_lane_offset_m + wander(0xAA1, &scenario.leader, t);
+            (scenario.leader.distance_at(t), off)
+        },
+        0.0,
+        cfg.duration_s,
+        &[],
+    );
+    let follower_scans = scan_trace(
+        &env,
+        &ScannerConfig::new(cfg.follower_radios, cfg.follower_placement, channels)
+            .with_seed(cfg.seed ^ 0x5CA2),
+        |t| {
+            let off = scenario.follower_lane_offset_m + wander(0xBB2, &scenario.follower, t);
+            (scenario.follower.distance_at(t), off)
+        },
+        0.0,
+        cfg.duration_s,
+        &occlusions,
+    );
+
+    // FM fusion (§VII): one extra tuner per vehicle sweeps the FM band;
+    // its samples land on channel rows appended after the GSM rows.
+    let mut leader_scans = leader_scans;
+    let mut follower_scans = follower_scans;
+    if let Some(fm) = &fm_env {
+        let fm_channels: Vec<usize> = (0..cfg.fm_channels).collect();
+        let offset = cfg.n_channels;
+        let mut fm_leader = scan_trace(
+            fm,
+            &ScannerConfig::new(1, cfg.leader_placement, fm_channels.clone())
+                .with_seed(cfg.seed ^ 0x5FA1),
+            |t| {
+                let off = scenario.leader_lane_offset_m + wander(0xAA1, &scenario.leader, t);
+                (scenario.leader.distance_at(t), off)
+            },
+            0.0,
+            cfg.duration_s,
+            &[],
+        );
+        for s in &mut fm_leader {
+            s.channel += offset;
+        }
+        let mut fm_follower = scan_trace(
+            fm,
+            &ScannerConfig::new(1, cfg.follower_placement, fm_channels)
+                .with_seed(cfg.seed ^ 0x5FA2),
+            |t| {
+                let off = scenario.follower_lane_offset_m + wander(0xBB2, &scenario.follower, t);
+                (scenario.follower.distance_at(t), off)
+            },
+            0.0,
+            cfg.duration_s,
+            &occlusions,
+        );
+        for s in &mut fm_follower {
+            s.channel += offset;
+        }
+        leader_scans.extend(fm_leader);
+        follower_scans.extend(fm_follower);
+        leader_scans.sort_by(|a, b| a.timestamp_s.total_cmp(&b.timestamp_s));
+        follower_scans.sort_by(|a, b| a.timestamp_s.total_cmp(&b.timestamp_s));
+    }
+
+    let total_channels = cfg.n_channels + cfg.fm_channels;
+    let leader_gsm = bind_vehicle(total_channels, &leader_marks, leader_scans);
+    let follower_gsm = bind_vehicle(total_channels, &follower_marks, follower_scans);
+
+    ScenarioTrace {
+        config: cfg.clone(),
+        route,
+        env,
+        scenario,
+        leader: VehicleTrace {
+            marks: leader_marks,
+            gsm: leader_gsm,
+        },
+        follower: VehicleTrace {
+            marks: follower_marks,
+            gsm: follower_gsm,
+        },
+        occlusions,
+        fm_env,
+    }
+}
+
+/// A convoy trace: every vehicle's perceived journey (§V-B heavy traffic).
+pub struct ConvoyTrace {
+    /// The configuration used (follower scanner settings apply to all).
+    pub config: TraceConfig,
+    /// The route driven.
+    pub route: Route,
+    /// The radio environment.
+    pub env: GsmEnvironment,
+    /// Ground-truth convoy motion (index 0 = head).
+    pub convoy: urban_sim::scenario::Convoy,
+    /// Perceived traces, aligned with `convoy.drives`.
+    pub vehicles: Vec<VehicleTrace>,
+}
+
+impl ConvoyTrace {
+    /// Ground-truth gap between vehicles `front` and `rear` at `t`.
+    pub fn truth_gap_between(&self, front: usize, rear: usize, t: f64) -> f64 {
+        self.convoy.gap_between(front, rear, t)
+    }
+}
+
+/// Generates an `n`-vehicle convoy trace. All vehicles share the follower
+/// scanner settings of `cfg`; occlusions are disabled (the workload here is
+/// neighbour count, §V-B).
+pub fn generate_convoy(cfg: &TraceConfig, n: usize) -> ConvoyTrace {
+    let route = Route::straight(cfg.road, cfg.route_len_m);
+    let env = GsmEnvironment::new(
+        cfg.seed ^ 0xE5F1,
+        env_class_for_road(cfg.road),
+        cfg.route_len_m,
+        cfg.n_channels,
+    );
+    let convoy = urban_sim::scenario::Convoy::simulate(
+        &route,
+        cfg.seed ^ 0xC0541,
+        n,
+        cfg.initial_gap_m,
+        &FollowerParams::default(),
+        cfg.duration_s,
+    );
+    let channels = scanned_channel_set(&env, cfg.scanned_channels);
+    let vehicles = convoy
+        .drives
+        .iter()
+        .enumerate()
+        .map(|(k, drive)| {
+            let vseed = cfg.seed ^ ((k as u64 + 1) * 0x9E37);
+            let odo = if cfg.realistic_odometry {
+                OdometryModel::realistic(vseed)
+            } else {
+                OdometryModel::ideal()
+            };
+            let marks = drive.metre_marks(&route, &odo, vseed);
+            let scans = scan_trace(
+                &env,
+                &ScannerConfig::new(
+                    cfg.follower_radios,
+                    cfg.follower_placement,
+                    channels.clone(),
+                )
+                .with_seed(vseed),
+                |t| {
+                    let wobble = if cfg.lane_wander_m > 0.0 {
+                        cfg.lane_wander_m
+                            * gsm_sim::noise::noise1(vseed, 0, drive.distance_at(t) / 25.0)
+                    } else {
+                        0.0
+                    };
+                    (drive.distance_at(t), wobble)
+                },
+                0.0,
+                cfg.duration_s,
+                &[],
+            );
+            let gsm = bind_vehicle(cfg.n_channels, &marks, scans);
+            VehicleTrace { marks, gsm }
+        })
+        .collect();
+    ConvoyTrace {
+        config: cfg.clone(),
+        route,
+        env,
+        convoy,
+        vehicles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_trace() -> ScenarioTrace {
+        generate(&TraceConfig::quick(1, RoadClass::Urban4Lane))
+    }
+
+    #[test]
+    fn trace_has_bound_trajectories() {
+        let tr = quick_trace();
+        assert!(!tr.leader.is_empty());
+        assert!(!tr.follower.is_empty());
+        assert_eq!(tr.leader.gsm.len(), tr.leader.marks.len());
+        assert_eq!(tr.follower.gsm.len(), tr.follower.marks.len());
+        // A fair share of cells should be measured (4 radios, 48 channels).
+        let cov = tr.follower.gsm.coverage();
+        assert!(cov > 0.05, "coverage {cov}");
+        assert!(cov < 1.0, "a moving scanner cannot cover everything");
+    }
+
+    #[test]
+    fn more_radios_give_more_coverage() {
+        let one = generate(&TraceConfig {
+            leader_radios: 1,
+            follower_radios: 1,
+            ..TraceConfig::quick(2, RoadClass::Urban4Lane)
+        });
+        let four = generate(&TraceConfig {
+            leader_radios: 4,
+            follower_radios: 4,
+            ..TraceConfig::quick(2, RoadClass::Urban4Lane)
+        });
+        assert!(
+            four.follower.gsm.coverage() > 2.0 * one.follower.gsm.coverage(),
+            "4 radios: {} vs 1 radio: {}",
+            four.follower.gsm.coverage(),
+            one.follower.gsm.coverage()
+        );
+    }
+
+    #[test]
+    fn context_at_respects_time_and_length() {
+        let tr = quick_trace();
+        let t_mid = 150.0;
+        let (snap, true_s) = tr.follower.context_at(t_mid, 100, true, Some(7)).unwrap();
+        assert_eq!(snap.vehicle_id, Some(7));
+        assert!(snap.len() <= 100);
+        assert_eq!(snap.len(), true_s.len());
+        // Every mark in the context was crossed before the query time.
+        assert!(snap.geo.samples().iter().all(|s| s.timestamp_s <= t_mid));
+        // Interpolation fills scanned rows; never-scanned rows stay NaN, so
+        // coverage is scanned/total.
+        let cov = snap.gsm.coverage();
+        assert!(cov >= 48.0 / 64.0 - 0.05, "interpolated coverage {cov}");
+        // Before the drive starts there is no context.
+        assert!(tr.follower.context_at(-1.0, 100, true, None).is_none());
+    }
+
+    #[test]
+    fn truth_gap_is_positive_and_near_target() {
+        let tr = quick_trace();
+        let times = tr.scenario.moving_times(120.0, 230.0, 5.0);
+        assert!(!times.is_empty());
+        for t in times {
+            let gap = tr.truth_gap_at(t);
+            assert!(gap > 0.0 && gap < 120.0, "gap {gap} at t={t}");
+        }
+    }
+
+    #[test]
+    fn occlusion_generation_scales_with_rate() {
+        let none = gen_occlusions(1, 600.0, 0.0);
+        assert!(none.is_empty());
+        let some = gen_occlusions(1, 600.0, 2.0);
+        // ≈20 events expected over 10 min at 2/min.
+        assert!(some.len() > 8 && some.len() < 40, "events {}", some.len());
+        assert!(some.windows(2).all(|w| w[1].start_s >= w[0].end_s));
+        let again = gen_occlusions(1, 600.0, 2.0);
+        assert_eq!(some, again);
+    }
+
+    #[test]
+    fn scanned_channel_set_has_requested_size() {
+        let env = GsmEnvironment::new(3, EnvironmentClass::SemiOpen, 5_000.0, 64);
+        let set = scanned_channel_set(&env, 48);
+        assert_eq!(set.len(), 48);
+        let mut sorted = set.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 48, "duplicates in channel set");
+        // All active channels are included.
+        for ch in env.active_channels() {
+            assert!(set.contains(&ch));
+        }
+    }
+
+    #[test]
+    fn winding_routes_still_support_queries() {
+        use crate::queries::{run_queries, sample_query_times, summarize_rde};
+        let trace = generate(&TraceConfig {
+            route_shape: RouteShape::Winding,
+            ..TraceConfig::quick(13, RoadClass::Urban4Lane)
+        });
+        // The route really does turn.
+        assert!(trace.route.segments().len() > 3);
+        let cfg = rups_core::config::RupsConfig {
+            n_channels: 64,
+            window_channels: 24,
+            ..rups_core::config::RupsConfig::default()
+        };
+        let times = sample_query_times(&trace, 10, 2);
+        let outcomes = run_queries(&trace, &cfg, &times);
+        let (mean, rate) = summarize_rde(&outcomes);
+        assert!(rate > 0.4, "answer rate on winding route: {rate}");
+        if let Some(m) = mean {
+            assert!(m < 15.0, "mean RDE on winding route: {m:.1}");
+        }
+    }
+
+    #[test]
+    fn env_mapping_covers_all_roads() {
+        assert_eq!(
+            env_class_for_road(RoadClass::UnderElevated),
+            EnvironmentClass::Close
+        );
+        assert_eq!(
+            env_class_for_road(RoadClass::Urban4Lane),
+            EnvironmentClass::SemiOpen
+        );
+        for road in RoadClass::ALL {
+            let _ = env_class_for_road(road);
+            assert!(default_occlusion_rate(road) >= 0.0);
+        }
+        // 8-lane roads see the heaviest passing traffic.
+        assert!(
+            default_occlusion_rate(RoadClass::Urban8Lane)
+                > default_occlusion_rate(RoadClass::Urban4Lane)
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! # urban-sim
+//!
+//! Urban driving substrate for the RUPS reproduction: road geometry,
+//! vehicle kinematics, car-following scenarios and on-board sensor
+//! simulation.
+//!
+//! The paper's evaluation (§VI-A) drove two instrumented cars over a 97 km
+//! Shanghai route mixing four road settings — 2-lane suburban, 4-lane urban,
+//! 8-lane urban and under-elevated roads — for three months. This crate
+//! provides the synthetic equivalent:
+//!
+//! * [`road`] — road classes and arc-length-parameterised routes;
+//! * [`drive`] — seeded speed profiles with traffic-signal stops, the
+//!   time↔distance interpolators, and the odometry error model that turns
+//!   ground-truth motion into the per-metre marks RUPS actually sees;
+//! * [`scenario`] — two-vehicle (leader/follower) car-following scenarios
+//!   with ground-truth gaps, the backbone of every accuracy experiment;
+//! * [`sensors`] — accelerometer / gyroscope / magnetometer / OBD streams
+//!   generated in a misaligned sensor frame, to exercise the §IV-B
+//!   coordinate-reorientation and dead-reckoning pipeline end to end.
+//!
+//! Everything is seeded and deterministic, so experiments are reproducible.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod drive;
+pub mod road;
+pub mod scenario;
+pub mod sensors;
+
+pub use drive::{Drive, DriveState, MetreMark, MotionProfile, OdometryModel};
+pub use road::{RoadClass, Route, RouteSegment};
+pub use scenario::{Convoy, FollowerParams, TwoVehicleScenario};
+pub use sensors::{SensorRates, SensorStream};

@@ -1,0 +1,327 @@
+//! Two-vehicle car-following scenarios: the workload of every RUPS accuracy
+//! experiment (§VI).
+//!
+//! The paper drives a leader and a follower over the same route and asks
+//! RUPS for their gap. [`TwoVehicleScenario::simulate`] reproduces that: the
+//! leader runs the free-driving controller of [`Drive::simulate`], the
+//! follower runs a car-following controller (gap + speed-difference
+//! feedback), and the ground-truth gap at any time is simply
+//! `s_leader(t) − s_follower(t)`.
+
+use crate::drive::{Drive, DriveState, MotionProfile, SIM_DT_S};
+use crate::road::Route;
+use serde::{Deserialize, Serialize};
+
+/// Car-following controller parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FollowerParams {
+    /// Desired gap behind the leader, metres.
+    pub target_gap_m: f64,
+    /// Gap-error feedback gain, 1/s².
+    pub gap_gain: f64,
+    /// Speed-difference feedback gain, 1/s.
+    pub speed_gain: f64,
+    /// Maximum acceleration, m/s².
+    pub a_max: f64,
+    /// Maximum deceleration, m/s².
+    pub b_max: f64,
+}
+
+impl Default for FollowerParams {
+    fn default() -> Self {
+        Self {
+            target_gap_m: 35.0,
+            gap_gain: 0.08,
+            speed_gain: 0.9,
+            a_max: 2.0,
+            b_max: 3.5,
+        }
+    }
+}
+
+/// A simulated leader/follower pair on a shared route.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TwoVehicleScenario {
+    /// The leading vehicle's motion.
+    pub leader: Drive,
+    /// The following vehicle's motion.
+    pub follower: Drive,
+    /// Lane offset of the leader, metres left of the centre line.
+    pub leader_lane_offset_m: f64,
+    /// Lane offset of the follower.
+    pub follower_lane_offset_m: f64,
+}
+
+impl TwoVehicleScenario {
+    /// Simulates a pair for `duration_s` seconds: the leader starts at
+    /// `initial_gap_m` and the follower at arc length 0, both at time 0.
+    /// Lane offsets default to the same lane (0.0); use
+    /// [`TwoVehicleScenario::with_lanes`] to separate them.
+    pub fn simulate(
+        route: &Route,
+        seed: u64,
+        initial_gap_m: f64,
+        params: &FollowerParams,
+        duration_s: f64,
+    ) -> TwoVehicleScenario {
+        Self::simulate_with(
+            route,
+            seed,
+            initial_gap_m,
+            params,
+            duration_s,
+            &MotionProfile::vehicle(route.class()),
+        )
+    }
+
+    /// Like [`TwoVehicleScenario::simulate`] with an explicit kinematic
+    /// profile for both parties (pedestrians, bicyclists — §VII).
+    pub fn simulate_with(
+        route: &Route,
+        seed: u64,
+        initial_gap_m: f64,
+        params: &FollowerParams,
+        duration_s: f64,
+        profile: &MotionProfile,
+    ) -> TwoVehicleScenario {
+        let leader = Drive::simulate_with(route, seed, 0.0, initial_gap_m, duration_s, profile);
+        let n = leader.states().len();
+        let mut states = Vec::with_capacity(n);
+        let mut s = 0.0f64;
+        let mut v = 0.0f64;
+        for i in 0..n {
+            let t = leader.states()[i].t;
+            states.push(DriveState { t, s, v });
+            let lead = leader.states()[i];
+            let gap = lead.s - s;
+            let accel = (params.gap_gain * (gap - params.target_gap_m)
+                + params.speed_gain * (lead.v - v))
+                .clamp(
+                    -params.b_max.min(profile.b_max),
+                    params.a_max.min(profile.a_max),
+                );
+            v = (v + accel * SIM_DT_S).max(0.0);
+            s += v * SIM_DT_S;
+        }
+        TwoVehicleScenario {
+            leader,
+            follower: Drive::from_states(states, SIM_DT_S),
+            leader_lane_offset_m: 0.0,
+            follower_lane_offset_m: 0.0,
+        }
+    }
+
+    /// Places the two vehicles in (possibly different) lanes. Lane index 0
+    /// is the rightmost; offsets are computed from the route's lane width.
+    pub fn with_lanes(mut self, route: &Route, leader_lane: usize, follower_lane: usize) -> Self {
+        let w = route.class().lane_width_m();
+        let n = route.class().lanes() as f64;
+        let offset = |lane: usize| (lane as f64 + 0.5 - n / 2.0) * w;
+        self.leader_lane_offset_m = offset(leader_lane);
+        self.follower_lane_offset_m = offset(follower_lane);
+        self
+    }
+
+    /// Ground-truth gap (leader ahead = positive) at time `t`.
+    pub fn gap_at(&self, t: f64) -> f64 {
+        self.leader.distance_at(t) - self.follower.distance_at(t)
+    }
+
+    /// Times at which both vehicles are moving (useful for sampling query
+    /// points away from red-light dwells), in `[t0, t1]` at `step` spacing.
+    pub fn moving_times(&self, t0: f64, t1: f64, step: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut t = t0;
+        while t <= t1 {
+            if self.leader.speed_at(t) > 1.0 && self.follower.speed_at(t) > 1.0 {
+                out.push(t);
+            }
+            t += step;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::road::{RoadClass, Route};
+
+    fn scenario() -> TwoVehicleScenario {
+        let route = Route::straight(RoadClass::Urban8Lane, 30_000.0);
+        TwoVehicleScenario::simulate(&route, 11, 40.0, &FollowerParams::default(), 600.0)
+    }
+
+    #[test]
+    fn follower_tracks_leader_gap() {
+        let sc = scenario();
+        // After the initial transient the gap should hover near the target
+        // whenever traffic flows.
+        let mut worst: f64 = 0.0;
+        for t in sc.moving_times(120.0, 550.0, 5.0) {
+            let gap = sc.gap_at(t);
+            assert!(gap > 0.0, "follower overtook leader at t={t}");
+            worst = worst.max((gap - 35.0).abs());
+        }
+        assert!(worst < 35.0, "gap strayed {worst} m from target");
+    }
+
+    #[test]
+    fn follower_never_reverses() {
+        let sc = scenario();
+        for w in sc.follower.states().windows(2) {
+            assert!(w[1].s >= w[0].s);
+            assert!(w[0].v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn gap_shrinks_when_leader_stops() {
+        let sc = scenario();
+        // Wherever the leader is stopped for a while, the follower should
+        // have closed in (gap below target).
+        let stops: Vec<f64> = sc
+            .leader
+            .states()
+            .iter()
+            .filter(|s| s.v < 0.01 && s.t > 60.0)
+            .map(|s| s.t)
+            .collect();
+        if let Some(&t) = stops.last() {
+            let gap = sc.gap_at(t);
+            assert!(gap < 40.0, "gap at leader stop: {gap}");
+        }
+    }
+
+    #[test]
+    fn lane_assignment_offsets() {
+        let route = Route::straight(RoadClass::Urban8Lane, 5_000.0);
+        let sc = TwoVehicleScenario::simulate(&route, 3, 30.0, &FollowerParams::default(), 60.0)
+            .with_lanes(&route, 0, 3);
+        // 8-lane: 4 lanes/direction, width 3.5 → lane 0 at -5.25, lane 3 at +5.25.
+        assert!((sc.leader_lane_offset_m + 5.25).abs() < 1e-9);
+        assert!((sc.follower_lane_offset_m - 5.25).abs() < 1e-9);
+        // Same-lane default.
+        let same = TwoVehicleScenario::simulate(&route, 3, 30.0, &FollowerParams::default(), 60.0);
+        assert_eq!(same.leader_lane_offset_m, same.follower_lane_offset_m);
+    }
+
+    #[test]
+    fn determinism() {
+        let route = Route::straight(RoadClass::Urban4Lane, 10_000.0);
+        let a = TwoVehicleScenario::simulate(&route, 9, 25.0, &FollowerParams::default(), 120.0);
+        let b = TwoVehicleScenario::simulate(&route, 9, 25.0, &FollowerParams::default(), 120.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn moving_times_excludes_stops() {
+        let sc = scenario();
+        for t in sc.moving_times(0.0, 600.0, 2.0) {
+            assert!(sc.leader.speed_at(t) > 1.0);
+            assert!(sc.follower.speed_at(t) > 1.0);
+        }
+    }
+}
+
+/// A convoy of `n ≥ 2` vehicles on one route: vehicle 0 leads with the
+/// free-driving controller, every subsequent vehicle car-follows its
+/// predecessor. The heavy-traffic workload of §V-B.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Convoy {
+    /// Per-vehicle motion, front to back (`drives[0]` is the head).
+    pub drives: Vec<Drive>,
+}
+
+impl Convoy {
+    /// Simulates a convoy: the head starts at arc length
+    /// `(n − 1) · initial_gap_m` and each follower `initial_gap_m` behind
+    /// its predecessor.
+    pub fn simulate(
+        route: &Route,
+        seed: u64,
+        n: usize,
+        initial_gap_m: f64,
+        params: &FollowerParams,
+        duration_s: f64,
+    ) -> Convoy {
+        assert!(n >= 2, "a convoy needs at least two vehicles");
+        let head_start = (n - 1) as f64 * initial_gap_m;
+        let head = Drive::simulate(route, seed, 0.0, head_start, duration_s);
+        let mut drives = vec![head];
+        for k in 1..n {
+            let ahead = &drives[k - 1];
+            let m = ahead.states().len();
+            let mut states = Vec::with_capacity(m);
+            let mut s = head_start - k as f64 * initial_gap_m;
+            let mut v = 0.0f64;
+            for i in 0..m {
+                let t = ahead.states()[i].t;
+                states.push(DriveState { t, s, v });
+                let lead = ahead.states()[i];
+                let gap = lead.s - s;
+                let accel = (params.gap_gain * (gap - params.target_gap_m)
+                    + params.speed_gain * (lead.v - v))
+                    .clamp(-params.b_max, params.a_max);
+                v = (v + accel * SIM_DT_S).max(0.0);
+                s += v * SIM_DT_S;
+            }
+            drives.push(Drive::from_states(states, SIM_DT_S));
+        }
+        Convoy { drives }
+    }
+
+    /// Number of vehicles.
+    pub fn len(&self) -> usize {
+        self.drives.len()
+    }
+
+    /// True when the convoy is empty (never: construction requires n ≥ 2).
+    pub fn is_empty(&self) -> bool {
+        self.drives.is_empty()
+    }
+
+    /// Ground-truth gap between vehicles `front` and `rear` (indices into
+    /// the convoy, 0 = head) at time `t`; positive when `front` is ahead.
+    pub fn gap_between(&self, front: usize, rear: usize, t: f64) -> f64 {
+        self.drives[front].distance_at(t) - self.drives[rear].distance_at(t)
+    }
+}
+
+#[cfg(test)]
+mod convoy_tests {
+    use super::*;
+    use crate::road::{RoadClass, Route};
+
+    #[test]
+    fn convoy_keeps_order_and_spacing() {
+        let route = Route::straight(RoadClass::Urban8Lane, 30_000.0);
+        let convoy = Convoy::simulate(&route, 5, 6, 30.0, &FollowerParams::default(), 300.0);
+        assert_eq!(convoy.len(), 6);
+        for t in (60..300).step_by(20) {
+            let t = t as f64;
+            for k in 1..6 {
+                let gap = convoy.gap_between(k - 1, k, t);
+                assert!(gap > 0.0, "vehicle {k} overtook {} at t={t}", k - 1);
+                assert!(gap < 150.0, "convoy broke apart: gap {gap} at t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn convoy_is_deterministic_and_head_matches_solo_drive() {
+        let route = Route::straight(RoadClass::Urban4Lane, 20_000.0);
+        let a = Convoy::simulate(&route, 9, 3, 25.0, &FollowerParams::default(), 120.0);
+        let b = Convoy::simulate(&route, 9, 3, 25.0, &FollowerParams::default(), 120.0);
+        assert_eq!(a, b);
+        let solo = Drive::simulate(&route, 9, 0.0, 50.0, 120.0);
+        assert_eq!(a.drives[0], solo);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_vehicle_convoy_rejected() {
+        let route = Route::straight(RoadClass::Urban4Lane, 5_000.0);
+        Convoy::simulate(&route, 1, 1, 25.0, &FollowerParams::default(), 60.0);
+    }
+}

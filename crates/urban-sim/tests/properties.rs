@@ -1,0 +1,126 @@
+//! Property-based tests of the urban driving substrate.
+
+use proptest::prelude::*;
+use urban_sim::drive::{Drive, OdometryModel, SIM_DT_S};
+use urban_sim::road::{RoadClass, Route};
+use urban_sim::scenario::{FollowerParams, TwoVehicleScenario};
+
+fn any_road() -> impl Strategy<Value = RoadClass> {
+    prop_oneof![
+        Just(RoadClass::Suburban2Lane),
+        Just(RoadClass::Urban4Lane),
+        Just(RoadClass::Urban8Lane),
+        Just(RoadClass::UnderElevated),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn routes_are_arclength_consistent(
+        seed in 0u64..500,
+        road in any_road(),
+        len in 1_000.0f64..8_000.0,
+    ) {
+        let route = Route::generate(seed, road, len);
+        prop_assert!(route.len_m() >= len);
+        // pos_at steps of δ along the route move at most δ in space.
+        let mut s = 0.0;
+        while s + 5.0 < route.len_m() {
+            let (x0, y0) = route.pos_at(s);
+            let (x1, y1) = route.pos_at(s + 5.0);
+            let d = ((x1 - x0).powi(2) + (y1 - y0).powi(2)).sqrt();
+            prop_assert!(d <= 5.0 + 1e-9, "displacement {d} over 5 m of arc");
+            s += 97.0;
+        }
+    }
+
+    #[test]
+    fn drives_respect_kinematic_limits(
+        seed in 0u64..500,
+        road in any_road(),
+        dur in 30.0f64..240.0,
+    ) {
+        let route = Route::straight(road, 20_000.0);
+        let d = Drive::simulate(&route, seed, 0.0, 0.0, dur);
+        for w in d.states().windows(2) {
+            prop_assert!(w[1].s >= w[0].s, "distance must be monotone");
+            prop_assert!(w[0].v >= 0.0);
+            prop_assert!(w[1].v - w[0].v <= 2.0 * SIM_DT_S + 1e-9);
+            prop_assert!(w[0].v - w[1].v <= 3.0 * SIM_DT_S + 1e-9);
+            prop_assert!(w[1].v <= 1.25 * road.free_flow_speed_mps());
+        }
+    }
+
+    #[test]
+    fn time_distance_interpolators_are_inverse(
+        seed in 0u64..200,
+        t in 20.0f64..110.0,
+    ) {
+        let route = Route::straight(RoadClass::Urban8Lane, 20_000.0);
+        let d = Drive::simulate(&route, seed, 0.0, 0.0, 120.0);
+        if d.speed_at(t) > 1.0 {
+            let s = d.distance_at(t);
+            let back = d.time_at_distance(s).unwrap();
+            prop_assert!((back - t).abs() < SIM_DT_S + 1e-6, "t {t} → s {s} → {back}");
+        }
+    }
+
+    #[test]
+    fn metre_marks_are_monotone_and_calibrated(
+        seed in 0u64..200,
+        bias in -0.02f64..0.02,
+    ) {
+        let route = Route::straight(RoadClass::Urban4Lane, 20_000.0);
+        let d = Drive::simulate(&route, seed, 0.0, 0.0, 120.0);
+        let odo = OdometryModel { scale_bias: bias, per_metre_sigma: 0.03, ..OdometryModel::ideal() };
+        let marks = d.metre_marks(&route, &odo, seed);
+        prop_assert!(marks.windows(2).all(|w| w[1].t >= w[0].t));
+        prop_assert!(marks.windows(2).all(|w| w[1].true_s > w[0].true_s));
+        if marks.len() > 100 {
+            // After n perceived metres the true distance is n·(1+bias) ± noise.
+            let n = marks.len() as f64;
+            let expect = n * (1.0 + bias);
+            prop_assert!(
+                (marks.last().unwrap().true_s - expect).abs() < n * 0.01 + 3.0,
+                "true_s {} vs expectation {expect}",
+                marks.last().unwrap().true_s
+            );
+        }
+    }
+
+    #[test]
+    fn follower_stays_behind_and_safe(
+        seed in 0u64..200,
+        gap0 in 15.0f64..80.0,
+    ) {
+        let route = Route::straight(RoadClass::Urban8Lane, 20_000.0);
+        let sc = TwoVehicleScenario::simulate(&route, seed, gap0, &FollowerParams::default(), 300.0);
+        for t in (0..300).step_by(5) {
+            let gap = sc.gap_at(t as f64);
+            prop_assert!(gap > -1.0, "follower overtook: gap {gap} at t={t}");
+        }
+        // Long-run: the follower has closed toward the target gap band.
+        let late: Vec<f64> = sc.moving_times(200.0, 295.0, 5.0)
+            .iter().map(|&t| sc.gap_at(t)).collect();
+        if late.len() > 3 {
+            let mean = late.iter().sum::<f64>() / late.len() as f64;
+            prop_assert!(mean > 5.0 && mean < 90.0, "steady-state gap {mean}");
+        }
+    }
+
+    #[test]
+    fn lane_offsets_are_bounded_by_road_width(
+        road in any_road(),
+        lane in 0usize..4,
+    ) {
+        let route = Route::straight(road, 1_000.0);
+        let lane = lane.min(road.lanes() - 1);
+        let sc = TwoVehicleScenario::simulate(&route, 1, 30.0, &FollowerParams::default(), 10.0)
+            .with_lanes(&route, lane, lane);
+        let half_width = road.lanes() as f64 * road.lane_width_m() / 2.0;
+        prop_assert!(sc.leader_lane_offset_m.abs() <= half_width);
+        prop_assert_eq!(sc.leader_lane_offset_m, sc.follower_lane_offset_m);
+    }
+}

@@ -1,0 +1,239 @@
+//! An in-process broadcast medium for multi-vehicle tests and examples.
+//!
+//! Models the shared DSRC channel: every registered node hears every other
+//! node's broadcasts, subject to deterministic packet loss and the WSM
+//! latency model. Delivery is via crossbeam channels so vehicle tasks can
+//! run on separate threads; the registry is guarded by a `parking_lot`
+//! mutex.
+
+use crate::wsm::{exchange_time_s, WsmConfig};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A message delivered to a node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// Sending node id.
+    pub from: u64,
+    /// Simulated time at which the message finished arriving, seconds
+    /// (send time plus the WSM transfer latency for its size).
+    pub arrival_s: f64,
+    /// Message payload.
+    pub payload: Bytes,
+}
+
+struct Inner {
+    peers: Mutex<HashMap<u64, Sender<Delivery>>>,
+    cfg: WsmConfig,
+    /// Packet loss probability in [0, 1], applied per (message, receiver).
+    loss: f64,
+    seq: AtomicU64,
+    seed: u64,
+}
+
+/// Handle to the shared broadcast medium.
+#[derive(Clone)]
+pub struct V2vLink {
+    inner: Arc<Inner>,
+}
+
+/// A node's endpoint on the link.
+pub struct Endpoint {
+    /// This node's id.
+    pub id: u64,
+    link: V2vLink,
+    rx: Receiver<Delivery>,
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl V2vLink {
+    /// A lossless link with default WSM parameters.
+    pub fn new() -> Self {
+        Self::with_loss(0.0, 0)
+    }
+
+    /// A link dropping each (message, receiver) pair with probability
+    /// `loss` (deterministic in `seed`).
+    pub fn with_loss(loss: f64, seed: u64) -> Self {
+        V2vLink {
+            inner: Arc::new(Inner {
+                peers: Mutex::new(HashMap::new()),
+                cfg: WsmConfig::default(),
+                loss: loss.clamp(0.0, 1.0),
+                seq: AtomicU64::new(0),
+                seed,
+            }),
+        }
+    }
+
+    /// Registers a node and returns its endpoint.
+    ///
+    /// # Panics
+    /// Panics when the id is already registered.
+    pub fn join(&self, id: u64) -> Endpoint {
+        let (tx, rx) = unbounded();
+        let prev = self.inner.peers.lock().insert(id, tx);
+        assert!(prev.is_none(), "node id {id} already registered");
+        Endpoint {
+            id,
+            link: self.clone(),
+            rx,
+        }
+    }
+
+    /// Number of registered nodes.
+    pub fn peer_count(&self) -> usize {
+        self.inner.peers.lock().len()
+    }
+
+    fn broadcast(&self, from: u64, now_s: f64, payload: Bytes) -> f64 {
+        let latency = exchange_time_s(payload.len(), &self.inner.cfg);
+        let arrival_s = now_s + latency;
+        let msg_seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let peers = self.inner.peers.lock();
+        for (&id, tx) in peers.iter() {
+            if id == from {
+                continue;
+            }
+            // Deterministic per-receiver loss decision.
+            let draw =
+                mix(self.inner.seed ^ msg_seq.wrapping_mul(31) ^ id) as f64 / u64::MAX as f64;
+            if draw < self.inner.loss {
+                continue;
+            }
+            let _ = tx.send(Delivery {
+                from,
+                arrival_s,
+                payload: payload.clone(),
+            });
+        }
+        arrival_s
+    }
+}
+
+impl Default for V2vLink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Endpoint {
+    /// Broadcasts a payload at simulated time `now_s`; returns the arrival
+    /// time at the receivers (send time + WSM transfer latency).
+    pub fn broadcast(&self, now_s: f64, payload: Bytes) -> f64 {
+        self.link.broadcast(self.id, now_s, payload)
+    }
+
+    /// Drains every message delivered so far.
+    pub fn poll(&self) -> Vec<Delivery> {
+        self.rx.try_iter().collect()
+    }
+
+    /// Blocks until a message arrives (for threaded examples/tests).
+    pub fn recv_blocking(&self) -> Option<Delivery> {
+        self.rx.recv().ok()
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        self.link.inner.peers.lock().remove(&self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_reaches_all_but_sender() {
+        let link = V2vLink::new();
+        let a = link.join(1);
+        let b = link.join(2);
+        let c = link.join(3);
+        assert_eq!(link.peer_count(), 3);
+        let arrival = a.broadcast(10.0, Bytes::from_static(b"ctx"));
+        assert!(arrival > 10.0);
+        assert!(a.poll().is_empty(), "sender must not hear itself");
+        let db = b.poll();
+        let dc = c.poll();
+        assert_eq!(db.len(), 1);
+        assert_eq!(dc.len(), 1);
+        assert_eq!(db[0].from, 1);
+        assert_eq!(db[0].payload, Bytes::from_static(b"ctx"));
+        assert_eq!(db[0].arrival_s, arrival);
+    }
+
+    #[test]
+    fn arrival_time_includes_wsm_latency() {
+        let link = V2vLink::new();
+        let a = link.join(1);
+        let _b = link.join(2);
+        // 3000 bytes → 3 packets → 12 ms.
+        let arrival = a.broadcast(0.0, Bytes::from(vec![0u8; 3000]));
+        assert!((arrival - 0.012).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lossy_link_drops_deterministically() {
+        let run = |seed: u64| {
+            let link = V2vLink::with_loss(0.5, seed);
+            let a = link.join(1);
+            let b = link.join(2);
+            for i in 0..200 {
+                a.broadcast(i as f64, Bytes::from_static(b"x"));
+            }
+            b.poll().len()
+        };
+        let n1 = run(7);
+        let n2 = run(7);
+        assert_eq!(n1, n2, "loss must be deterministic");
+        assert!(n1 > 60 && n1 < 140, "≈50 % of 200 expected, got {n1}");
+    }
+
+    #[test]
+    fn departed_nodes_stop_receiving() {
+        let link = V2vLink::new();
+        let a = link.join(1);
+        {
+            let _b = link.join(2);
+        } // b drops here
+        assert_eq!(link.peer_count(), 1);
+        a.broadcast(0.0, Bytes::from_static(b"x"));
+        // No panic, nothing delivered anywhere.
+        assert!(a.poll().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_ids_rejected() {
+        let link = V2vLink::new();
+        let _a = link.join(1);
+        let _dup = link.join(1);
+    }
+
+    #[test]
+    fn threaded_exchange() {
+        let link = V2vLink::new();
+        let a = link.join(1);
+        let b = link.join(2);
+        let handle = std::thread::spawn(move || {
+            let d = b.recv_blocking().expect("delivery");
+            (d.from, d.payload.len())
+        });
+        a.broadcast(1.0, Bytes::from(vec![7u8; 512]));
+        let (from, len) = handle.join().unwrap();
+        assert_eq!(from, 1);
+        assert_eq!(len, 512);
+    }
+}

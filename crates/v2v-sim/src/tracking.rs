@@ -1,0 +1,243 @@
+//! Incremental context updates for continuous tracking (§V-B).
+//!
+//! A tracking application may query a neighbour's distance every 100 ms;
+//! re-broadcasting the full 1 km context each time is infeasible (0.5 s per
+//! exchange). The paper's remedy: after a SYN point is established, send
+//! only the trajectory *tail* accumulated since the last update, and fall
+//! back to a full context when the estimated accumulated error exceeds a
+//! threshold. [`TrackingSession`] implements that policy on top of the
+//! snapshot codec.
+
+use crate::codec::encode_snapshot;
+use bytes::Bytes;
+use rups_core::pipeline::ContextSnapshot;
+
+/// One update emitted by a tracking session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Update {
+    /// A full context snapshot (establishes or re-establishes the SYN
+    /// baseline).
+    Full(Bytes),
+    /// Only the metres accumulated since the previous update.
+    Tail {
+        /// Wire-encoded snapshot of the new tail metres.
+        payload: Bytes,
+        /// Metres of new trajectory contained in the update.
+        new_metres: usize,
+    },
+}
+
+impl Update {
+    /// Payload size on the wire, bytes.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            Update::Full(b) => b.len(),
+            Update::Tail { payload, .. } => payload.len(),
+        }
+    }
+}
+
+/// Sender-side state of the §V-B incremental-update protocol.
+#[derive(Debug, Clone)]
+pub struct TrackingSession {
+    /// Metres of tail growth after which a full refresh is forced (the
+    /// "estimated accumulative error is beyond a threshold" rule; dead-
+    /// reckoning error grows with distance, so distance is the proxy).
+    pub refresh_after_m: usize,
+    sent_len: Option<usize>,
+    tail_since_full: usize,
+    last_timestamp: Option<f64>,
+}
+
+impl TrackingSession {
+    /// A session that refreshes the full context every `refresh_after_m`
+    /// metres of accumulated tail.
+    pub fn new(refresh_after_m: usize) -> Self {
+        Self {
+            refresh_after_m,
+            sent_len: None,
+            tail_since_full: 0,
+            last_timestamp: None,
+        }
+    }
+
+    /// Computes the next update for the neighbour given our current
+    /// snapshot. Returns `None` when nothing new has been recorded since
+    /// the last update.
+    pub fn next_update(&mut self, snap: &ContextSnapshot) -> Option<Update> {
+        let now = snap.geo.latest_timestamp();
+        let new_metres = match (self.last_timestamp, now) {
+            (Some(prev), Some(_)) => snap
+                .geo
+                .samples()
+                .iter()
+                .filter(|s| s.timestamp_s > prev)
+                .count(),
+            (None, Some(_)) => snap.len(),
+            (_, None) => return None,
+        };
+        if new_metres == 0 {
+            return None;
+        }
+        self.last_timestamp = now;
+
+        let need_full =
+            self.sent_len.is_none() || self.tail_since_full + new_metres > self.refresh_after_m;
+        if need_full {
+            self.sent_len = Some(snap.len());
+            self.tail_since_full = 0;
+            return Some(Update::Full(encode_snapshot(snap)));
+        }
+        self.tail_since_full += new_metres;
+        self.sent_len = Some(snap.len());
+        let tail = ContextSnapshot {
+            vehicle_id: snap.vehicle_id,
+            geo: snap.geo.tail(new_metres),
+            gsm: snap.gsm.tail(new_metres),
+        };
+        Some(Update::Tail {
+            payload: encode_snapshot(&tail),
+            new_metres,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rups_core::geo::{GeoSample, GeoTrajectory};
+    use rups_core::gsm::{GsmTrajectory, PowerVector};
+
+    fn snap(len: usize) -> ContextSnapshot {
+        let mut geo = GeoTrajectory::new();
+        let mut gsm = GsmTrajectory::new(8);
+        for i in 0..len {
+            geo.push(GeoSample {
+                heading_rad: 0.0,
+                timestamp_s: i as f64,
+            });
+            gsm.push(&PowerVector::from_fn(8, |ch| {
+                Some(-60.0 - ch as f32 - i as f32 * 0.1)
+            }));
+        }
+        ContextSnapshot {
+            vehicle_id: Some(1),
+            geo,
+            gsm,
+        }
+    }
+
+    #[test]
+    fn first_update_is_full() {
+        let mut s = TrackingSession::new(100);
+        match s.next_update(&snap(500)) {
+            Some(Update::Full(b)) => assert!(!b.is_empty()),
+            other => panic!("expected full, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subsequent_updates_are_small_tails() {
+        let mut s = TrackingSession::new(200);
+        let full = s.next_update(&snap(500)).unwrap();
+        let tail = s.next_update(&snap(510)).unwrap();
+        match &tail {
+            Update::Tail { new_metres, .. } => assert_eq!(*new_metres, 10),
+            other => panic!("expected tail, got {other:?}"),
+        }
+        assert!(
+            tail.wire_bytes() < full.wire_bytes() / 10,
+            "tail {} vs full {}",
+            tail.wire_bytes(),
+            full.wire_bytes()
+        );
+    }
+
+    #[test]
+    fn no_update_when_nothing_new() {
+        let mut s = TrackingSession::new(100);
+        let context = snap(300);
+        assert!(s.next_update(&context).is_some());
+        assert!(s.next_update(&context).is_none());
+    }
+
+    #[test]
+    fn full_refresh_after_threshold() {
+        let mut s = TrackingSession::new(50);
+        assert!(matches!(s.next_update(&snap(300)), Some(Update::Full(_))));
+        // Three 20 m tail updates: 20, 40 → still tails; the third pushes
+        // the accumulated tail to 60 > 50 → full refresh.
+        assert!(matches!(
+            s.next_update(&snap(320)),
+            Some(Update::Tail { .. })
+        ));
+        assert!(matches!(
+            s.next_update(&snap(340)),
+            Some(Update::Tail { .. })
+        ));
+        assert!(matches!(s.next_update(&snap(360)), Some(Update::Full(_))));
+        // Counter reset: the next small step is a tail again.
+        assert!(matches!(
+            s.next_update(&snap(370)),
+            Some(Update::Tail { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_snapshot_yields_nothing() {
+        let mut s = TrackingSession::new(100);
+        assert!(s.next_update(&snap(0)).is_none());
+    }
+}
+
+/// §V-B heavy-traffic policy: "reduce the context scope needed to transfer
+/// as the distances between nearby vehicles also shrink when the traffic is
+/// heavy". Given the last known gap estimate, suggests how many metres of
+/// context a broadcast needs: enough to cover the gap plus a full checking
+/// window plus a safety margin, clamped to `[min_m, max_m]`.
+pub fn suggested_context_m(
+    last_gap_m: f64,
+    window_len_m: usize,
+    min_m: usize,
+    max_m: usize,
+) -> usize {
+    let need = last_gap_m.abs() + 2.0 * window_len_m as f64 + 30.0;
+    (need.ceil() as usize).clamp(min_m, max_m)
+}
+
+#[cfg(test)]
+mod scope_tests {
+    use super::suggested_context_m;
+
+    #[test]
+    fn scope_shrinks_with_the_gap() {
+        // Dense traffic, 12 m gap: a couple hundred metres suffice.
+        let near = suggested_context_m(12.0, 85, 120, 1000);
+        assert!(near < 250, "near scope {near}");
+        // 200 m gap needs more context than the window alone.
+        let far = suggested_context_m(200.0, 85, 120, 1000);
+        assert!(far > near);
+        assert!(far <= 1000);
+        // Clamped at both ends; sign does not matter.
+        assert_eq!(suggested_context_m(0.0, 85, 300, 1000), 300);
+        assert_eq!(suggested_context_m(5_000.0, 85, 120, 1000), 1000);
+        assert_eq!(
+            suggested_context_m(-60.0, 85, 120, 1000),
+            suggested_context_m(60.0, 85, 120, 1000)
+        );
+    }
+
+    #[test]
+    fn scope_savings_are_real() {
+        use crate::codec::encoded_size;
+        // At a 15 m urban crawl gap, the scoped transfer is ~4× cheaper
+        // than a full 1 km context.
+        let scoped = encoded_size(suggested_context_m(15.0, 85, 120, 1000), 194);
+        let full = encoded_size(1000, 194);
+        assert!(
+            full as f64 / scoped as f64 > 3.5,
+            "saving {}",
+            full as f64 / scoped as f64
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! WAVE Short Message fragmentation and latency model (§V-B).
+//!
+//! The paper measured an 802.11p link (Arada LocoMate OBUs) carrying WSM
+//! packets with a maximum payload of 1400 bytes and an average round-trip
+//! time of 4 ms. Exchanging a 1 km journey context (~182 KB) therefore costs
+//! about 130 packets ≈ 0.52 s — the dominant term in RUPS's ~0.5 s query
+//! response time.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// 802.11p WSM link parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WsmConfig {
+    /// Maximum WSM payload, bytes (§V-B: 1400).
+    pub payload_bytes: usize,
+    /// Effective per-packet delivery latency, seconds (§V-B: ~4 ms).
+    pub per_packet_latency_s: f64,
+}
+
+impl Default for WsmConfig {
+    fn default() -> Self {
+        Self {
+            payload_bytes: 1400,
+            per_packet_latency_s: 0.004,
+        }
+    }
+}
+
+impl WsmConfig {
+    /// Number of packets needed for `total_bytes` of payload.
+    pub fn packets_for(&self, total_bytes: usize) -> usize {
+        total_bytes.div_ceil(self.payload_bytes)
+    }
+}
+
+/// Splits a message into WSM-sized fragments (zero-copy slices of the
+/// input `Bytes`).
+pub fn fragment(data: &Bytes, cfg: &WsmConfig) -> Vec<Bytes> {
+    let mut out = Vec::with_capacity(cfg.packets_for(data.len()));
+    let mut off = 0;
+    while off < data.len() {
+        let end = (off + cfg.payload_bytes).min(data.len());
+        out.push(data.slice(off..end));
+        off = end;
+    }
+    out
+}
+
+/// Reassembles fragments back into one message.
+pub fn reassemble(fragments: &[Bytes]) -> Bytes {
+    let total: usize = fragments.iter().map(|f| f.len()).sum();
+    let mut buf = Vec::with_capacity(total);
+    for f in fragments {
+        buf.extend_from_slice(f);
+    }
+    Bytes::from(buf)
+}
+
+/// Wall-clock time to transfer `total_bytes` over the link.
+pub fn exchange_time_s(total_bytes: usize, cfg: &WsmConfig) -> f64 {
+    cfg.packets_for(total_bytes) as f64 * cfg.per_packet_latency_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_arithmetic_holds() {
+        // §V-B: 182 KB → ~130 packets → ~0.52 s.
+        let cfg = WsmConfig::default();
+        let bytes = 182 * 1024;
+        let packets = cfg.packets_for(bytes);
+        assert!((130..=134).contains(&packets), "packets {packets}");
+        let t = exchange_time_s(bytes, &cfg);
+        assert!((0.50..=0.55).contains(&t), "exchange time {t}");
+    }
+
+    #[test]
+    fn fragmentation_roundtrip() {
+        let data = Bytes::from(
+            (0..10_000u32)
+                .flat_map(|x| x.to_le_bytes())
+                .collect::<Vec<u8>>(),
+        );
+        let cfg = WsmConfig::default();
+        let frags = fragment(&data, &cfg);
+        assert_eq!(frags.len(), cfg.packets_for(data.len()));
+        assert!(frags.iter().rev().skip(1).all(|f| f.len() == 1400));
+        assert!(frags.last().unwrap().len() <= 1400);
+        assert_eq!(reassemble(&frags), data);
+    }
+
+    #[test]
+    fn empty_and_single_packet_messages() {
+        let cfg = WsmConfig::default();
+        assert_eq!(fragment(&Bytes::new(), &cfg).len(), 0);
+        assert_eq!(exchange_time_s(0, &cfg), 0.0);
+        let small = Bytes::from_static(b"hello");
+        let frags = fragment(&small, &cfg);
+        assert_eq!(frags.len(), 1);
+        assert!((exchange_time_s(5, &cfg) - 0.004).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exchange_time_scales_linearly() {
+        let cfg = WsmConfig::default();
+        let one_km = exchange_time_s(crate::codec::encoded_size(1000, 194), &cfg);
+        let half_km = exchange_time_s(crate::codec::encoded_size(500, 194), &cfg);
+        assert!(one_km > 1.8 * half_km && one_km < 2.2 * half_km);
+        // A full-band 1 km context exchanges in well under a second.
+        assert!(one_km < 1.0, "1 km exchange {one_km} s");
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the V2V wire formats.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use rups_core::geo::{GeoSample, GeoTrajectory};
+use rups_core::gsm::{GsmTrajectory, PowerVector};
+use rups_core::pipeline::ContextSnapshot;
+use v2v_sim::codec::{
+    decode_snapshot, dequantise_rssi, encode_snapshot, encoded_size, quantise_rssi,
+};
+use v2v_sim::wsm::{fragment, reassemble, WsmConfig};
+
+/// Strategy: a random snapshot with arbitrary missing-channel patterns.
+fn snapshot_strategy() -> impl Strategy<Value = ContextSnapshot> {
+    (
+        1usize..6,                          // n_channels
+        0usize..40,                         // len
+        proptest::option::of(any::<u64>()), // vehicle id
+        any::<u32>(),                       // value seed
+    )
+        .prop_map(|(n_channels, len, vehicle_id, seed)| {
+            let mut geo = GeoTrajectory::new();
+            let mut gsm = GsmTrajectory::new(n_channels);
+            let mut h = seed as u64;
+            let mut next = move || {
+                h = h
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                h
+            };
+            for i in 0..len {
+                let heading = ((next() % 6283) as f64 / 1000.0) - std::f64::consts::PI;
+                geo.push(GeoSample {
+                    heading_rad: heading,
+                    timestamp_s: 1e6 + i as f64 * 0.37,
+                });
+                gsm.push(&PowerVector::from_fn(n_channels, |_| {
+                    if next() % 4 == 0 {
+                        None
+                    } else {
+                        Some(-110.0 + (next() % 1200) as f32 / 10.0)
+                    }
+                }));
+            }
+            ContextSnapshot {
+                vehicle_id,
+                geo,
+                gsm,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn codec_roundtrip_preserves_snapshot(snap in snapshot_strategy()) {
+        let wire = encode_snapshot(&snap);
+        prop_assert_eq!(wire.len(),
+            encoded_size(snap.len(), snap.gsm.n_channels())
+                - if snap.vehicle_id.is_none() { 8 } else { 0 });
+        let back = decode_snapshot(&wire).unwrap();
+        prop_assert_eq!(back.vehicle_id, snap.vehicle_id);
+        prop_assert_eq!(back.len(), snap.len());
+        prop_assert_eq!(back.gsm.n_channels(), snap.gsm.n_channels());
+        for i in 0..snap.len() {
+            let a = snap.geo.samples()[i];
+            let b = back.geo.samples()[i];
+            prop_assert!((a.heading_rad - b.heading_rad).abs() < 2e-4);
+            prop_assert!((a.timestamp_s - b.timestamp_s).abs() < 1e-2);
+            for ch in 0..snap.gsm.n_channels() {
+                match (snap.gsm.get(ch, i), back.gsm.get(ch, i)) {
+                    (Some(x), Some(y)) => prop_assert!((x - y).abs() <= 0.25 + 1e-6,
+                        "rssi {x} decoded as {y}"),
+                    (None, None) => {}
+                    other => prop_assert!(false, "missingness flipped: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_never_panic(snap in snapshot_strategy(), cut in 0usize..64) {
+        let wire = encode_snapshot(&snap);
+        let keep = wire.len().saturating_sub(cut);
+        // Must return an error or a valid snapshot — never panic.
+        let _ = decode_snapshot(&wire[..keep]);
+    }
+
+    #[test]
+    fn corrupted_headers_never_panic(snap in snapshot_strategy(), idx in 0usize..16, bit in 0u8..8) {
+        let mut wire = encode_snapshot(&snap).to_vec();
+        if !wire.is_empty() {
+            let i = idx % wire.len();
+            wire[i] ^= 1 << bit;
+            let _ = decode_snapshot(&wire);
+        }
+    }
+
+    #[test]
+    fn rssi_quantisation_error_is_bounded(x in -110.0f32..17.0) {
+        let q = quantise_rssi(x);
+        prop_assert_ne!(q, 255, "in-range value must not map to the missing sentinel");
+        let back = dequantise_rssi(q);
+        prop_assert!((back - x).abs() <= 0.25 + 1e-6, "{x} → {q} → {back}");
+    }
+
+    #[test]
+    fn rssi_quantisation_is_monotone(a in -120.0f32..25.0, b in -120.0f32..25.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(quantise_rssi(lo) <= quantise_rssi(hi));
+    }
+
+    #[test]
+    fn fragmentation_roundtrips_any_payload(data in proptest::collection::vec(any::<u8>(), 0..8000)) {
+        let cfg = WsmConfig::default();
+        let payload = Bytes::from(data.clone());
+        let frags = fragment(&payload, &cfg);
+        prop_assert!(frags.iter().all(|f| f.len() <= cfg.payload_bytes && !f.is_empty()));
+        prop_assert_eq!(frags.len(), cfg.packets_for(data.len()));
+        prop_assert_eq!(reassemble(&frags), payload);
+    }
+}

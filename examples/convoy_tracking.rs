@@ -1,0 +1,94 @@
+//! Convoy tracking: three vehicles exchanging journey contexts over the
+//! simulated DSRC broadcast link, each node decoding neighbour snapshots
+//! from the wire format and fixing every pairwise distance — the full
+//! perceive → exchange → match → resolve loop of Fig. 5, including the
+//! serialization and latency model of §V-B.
+//!
+//! ```text
+//! cargo run --release --example convoy_tracking
+//! ```
+
+use rups::gsm::{EnvironmentClass, GsmEnvironment};
+use rups::prelude::*;
+use rups::v2v::{decode_snapshot, encode_snapshot, V2vLink};
+
+fn main() {
+    let n_channels = 64;
+    let env = GsmEnvironment::new(21, EnvironmentClass::SemiOpen, 4_000.0, n_channels);
+    let cfg = RupsConfig {
+        n_channels,
+        ..RupsConfig::default()
+    };
+
+    // A three-vehicle convoy: offsets along the road (metres).
+    let offsets = [0usize, 45, 110];
+    let context_len = 500usize;
+
+    // Perceive: each vehicle builds its journey context.
+    let nodes: Vec<RupsNode> = offsets
+        .iter()
+        .enumerate()
+        .map(|(i, &start)| {
+            let mut node = RupsNode::new(cfg.clone()).with_vehicle_id(i as u64 + 1);
+            for m in 0..context_len {
+                let s = (start + m) as f64;
+                let t = s / 12.0; // 12 m/s convoy speed
+                let pv = PowerVector::from_values(env.power_vector_dbm((s, 0.0), t, 0.0));
+                node.append_metre(
+                    GeoSample {
+                        heading_rad: 0.0,
+                        timestamp_s: t,
+                    },
+                    &pv,
+                )
+                .unwrap();
+            }
+            node
+        })
+        .collect();
+
+    // Exchange: every vehicle broadcasts its encoded context on the shared
+    // DSRC channel.
+    let link = V2vLink::new();
+    let endpoints: Vec<_> = (0..nodes.len()).map(|i| link.join(i as u64 + 1)).collect();
+    for (node, ep) in nodes.iter().zip(&endpoints) {
+        let wire = encode_snapshot(&node.snapshot(None));
+        let arrival = ep.broadcast(0.0, wire.clone());
+        println!(
+            "vehicle {} broadcast {} KB, delivered after {:.0} ms",
+            ep.id,
+            wire.len() / 1024,
+            arrival * 1e3
+        );
+    }
+
+    // Match + resolve: each vehicle decodes what it heard and fixes every
+    // neighbour distance in parallel.
+    println!();
+    for (node, ep) in nodes.iter().zip(&endpoints) {
+        let deliveries = ep.poll();
+        let snapshots: Vec<ContextSnapshot> = deliveries
+            .iter()
+            .map(|d| decode_snapshot(&d.payload).expect("valid snapshot"))
+            .collect();
+        let fixes = node.fix_distances_parallel(&snapshots);
+        for (snap, fix) in snapshots.iter().zip(fixes) {
+            let from = snap.vehicle_id.unwrap();
+            let me = ep.id;
+            let truth = offsets[from as usize - 1] as f64 - offsets[me as usize - 1] as f64;
+            match fix {
+                Ok(f) => {
+                    println!(
+                        "vehicle {me}: neighbour {from} is {:+7.1} m away (truth {truth:+7.1} m, \
+                         {} SYN points)",
+                        f.distance_m,
+                        f.syn_points.len()
+                    );
+                    assert!((f.distance_m - truth).abs() < 3.0, "estimate off by >3 m");
+                }
+                Err(e) => println!("vehicle {me}: neighbour {from}: {e}"),
+            }
+        }
+    }
+    println!("\nok: full convoy resolved over the simulated DSRC link");
+}

@@ -1,0 +1,69 @@
+//! The FFT-accelerated SYN search must agree with the reference scan on
+//! *real* trace contexts — including interpolated contexts that still carry
+//! all-NaN rows (never-scanned channels), which exercise the automatic
+//! fallback path.
+
+use rups::core::config::RupsConfig;
+use rups::core::syn::{find_best_syn, find_best_syn_fft, find_syn_points, find_syn_points_fft};
+use rups::eval::queries::sample_query_times;
+use rups::eval::tracegen::{generate, TraceConfig};
+use rups::urban::road::RoadClass;
+
+fn cfg() -> RupsConfig {
+    RupsConfig {
+        n_channels: 64,
+        window_channels: 24,
+        ..RupsConfig::default()
+    }
+}
+
+#[test]
+fn fft_agrees_with_reference_on_trace_contexts() {
+    let trace = generate(&TraceConfig::quick(31, RoadClass::Urban4Lane));
+    let c = cfg();
+    let times = sample_query_times(&trace, 6, 4);
+    let mut compared = 0;
+    for &t in &times {
+        let Some((ours, _)) = trace.follower.context_at(t, c.max_context_m, true, None) else {
+            continue;
+        };
+        let Some((theirs, _)) = trace.leader.context_at(t, c.max_context_m, true, None) else {
+            continue;
+        };
+        let reference = find_best_syn(&ours.gsm, &theirs.gsm, &c);
+        let fft = find_best_syn_fft(&ours.gsm, &theirs.gsm, &c);
+        match (reference, fft) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.self_end, b.self_end, "t={t}");
+                assert_eq!(a.other_end, b.other_end, "t={t}");
+                assert!((a.score - b.score).abs() < 1e-6, "t={t}: {} vs {}", a.score, b.score);
+                compared += 1;
+            }
+            (Err(_), Err(_)) => {}
+            other => panic!("definedness diverged at t={t}: {other:?}"),
+        }
+    }
+    assert!(compared >= 3, "only {compared} successful comparisons");
+}
+
+#[test]
+fn multi_syn_fft_agrees_with_reference() {
+    let trace = generate(&TraceConfig::quick(32, RoadClass::Urban8Lane));
+    let c = cfg();
+    let t = *sample_query_times(&trace, 3, 5).last().expect("query times");
+    let (ours, _) = trace.follower.context_at(t, c.max_context_m, true, None).unwrap();
+    let (theirs, _) = trace.leader.context_at(t, c.max_context_m, true, None).unwrap();
+    let reference = find_syn_points(&ours.gsm, &theirs.gsm, &c);
+    let fft = find_syn_points_fft(&ours.gsm, &theirs.gsm, &c);
+    match (reference, fft) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.self_end, y.self_end);
+                assert_eq!(x.other_end, y.other_end);
+            }
+        }
+        (Err(_), Err(_)) => {}
+        other => panic!("definedness diverged: {other:?}"),
+    }
+}

@@ -1,0 +1,150 @@
+//! §V-C integration: a vehicle that just turned onto a new road has only a
+//! short context on that road; the adaptive window (shorter check window +
+//! relaxed threshold) must still identify a neighbour quickly and improve
+//! as context accumulates.
+//!
+//! Exercises L-shaped route geometry, heading changes in the geographical
+//! trajectory, and the adaptive-window path through `find_best_syn`.
+
+use rups::core::prelude::*;
+use rups::gsm::{EnvironmentClass, GsmEnvironment};
+use rups::urban::road::{RoadClass, Route, RouteSegment};
+use std::f64::consts::FRAC_PI_2;
+
+const N_CHANNELS: usize = 64;
+
+/// Drives a node along a route from arc length `s0` to `s1` at 10 m/s,
+/// sampling a full power vector per metre.
+fn drive(env: &GsmEnvironment, route: &Route, s0: usize, s1: usize, id: u64) -> RupsNode {
+    let cfg = RupsConfig {
+        n_channels: N_CHANNELS,
+        window_channels: 32,
+        ..RupsConfig::default()
+    };
+    let mut node = RupsNode::new(cfg).with_vehicle_id(id);
+    for s in s0..s1 {
+        let pos = route.pos_at(s as f64);
+        let heading = route.heading_at(s as f64);
+        let t = s as f64 / 10.0;
+        let pv = PowerVector::from_values(env.power_vector_dbm(pos, t, 0.0));
+        node.append_metre(
+            GeoSample {
+                heading_rad: heading,
+                timestamp_s: t,
+            },
+            &pv,
+        )
+        .unwrap();
+    }
+    node
+}
+
+#[test]
+fn neighbour_identified_soon_after_a_turn() {
+    // An L-shaped itinerary: 600 m east, then north. Both vehicles take
+    // the turn; we query right after the rear vehicle has only ~40 m of
+    // post-turn context.
+    let route = Route::new(
+        RoadClass::Urban4Lane,
+        vec![
+            RouteSegment {
+                len_m: 600.0,
+                heading_rad: 0.0,
+            },
+            RouteSegment {
+                len_m: 800.0,
+                heading_rad: FRAC_PI_2,
+            },
+        ],
+    );
+    let env = GsmEnvironment::new(31, EnvironmentClass::SemiOpen, 1_500.0, N_CHANNELS);
+
+    // The context windows below start *after* the turn (arc length 600):
+    // the rear vehicle has 40 m of new-road context, the front vehicle 80 m
+    // (it is 40 m ahead).
+    let rear = drive(&env, &route, 600, 640, 1);
+    let front = drive(&env, &route, 640, 720, 2);
+
+    assert_eq!(rear.context_len(), 40);
+    let fix = rear
+        .fix_distance(&front.snapshot(None))
+        .expect("adaptive window finds the SYN");
+    // The matched window must have shrunk below the configured 85 m.
+    assert!(
+        fix.syn_points[0].window_len < 85,
+        "window {}",
+        fix.syn_points[0].window_len
+    );
+    // §V-C promises a *fast judgment*, not full accuracy: the estimate may
+    // be a few metres off until more context accumulates (see the
+    // accuracy_improves_as_context_accumulates test below).
+    assert!(
+        (fix.distance_m - 40.0).abs() < 8.0,
+        "short-context estimate {:.1} m vs truth 40 m",
+        fix.distance_m
+    );
+}
+
+#[test]
+fn accuracy_improves_as_context_accumulates() {
+    let route = Route::new(
+        RoadClass::Urban4Lane,
+        vec![
+            RouteSegment {
+                len_m: 400.0,
+                heading_rad: 0.0,
+            },
+            RouteSegment {
+                len_m: 900.0,
+                heading_rad: FRAC_PI_2,
+            },
+        ],
+    );
+    let env = GsmEnvironment::new(77, EnvironmentClass::SemiOpen, 1_500.0, N_CHANNELS);
+
+    let mut errors = Vec::new();
+    for post_turn in [30usize, 100, 300] {
+        let rear = drive(&env, &route, 400, 400 + post_turn, 1);
+        let front = drive(&env, &route, 400 + 35, 400 + 35 + post_turn, 2);
+        let fix = rear
+            .fix_distance(&front.snapshot(None))
+            .unwrap_or_else(|e| panic!("no fix with {post_turn} m context: {e}"));
+        errors.push((fix.distance_m - 35.0).abs());
+    }
+    // Longer context must not be (much) worse than the 30 m emergency fix.
+    assert!(
+        errors[2] <= errors[0] + 0.5,
+        "errors did not improve with context: {errors:?}"
+    );
+    assert!(errors[2] < 1.5, "full-context error {:.2}", errors[2]);
+}
+
+#[test]
+fn geographical_trajectory_reflects_the_turn() {
+    // The geo half of the context must record the heading change — that is
+    // what the recent_turn_magnitude policy hook consumes.
+    let route = Route::new(
+        RoadClass::Urban4Lane,
+        vec![
+            RouteSegment {
+                len_m: 100.0,
+                heading_rad: 0.0,
+            },
+            RouteSegment {
+                len_m: 100.0,
+                heading_rad: FRAC_PI_2,
+            },
+        ],
+    );
+    let env = GsmEnvironment::new(5, EnvironmentClass::SemiOpen, 300.0, N_CHANNELS);
+    let node = drive(&env, &route, 50, 150, 1);
+    let turn = node.geo_trajectory().recent_turn_magnitude(100);
+    assert!((turn - FRAC_PI_2).abs() < 1e-9, "recorded turn {turn}");
+    // Positions trace the L shape: the last point sits 50 m north of the
+    // corner.
+    let pos = node.geo_trajectory().positions();
+    let (x, y) = pos[pos.len() - 1];
+    let (x0, y0) = pos[0];
+    assert!((x - x0 - 49.0).abs() < 1.5, "east leg {x}");
+    assert!((y - y0 - 49.0).abs() < 1.5, "north leg {y}");
+}

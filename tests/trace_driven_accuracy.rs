@@ -1,0 +1,171 @@
+//! Trace-driven accuracy integration tests: cross-crate assertions on the
+//! headline behaviours of the paper's evaluation, at quick scale.
+
+use rups::eval::figures::EvalScale;
+use rups::eval::queries::{query_at, run_queries, sample_query_times, summarize_rde, GpsBaseline};
+use rups::eval::tracegen::{generate, TraceConfig};
+use rups::urban::road::RoadClass;
+
+fn scale() -> EvalScale {
+    EvalScale {
+        n_queries: 25,
+        ..EvalScale::quick()
+    }
+}
+
+fn trace_cfg(seed: u64, road: RoadClass) -> TraceConfig {
+    let s = scale();
+    TraceConfig {
+        n_channels: s.n_channels,
+        scanned_channels: s.scanned_channels,
+        route_len_m: s.route_len_m(),
+        duration_s: s.duration_s,
+        ..TraceConfig::new(seed, road)
+    }
+}
+
+#[test]
+fn rups_answers_most_queries_with_metre_scale_errors() {
+    let trace = generate(&trace_cfg(101, RoadClass::Urban4Lane));
+    let cfg = scale().rups_config();
+    let times = sample_query_times(&trace, 25, 1);
+    let outcomes = run_queries(&trace, &cfg, &times);
+    let (mean, rate) = summarize_rde(&outcomes);
+    assert!(rate > 0.6, "answer rate {rate}");
+    let mean = mean.unwrap();
+    assert!(
+        mean < 8.0,
+        "mean RDE {mean:.1} m (paper: 2.3 m on 4-lane urban)"
+    );
+}
+
+#[test]
+fn rups_beats_gps_under_elevated_roads() {
+    let trace = generate(&trace_cfg(102, RoadClass::UnderElevated));
+    let cfg = scale().rups_config();
+    let times = sample_query_times(&trace, 25, 2);
+    let outcomes = run_queries(&trace, &cfg, &times);
+    let (rups_mean, rate) = summarize_rde(&outcomes);
+    assert!(rate > 0.3, "answer rate {rate} under elevated roads");
+    let rups_mean = rups_mean.unwrap();
+
+    let gps = GpsBaseline::simulate(&trace, 99);
+    let gps_errs: Vec<f64> = times
+        .iter()
+        .filter_map(|&t| gps.rde_at(&trace, t))
+        .collect();
+    let gps_mean = gps_errs.iter().sum::<f64>() / gps_errs.len() as f64;
+    assert!(
+        gps_mean > rups_mean * 1.5,
+        "GPS ({gps_mean:.1} m) should be far worse than RUPS ({rups_mean:.1} m) \
+         under elevated roads (paper: 21.1 vs 6.9)"
+    );
+}
+
+#[test]
+fn estimates_have_correct_sign_and_scale() {
+    // The leader is ahead: every successful estimate must be positive and
+    // within a sane band around the true gap.
+    let trace = generate(&trace_cfg(103, RoadClass::Urban8Lane));
+    let cfg = scale().rups_config();
+    for &t in &sample_query_times(&trace, 15, 3) {
+        let out = query_at(&trace, &cfg, t);
+        if let Some(fix) = &out.fix {
+            assert!(
+                fix.distance_m > 0.0,
+                "leader must be reported ahead (got {:.1} at t={t})",
+                fix.distance_m
+            );
+            assert!(
+                (fix.distance_m - out.truth_m).abs() < 30.0,
+                "gross outlier: est {:.1} vs truth {:.1}",
+                fix.distance_m,
+                out.truth_m
+            );
+        }
+    }
+}
+
+#[test]
+fn syn_errors_and_rde_are_consistent() {
+    // The aggregated RDE cannot be wildly better than the SYN points that
+    // produced it were bad — sanity of the error accounting.
+    let trace = generate(&trace_cfg(104, RoadClass::Urban4Lane));
+    let cfg = scale().rups_config();
+    for &t in &sample_query_times(&trace, 10, 4) {
+        let out = query_at(&trace, &cfg, t);
+        let Some(fix) = &out.fix else { continue };
+        assert_eq!(out.syn_errors_m.len(), fix.syn_points.len());
+        for (err, p) in out.syn_errors_m.iter().zip(&fix.syn_points) {
+            assert!(*err >= 0.0);
+            assert!(
+                p.score >= 0.9,
+                "SYN accepted below adaptive threshold: {}",
+                p.score
+            );
+            assert!(*err < 100.0, "absurd SYN error {err}");
+        }
+    }
+}
+
+#[test]
+fn more_radios_do_not_hurt_syn_accuracy() {
+    let few = {
+        let mut c = trace_cfg(105, RoadClass::Urban4Lane);
+        c.leader_radios = 1;
+        c.follower_radios = 1;
+        c
+    };
+    let many = {
+        let mut c = trace_cfg(105, RoadClass::Urban4Lane);
+        c.leader_radios = 4;
+        c.follower_radios = 4;
+        c
+    };
+    let cfg = scale().rups_config();
+    let collect = |tc: &TraceConfig| {
+        let trace = generate(tc);
+        let times = sample_query_times(&trace, 20, 5);
+        run_queries(&trace, &cfg, &times)
+            .into_iter()
+            .flat_map(|o| o.syn_errors_m)
+            .collect::<Vec<f64>>()
+    };
+    let errs_few = collect(&few);
+    let errs_many = collect(&many);
+    assert!(!errs_many.is_empty());
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    // Allow noise at quick scale, but 4 radios must not be clearly worse.
+    assert!(
+        mean(&errs_many) <= mean(&errs_few) + 2.0,
+        "4 radios ({:.1} m) vs 1 radio ({:.1} m)",
+        mean(&errs_many),
+        mean(&errs_few)
+    );
+}
+
+#[test]
+fn unrelated_roads_produce_no_false_fix() {
+    // Vehicles on two different roads (different trace seeds → different
+    // environments) must not match.
+    let a = generate(&trace_cfg(106, RoadClass::Urban4Lane));
+    let b = generate(&trace_cfg(206, RoadClass::Urban4Lane));
+    let cfg = scale().rups_config();
+    let t = 200.0;
+    let (ours, _) = a
+        .follower
+        .context_at(t, cfg.max_context_m, true, Some(1))
+        .unwrap();
+    let (theirs, _) = b
+        .leader
+        .context_at(t, cfg.max_context_m, true, Some(2))
+        .unwrap();
+    match rups::core::syn::find_best_syn(&ours.gsm, &theirs.gsm, &cfg) {
+        Err(rups::core::error::RupsError::NoSynPoint { .. }) => {}
+        Ok(p) => panic!(
+            "false SYN point across unrelated roads: score {:.2}",
+            p.score
+        ),
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+}
