@@ -1,0 +1,99 @@
+//! Batched-engine vs naive per-query throughput for one epoch of
+//! neighbour distance queries (the §V-B heavy-traffic path).
+//!
+//! `batched` answers the whole epoch through `RupsNode::fix_distances_parallel`
+//! — one `SynQueryEngine` work-stealing pass sharing the cached interpolated
+//! context, window memo, own-side prefix sums and pooled scratch arenas.
+//! `naive` replays what every query used to cost before the engine: clone +
+//! interpolate the own context, re-select every window and run the reference
+//! multi-SYN search, once per neighbour, sequentially.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rups_bench::{bench_config, synthetic_context};
+use rups_core::gsm::GsmTrajectory;
+use rups_core::pipeline::{ContextSnapshot, RupsNode};
+use rups_core::resolve;
+use rups_core::syn;
+use rups_core::{GeoSample, GeoTrajectory, PowerVector};
+
+const CONTEXT_M: usize = 400;
+const N_CHANNELS: usize = 24;
+
+fn build_node(seed: u64) -> RupsNode {
+    let cfg = bench_config(N_CHANNELS, 85, 24);
+    let mut node = RupsNode::new(cfg);
+    let ctx = synthetic_context(seed, 0, CONTEXT_M, N_CHANNELS);
+    for i in 0..ctx.len() {
+        let pv = PowerVector::from_fn(N_CHANNELS, |ch| ctx.get(ch, i));
+        node.append_metre(
+            GeoSample {
+                heading_rad: 0.0,
+                timestamp_s: i as f64,
+            },
+            &pv,
+        )
+        .unwrap();
+    }
+    node
+}
+
+fn neighbour_snapshots(seed: u64, n: usize) -> Vec<ContextSnapshot> {
+    (0..n)
+        .map(|i| ContextSnapshot {
+            vehicle_id: Some(i as u64),
+            geo: GeoTrajectory::new(),
+            gsm: synthetic_context(seed, 20 + 7 * i, CONTEXT_M, N_CHANNELS),
+        })
+        .collect()
+}
+
+/// The pre-engine query path: per-neighbour context interpolation plus the
+/// reference multi-SYN search, no caching of any querying-side quantity.
+fn naive_fix(node: &RupsNode, neighbour: &GsmTrajectory) -> f64 {
+    let ours = node.gsm_trajectory().interpolated();
+    let points = syn::find_syn_points(&ours, neighbour, node.config()).unwrap();
+    let (distance_m, _) = resolve::aggregate_distance(
+        &points,
+        ours.len(),
+        neighbour.len(),
+        node.config().aggregation,
+    )
+    .unwrap();
+    distance_m
+}
+
+fn bench_syn_batch(c: &mut Criterion) {
+    let node = build_node(21);
+    let mut group = c.benchmark_group("syn_batch");
+    for &n in &[1usize, 8, 32] {
+        let snaps = neighbour_snapshots(21, n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("batched", n), &snaps, |b, snaps| {
+            b.iter(|| {
+                let fixes = node.fix_distances_parallel(snaps);
+                assert!(fixes.iter().all(|f| f.is_ok()));
+                fixes
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &snaps, |b, snaps| {
+            b.iter(|| {
+                snaps
+                    .iter()
+                    .map(|s| naive_fix(&node, &s.gsm))
+                    .collect::<Vec<f64>>()
+            })
+        });
+    }
+    group.finish();
+
+    // Counter sanity: the batched path must actually be hitting its caches.
+    let snaps = neighbour_snapshots(21, 8);
+    let _ = node.fix_distances_parallel(&snaps);
+    let stats = node.engine_stats();
+    eprintln!("engine stats after batches: {stats:?}");
+    assert!(stats.context_rebuilds <= 1, "context must be cached");
+    assert!(stats.window_hits > 0, "window memo must be hit");
+}
+
+criterion_group!(syn_batch, bench_syn_batch);
+criterion_main!(syn_batch);

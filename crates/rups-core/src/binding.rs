@@ -212,4 +212,54 @@ mod tests {
         assert!(pv.present_count() <= 4, "fast vehicle should miss channels");
         assert!(pv.present_count() >= 1);
     }
+
+    #[test]
+    fn empty_interval_binds_an_all_missing_column() {
+        // Full occlusion for a metre (no scan landed in the interval): the
+        // bound column is entirely missing, and the binder keeps working
+        // for subsequent metres.
+        let mut b = TrajectoryBinder::new(3, 0.0);
+        let pv = b.bind_metre(1.0);
+        assert_eq!(pv.present_count(), 0);
+        assert_eq!(b.pending_len(), 0);
+        b.push_scan(s(1.5, 0, -61.0));
+        let pv = b.bind_metre(2.0);
+        assert_eq!(pv.get(0), Some(-61.0));
+    }
+
+    #[test]
+    fn constant_rssi_averages_exactly() {
+        // Zero-variance input: a metre full of identical measurements must
+        // average to exactly that value — the f64 accumulator may not leak
+        // rounding error into the bound f32.
+        let mut b = TrajectoryBinder::new(1, 0.0);
+        for i in 0..1000 {
+            b.push_scan(s(0.0005 + i as f64 * 0.001, 0, -61.7));
+        }
+        let pv = b.bind_metre(1.0);
+        assert_eq!(pv.get(0), Some(-61.7));
+    }
+
+    #[test]
+    fn single_metre_journey_is_too_short_for_a_window() {
+        // A vehicle that has driven exactly one metre: the bound context
+        // exists but cannot carry a checking window yet.
+        use crate::config::RupsConfig;
+        use crate::gsm::GsmTrajectory;
+        use crate::window::CheckWindow;
+
+        let mut b = TrajectoryBinder::new(4, 0.0);
+        for ch in 0..4 {
+            b.push_scan(s(0.1 + ch as f64 * 0.01, ch, -58.0));
+        }
+        let mut t = GsmTrajectory::new(4);
+        t.push(&b.bind_metre(1.0));
+        assert_eq!(t.len(), 1);
+        let cfg = RupsConfig {
+            n_channels: 4,
+            min_window_len_m: 1,
+            ..RupsConfig::default()
+        };
+        assert!(CheckWindow::for_context(&t, &cfg).is_none());
+    }
 }

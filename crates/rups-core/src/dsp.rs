@@ -119,14 +119,34 @@ pub fn fft(data: &mut [Complex], inverse: bool) {
 /// with `f` the fixed window and `s` the sliding trajectory row. Panics if
 /// `f` is longer than `s` or either is empty.
 pub fn sliding_dot(f: &[f64], s: &[f64]) -> Vec<f64> {
+    let mut fa = Vec::new();
+    let mut fb = Vec::new();
+    let mut out = Vec::new();
+    sliding_dot_into(f, s, &mut fa, &mut fb, &mut out);
+    out
+}
+
+/// [`sliding_dot`] writing into caller-provided buffers, so a hot loop (one
+/// call per channel per directed pass) performs no allocation after the
+/// first iteration. `fa`/`fb` are FFT work areas; `out` receives the
+/// correlation lags. Results are identical to [`sliding_dot`].
+pub fn sliding_dot_into(
+    f: &[f64],
+    s: &[f64],
+    fa: &mut Vec<Complex>,
+    fb: &mut Vec<Complex>,
+    out: &mut Vec<f64>,
+) {
     assert!(
         !f.is_empty() && f.len() <= s.len(),
         "need 0 < f.len() <= s.len()"
     );
     let n_out = s.len() - f.len() + 1;
     let size = next_pow2(s.len() + f.len());
-    let mut fa = vec![Complex::default(); size];
-    let mut fb = vec![Complex::default(); size];
+    fa.clear();
+    fa.resize(size, Complex::default());
+    fb.clear();
+    fb.resize(size, Complex::default());
     // Reverse f so the convolution theorem yields correlation.
     for (i, &v) in f.iter().rev().enumerate() {
         fa[i] = Complex::new(v, 0.0);
@@ -134,21 +154,33 @@ pub fn sliding_dot(f: &[f64], s: &[f64]) -> Vec<f64> {
     for (i, &v) in s.iter().enumerate() {
         fb[i] = Complex::new(v, 0.0);
     }
-    fft(&mut fa, false);
-    fft(&mut fb, false);
-    for (a, b) in fa.iter_mut().zip(&fb) {
+    fft(fa, false);
+    fft(fb, false);
+    for (a, b) in fa.iter_mut().zip(fb.iter()) {
         *a = *a * *b;
     }
-    fft(&mut fa, true);
+    fft(fa, true);
     let scale = 1.0 / size as f64;
     // Correlation lag j lives at convolution index (f.len() − 1) + j.
-    (0..n_out).map(|j| fa[f.len() - 1 + j].re * scale).collect()
+    out.clear();
+    out.extend((0..n_out).map(|j| fa[f.len() - 1 + j].re * scale));
 }
 
 /// Prefix sums of `x` and `x²`: `out.0[j] = Σ_{i<j} x[i]` (length `n+1`).
 pub fn prefix_sums(x: &[f64]) -> (Vec<f64>, Vec<f64>) {
-    let mut s = Vec::with_capacity(x.len() + 1);
-    let mut ss = Vec::with_capacity(x.len() + 1);
+    let mut s = Vec::new();
+    let mut ss = Vec::new();
+    prefix_sums_into(x, &mut s, &mut ss);
+    (s, ss)
+}
+
+/// [`prefix_sums`] writing into caller-provided buffers (see
+/// [`sliding_dot_into`] for the motivation). Results are identical.
+pub fn prefix_sums_into(x: &[f64], s: &mut Vec<f64>, ss: &mut Vec<f64>) {
+    s.clear();
+    ss.clear();
+    s.reserve(x.len() + 1);
+    ss.reserve(x.len() + 1);
     s.push(0.0);
     ss.push(0.0);
     let (mut acc, mut acc2) = (0.0f64, 0.0f64);
@@ -158,7 +190,6 @@ pub fn prefix_sums(x: &[f64]) -> (Vec<f64>, Vec<f64>) {
         s.push(acc);
         ss.push(acc2);
     }
-    (s, ss)
 }
 
 #[cfg(test)]
@@ -240,6 +271,25 @@ mod tests {
         let out = sliding_dot(&[2.0], &[1.0, 2.0, 3.0]);
         assert_eq!(out.len(), 3);
         assert!((out[1] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_across_sizes() {
+        let mut fa = Vec::new();
+        let mut fb = Vec::new();
+        let mut out = Vec::new();
+        let mut s = Vec::new();
+        let mut ss = Vec::new();
+        // Grow, shrink, grow again: stale capacity must never leak into
+        // results.
+        for &(fl, sl) in &[(5usize, 40usize), (3, 9), (17, 64)] {
+            let f: Vec<f64> = (0..fl).map(|i| (i as f64 * 0.9).cos()).collect();
+            let sig: Vec<f64> = (0..sl).map(|i| (i as f64 * 1.3).sin()).collect();
+            sliding_dot_into(&f, &sig, &mut fa, &mut fb, &mut out);
+            assert_eq!(out, sliding_dot(&f, &sig));
+            prefix_sums_into(&sig, &mut s, &mut ss);
+            assert_eq!((s.clone(), ss.clone()), prefix_sums(&sig));
+        }
     }
 
     #[test]

@@ -1,0 +1,999 @@
+//! Batched SYN-query engine with per-context caching (§V-A, §V-B).
+//!
+//! Every distance query against a [`crate::pipeline::RupsNode`] used to
+//! recompute the same querying-side quantities from scratch: the
+//! interpolated own context, the per-window channel selections, the
+//! per-channel `f64` rows, their prefix sums and the fixed-window statistics
+//! of `[crate::syn_fast]`. Under tracking loads ("track a neighboring
+//! vehicle on every 0.1 second", §V-B) or convoy loads (tens of neighbours
+//! per epoch) those quantities are identical across queries — only the
+//! neighbour side changes.
+//!
+//! [`SynQueryEngine`] precomputes them **once per context update** and
+//! answers any number of queries against the cached state:
+//!
+//! * the interpolated own context, rebuilt only when the context version
+//!   changes;
+//! * per-channel `f64` rows and prefix sums over the dense context (the
+//!   sliding-side inputs of the FFT kernel);
+//! * per-`(len, end)` checking windows with their fixed-window sums (the
+//!   fixed-side inputs of the FFT kernel);
+//! * reusable scratch arenas (FFT work areas, conversion buffers, score
+//!   vectors), pooled so concurrent rayon queries allocate nothing in
+//!   steady state;
+//! * a per-batch kernel choice — reference scan vs FFT/prefix-sum scan —
+//!   driven by context density and length.
+//!
+//! Scores are **bit-identical** to [`crate::syn::find_best_syn`] (reference
+//! kernel) and to [`crate::syn_fast::slide_scores_fast`] (FFT kernel): both
+//! kernels run the exact same arithmetic through shared helpers; the engine
+//! only changes *where* the inputs come from. Cache-hit and scratch-reuse
+//! counters are exported via [`SynQueryEngine::stats`] for the bench
+//! harness.
+
+use crate::config::RupsConfig;
+use crate::dsp::{self, Complex};
+use crate::error::RupsError;
+use crate::gsm::GsmTrajectory;
+use crate::pipeline::{ContextSnapshot, DistanceFix};
+use crate::resolve;
+use crate::syn::{self, SynPoint};
+use crate::syn_fast;
+use crate::window::CheckWindow;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Which sliding-scan kernel a query (or batch of queries) runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// The NaN-aware `O(mwk)` reference scan of [`crate::syn`].
+    Reference,
+    /// The `O(k·m log m)` FFT/prefix-sum scan of [`crate::syn_fast`],
+    /// falling back to the reference scan per directed pass whenever a
+    /// selected channel carries missing values.
+    Fft,
+}
+
+/// Counters describing how much work the engine's caches saved.
+///
+/// All counts are cumulative since engine creation (or the last
+/// [`SynQueryEngine::reset_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Queries answered (one per neighbour context).
+    pub queries: u64,
+    /// Context lookups answered from the version-keyed cache.
+    pub context_hits: u64,
+    /// Context rebuilds (interpolation + row conversion + prefix sums).
+    pub context_rebuilds: u64,
+    /// Checking-window lookups answered from the `(len, end)` memo.
+    pub window_hits: u64,
+    /// Checking-window constructions (channel selection + fixed sums).
+    pub window_misses: u64,
+    /// Scratch arenas reused from the pool.
+    pub scratch_reuses: u64,
+    /// Scratch arenas freshly allocated.
+    pub scratch_allocs: u64,
+    /// Directed passes answered by the reference scan.
+    pub reference_passes: u64,
+    /// Directed passes answered by the FFT scan.
+    pub fft_passes: u64,
+    /// Directed passes that requested the FFT scan but fell back to the
+    /// reference scan because a selected neighbour channel carried NaN.
+    pub fft_fallbacks: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    queries: AtomicU64,
+    context_hits: AtomicU64,
+    context_rebuilds: AtomicU64,
+    window_hits: AtomicU64,
+    window_misses: AtomicU64,
+    scratch_reuses: AtomicU64,
+    scratch_allocs: AtomicU64,
+    reference_passes: AtomicU64,
+    fft_passes: AtomicU64,
+    fft_fallbacks: AtomicU64,
+}
+
+/// The querying vehicle's context, fully preprocessed for matching.
+pub(crate) struct OwnContext {
+    /// Version stamp of the raw context this was built from.
+    version: u64,
+    /// The matching context (interpolated when the config asks for it) —
+    /// exactly what `RupsNode::own_matching_context` used to rebuild per
+    /// query.
+    gsm: GsmTrajectory,
+    /// True when no cell of `gsm` is NaN (FFT kernel applicable).
+    dense: bool,
+    /// Per-channel `f64` rows of `gsm` (dense contexts only).
+    rows64: Vec<Vec<f64>>,
+    /// Per-channel prefix sums of `rows64` and their squares (dense only):
+    /// the sliding-side inputs of every reverse FFT pass, shared across all
+    /// neighbours and segments.
+    prefix: Vec<(Vec<f64>, Vec<f64>)>,
+}
+
+impl OwnContext {
+    fn build(version: u64, raw: &GsmTrajectory, cfg: &RupsConfig) -> Self {
+        let gsm = if cfg.interpolate_missing {
+            raw.interpolated()
+        } else {
+            raw.clone()
+        };
+        let n = gsm.n_channels();
+        let dense = (0..n).all(|ch| gsm.channel(ch).iter().all(|v| !v.is_nan()));
+        let (rows64, prefix) = if dense {
+            let rows64: Vec<Vec<f64>> = (0..n)
+                .map(|ch| gsm.channel(ch).iter().map(|&v| v as f64).collect())
+                .collect();
+            let prefix = rows64.iter().map(|r| dsp::prefix_sums(r)).collect();
+            (rows64, prefix)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        Self {
+            version,
+            gsm,
+            dense,
+            rows64,
+            prefix,
+        }
+    }
+
+    /// The preprocessed matching context.
+    pub(crate) fn gsm(&self) -> &GsmTrajectory {
+        &self.gsm
+    }
+}
+
+/// Window memo keyed by `(len, end)` placement; `None` records placements
+/// that resolve to no window, so misses are cached too.
+type WindowMemo = HashMap<(usize, usize), Option<Arc<WindowEntry>>>;
+
+/// A memoised checking window plus the fixed-side statistics of the FFT
+/// kernel for its exact `[end − len, end)` placement on the own context.
+struct WindowEntry {
+    window: CheckWindow,
+    /// Per window-channel `(Σx, Σx²)` over the own fixed slice, computed
+    /// with the same `iter().sum()` reduction as [`crate::syn_fast`]
+    /// (dense contexts only; empty otherwise).
+    fixed_sums: Vec<(f64, f64)>,
+}
+
+/// Per-query scratch arena: every buffer a directed pass needs, reused
+/// across queries via the engine's pool.
+#[derive(Default)]
+struct Scratch {
+    fa: Vec<Complex>,
+    fb: Vec<Complex>,
+    dots: Vec<f64>,
+    s64: Vec<f64>,
+    fixed64: Vec<f64>,
+    ps: Vec<f64>,
+    pss: Vec<f64>,
+    chan_sum: Vec<f64>,
+    chan_n: Vec<u32>,
+    mean_f: Vec<f32>,
+    mean_s: Vec<Vec<f32>>,
+    scores: Vec<f64>,
+}
+
+/// Caching, batching SYN-query engine (see the module docs).
+///
+/// All methods take `&self`: caches use interior mutability so queries can
+/// fan out over rayon. An engine is cheap to create; its caches warm up on
+/// first use and are invalidated whenever a new context version is
+/// installed.
+pub struct SynQueryEngine {
+    cfg: RupsConfig,
+    ctx: RwLock<Option<Arc<OwnContext>>>,
+    /// Own-version counter for standalone (non-`RupsNode`) use via
+    /// [`SynQueryEngine::set_context`].
+    own_version: AtomicU64,
+    windows: RwLock<WindowMemo>,
+    scratch: Mutex<Vec<Scratch>>,
+    counters: Counters,
+}
+
+impl fmt::Debug for SynQueryEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SynQueryEngine")
+            .field("context_len", &self.context_len())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for SynQueryEngine {
+    /// Cloning yields a fresh engine with the same configuration and cold
+    /// caches (cache state is per-instance by design).
+    fn clone(&self) -> Self {
+        Self::new(self.cfg.clone())
+    }
+}
+
+impl SynQueryEngine {
+    /// Creates an engine for the given configuration. The configuration is
+    /// assumed valid (callers embedding the engine in a
+    /// [`crate::pipeline::RupsNode`] have already validated it).
+    pub fn new(cfg: RupsConfig) -> Self {
+        Self {
+            cfg,
+            ctx: RwLock::new(None),
+            own_version: AtomicU64::new(0),
+            windows: RwLock::new(HashMap::new()),
+            scratch: Mutex::new(Vec::new()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &RupsConfig {
+        &self.cfg
+    }
+
+    /// Metres of preprocessed context currently cached (0 when none is
+    /// installed yet).
+    pub fn context_len(&self) -> usize {
+        self.ctx
+            .read()
+            .expect("engine context lock poisoned")
+            .as_ref()
+            .map_or(0, |c| c.gsm.len())
+    }
+
+    /// Installs the querying vehicle's raw context (standalone use).
+    /// Interpolates missing channels per the configuration and rebuilds
+    /// every cache. [`crate::pipeline::RupsNode`] instead calls
+    /// [`ensure_context`](Self::ensure_context) with its own version
+    /// counter so unchanged contexts are never rebuilt.
+    pub fn set_context(&self, raw: &GsmTrajectory) {
+        let v = self.own_version.fetch_add(1, Relaxed).wrapping_add(1);
+        self.ensure_context(v, raw);
+    }
+
+    /// Returns the preprocessed context for `version`, rebuilding it (and
+    /// invalidating the window memo) only when the cached version differs.
+    pub(crate) fn ensure_context(&self, version: u64, raw: &GsmTrajectory) -> Arc<OwnContext> {
+        {
+            let guard = self.ctx.read().expect("engine context lock poisoned");
+            if let Some(ctx) = guard.as_ref() {
+                if ctx.version == version {
+                    self.counters.context_hits.fetch_add(1, Relaxed);
+                    return Arc::clone(ctx);
+                }
+            }
+        }
+        let mut guard = self.ctx.write().expect("engine context lock poisoned");
+        // Double-check: another thread may have rebuilt while we waited.
+        if let Some(ctx) = guard.as_ref() {
+            if ctx.version == version {
+                self.counters.context_hits.fetch_add(1, Relaxed);
+                return Arc::clone(ctx);
+            }
+        }
+        self.counters.context_rebuilds.fetch_add(1, Relaxed);
+        let ctx = Arc::new(OwnContext::build(version, raw, &self.cfg));
+        *guard = Some(Arc::clone(&ctx));
+        self.windows
+            .write()
+            .expect("engine window lock poisoned")
+            .clear();
+        ctx
+    }
+
+    fn current_ctx(&self) -> Option<Arc<OwnContext>> {
+        self.ctx
+            .read()
+            .expect("engine context lock poisoned")
+            .clone()
+    }
+
+    /// Snapshot of the cache/scratch/kernel counters.
+    pub fn stats(&self) -> EngineStats {
+        let c = &self.counters;
+        EngineStats {
+            queries: c.queries.load(Relaxed),
+            context_hits: c.context_hits.load(Relaxed),
+            context_rebuilds: c.context_rebuilds.load(Relaxed),
+            window_hits: c.window_hits.load(Relaxed),
+            window_misses: c.window_misses.load(Relaxed),
+            scratch_reuses: c.scratch_reuses.load(Relaxed),
+            scratch_allocs: c.scratch_allocs.load(Relaxed),
+            reference_passes: c.reference_passes.load(Relaxed),
+            fft_passes: c.fft_passes.load(Relaxed),
+            fft_fallbacks: c.fft_fallbacks.load(Relaxed),
+        }
+    }
+
+    /// Zeroes every counter reported by [`stats`](Self::stats).
+    pub fn reset_stats(&self) {
+        let c = &self.counters;
+        for a in [
+            &c.queries,
+            &c.context_hits,
+            &c.context_rebuilds,
+            &c.window_hits,
+            &c.window_misses,
+            &c.scratch_reuses,
+            &c.scratch_allocs,
+            &c.reference_passes,
+            &c.fft_passes,
+            &c.fft_fallbacks,
+        ] {
+            a.store(0, Relaxed);
+        }
+    }
+
+    /// The kernel the engine would pick for one query against a neighbour
+    /// context of `their_len` metres, given the installed own context
+    /// ([`Kernel::Reference`] when none is installed).
+    pub fn choose_kernel(&self, their_len: usize) -> Kernel {
+        match self.current_ctx() {
+            Some(ctx) => self.kernel_for(&ctx, their_len),
+            None => Kernel::Reference,
+        }
+    }
+
+    /// Density/length heuristic: the FFT scan costs `O(k·m log m)` with a
+    /// hefty constant (from-scratch radix-2 FFT) against the reference
+    /// scan's `O(k·m·w)`, so it pays off once the window is comfortably
+    /// wider than `log₂ m`.
+    pub(crate) fn kernel_for(&self, ctx: &OwnContext, their_len: usize) -> Kernel {
+        if !ctx.dense {
+            return Kernel::Reference;
+        }
+        let shorter = ctx.gsm.len().min(their_len);
+        let w = syn::adaptive_window_len(shorter, &self.cfg);
+        let m = ctx.gsm.len().max(their_len).max(2);
+        if w as f64 >= 8.0 * (m as f64).log2() {
+            Kernel::Fft
+        } else {
+            Kernel::Reference
+        }
+    }
+
+    fn with_scratch<R>(&self, f: impl FnOnce(&mut Scratch) -> R) -> R {
+        let popped = self
+            .scratch
+            .lock()
+            .expect("engine scratch lock poisoned")
+            .pop();
+        let mut s = match popped {
+            Some(s) => {
+                self.counters.scratch_reuses.fetch_add(1, Relaxed);
+                s
+            }
+            None => {
+                self.counters.scratch_allocs.fetch_add(1, Relaxed);
+                Scratch::default()
+            }
+        };
+        let r = f(&mut s);
+        self.scratch
+            .lock()
+            .expect("engine scratch lock poisoned")
+            .push(s);
+        r
+    }
+
+    /// Memoised equivalent of `CheckWindow::with_len(own, cfg, len, end)`
+    /// plus the FFT fixed-side sums for that placement.
+    fn window_entry(&self, ctx: &OwnContext, len: usize, end: usize) -> Option<Arc<WindowEntry>> {
+        let key = (len, end);
+        if let Some(e) = self
+            .windows
+            .read()
+            .expect("engine window lock poisoned")
+            .get(&key)
+        {
+            self.counters.window_hits.fetch_add(1, Relaxed);
+            return e.clone();
+        }
+        self.counters.window_misses.fetch_add(1, Relaxed);
+        let entry = CheckWindow::with_len(&ctx.gsm, &self.cfg, len, end).map(|window| {
+            let fixed_sums = if ctx.dense {
+                window
+                    .channels
+                    .iter()
+                    .map(|&ch| {
+                        let s = &ctx.rows64[ch][end - len..end];
+                        (s.iter().sum(), s.iter().map(|v| v * v).sum())
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            Arc::new(WindowEntry { window, fixed_sums })
+        });
+        self.windows
+            .write()
+            .expect("engine window lock poisoned")
+            .insert(key, entry.clone());
+        entry
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Multi-SYN search against the installed context, with the kernel
+    /// picked automatically. Semantics (and, for the reference kernel,
+    /// bits) match [`crate::syn::find_syn_points`] run against the same
+    /// interpolated context.
+    pub fn find_syn_points(&self, theirs: &GsmTrajectory) -> Result<Vec<SynPoint>, RupsError> {
+        let ctx = self.current_ctx();
+        let kernel = match &ctx {
+            Some(c) => self.kernel_for(c, theirs.len()),
+            None => Kernel::Reference,
+        };
+        self.find_syn_points_in(ctx, theirs, kernel, false)
+    }
+
+    /// [`find_syn_points`](Self::find_syn_points) with an explicit kernel
+    /// and (for the reference kernel) rayon-parallel placement scoring.
+    pub fn find_syn_points_with(
+        &self,
+        theirs: &GsmTrajectory,
+        kernel: Kernel,
+        parallel: bool,
+    ) -> Result<Vec<SynPoint>, RupsError> {
+        self.find_syn_points_in(self.current_ctx(), theirs, kernel, parallel)
+    }
+
+    /// Best single SYN point (the first entry of the multi-SYN search, like
+    /// [`crate::syn::find_best_syn`] versus
+    /// [`crate::syn::find_syn_points`]).
+    pub fn find_best_syn(&self, theirs: &GsmTrajectory) -> Result<SynPoint, RupsError> {
+        self.find_syn_points(theirs).map(|pts| pts[0])
+    }
+
+    /// Full distance fix against one neighbour snapshot (SYN search +
+    /// resolution + aggregation), using the installed context.
+    pub fn fix(&self, neighbour: &ContextSnapshot) -> Result<DistanceFix, RupsError> {
+        let points = self.find_syn_points(&neighbour.gsm)?;
+        self.build_fix(self.context_len(), neighbour.gsm.len(), points)
+    }
+
+    /// Fixes distances to a whole epoch of neighbours in one rayon
+    /// work-stealing pass, preserving input order. The kernel is chosen
+    /// once per batch from the own-context density and the median
+    /// neighbour length; scratch arenas are pooled across the tasks.
+    pub fn fix_batch(
+        &self,
+        neighbours: &[ContextSnapshot],
+    ) -> Vec<Result<DistanceFix, RupsError>> {
+        match self.current_ctx() {
+            Some(ctx) => self.fix_batch_ctx(&ctx, neighbours),
+            None => neighbours
+                .iter()
+                .map(|_| {
+                    Err(RupsError::InsufficientContext {
+                        available_m: 0,
+                        required_m: self.cfg.min_window_len_m.max(2),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    pub(crate) fn fix_batch_ctx(
+        &self,
+        ctx: &Arc<OwnContext>,
+        neighbours: &[ContextSnapshot],
+    ) -> Vec<Result<DistanceFix, RupsError>> {
+        let kernel = self.batch_kernel(ctx, neighbours);
+        neighbours
+            .par_iter()
+            .map(|nb| {
+                let points = self.query_ctx(ctx, &nb.gsm, kernel, false)?;
+                self.build_fix(ctx.gsm.len(), nb.gsm.len(), points)
+            })
+            .collect()
+    }
+
+    fn batch_kernel(&self, ctx: &OwnContext, neighbours: &[ContextSnapshot]) -> Kernel {
+        if neighbours.is_empty() {
+            return Kernel::Reference;
+        }
+        let mut lens: Vec<usize> = neighbours.iter().map(|n| n.gsm.len()).collect();
+        lens.sort_unstable();
+        self.kernel_for(ctx, lens[lens.len() / 2])
+    }
+
+    pub(crate) fn build_fix(
+        &self,
+        ours_len: usize,
+        theirs_len: usize,
+        points: Vec<SynPoint>,
+    ) -> Result<DistanceFix, RupsError> {
+        let (distance_m, estimates_m) =
+            resolve::aggregate_distance(&points, ours_len, theirs_len, self.cfg.aggregation)?;
+        let best_score = points
+            .iter()
+            .map(|p| p.score)
+            .fold(f64::NEG_INFINITY, f64::max);
+        Ok(DistanceFix {
+            distance_m,
+            syn_points: points,
+            estimates_m,
+            best_score,
+        })
+    }
+
+    fn find_syn_points_in(
+        &self,
+        ctx: Option<Arc<OwnContext>>,
+        theirs: &GsmTrajectory,
+        kernel: Kernel,
+        parallel: bool,
+    ) -> Result<Vec<SynPoint>, RupsError> {
+        match ctx {
+            Some(ctx) => self.query_ctx(&ctx, theirs, kernel, parallel),
+            None => Err(RupsError::InsufficientContext {
+                available_m: 0,
+                required_m: self.cfg.min_window_len_m.max(2),
+            }),
+        }
+    }
+
+    /// The engine's replica of `syn::find_syn_points_impl`: identical
+    /// control flow (adaptive length, forward + perspective-swapped reverse
+    /// passes, threshold filtering, multi-SYN stride loop), with the own
+    /// side served from the cache.
+    pub(crate) fn query_ctx(
+        &self,
+        ctx: &OwnContext,
+        theirs: &GsmTrajectory,
+        kernel: Kernel,
+        parallel: bool,
+    ) -> Result<Vec<SynPoint>, RupsError> {
+        self.counters.queries.fetch_add(1, Relaxed);
+        let ours = &ctx.gsm;
+        if ours.n_channels() != theirs.n_channels() {
+            return Err(RupsError::ChannelMismatch {
+                ours: ours.n_channels(),
+                theirs: theirs.n_channels(),
+            });
+        }
+        let shorter = ours.len().min(theirs.len());
+        let w = syn::adaptive_window_len(shorter, &self.cfg);
+        let too_short = || RupsError::InsufficientContext {
+            available_m: shorter,
+            required_m: self.cfg.min_window_len_m.max(2),
+        };
+        if w < self.cfg.min_window_len_m.max(2) {
+            return Err(too_short());
+        }
+        self.with_scratch(|scratch| {
+            // Most recent segment: the full double-sliding check.
+            let entry = self.window_entry(ctx, w, ours.len()).ok_or_else(too_short)?;
+            let fwd = self.directed_fwd(ctx, &entry, ours.len(), theirs, kernel, parallel, scratch);
+            let rev = CheckWindow::with_len(theirs, &self.cfg, w, theirs.len())
+                .and_then(|wnd| {
+                    self.directed_rev(ctx, &wnd, theirs.len(), theirs, kernel, parallel, scratch)
+                })
+                .map(syn::swap_perspective);
+            let best = match (fwd, rev) {
+                (Some(f), Some(r)) => {
+                    if f.score >= r.score {
+                        f
+                    } else {
+                        r
+                    }
+                }
+                (Some(f), None) => f,
+                (None, Some(r)) => r,
+                (None, None) => {
+                    return Err(RupsError::NoSynPoint {
+                        best_score: f64::NEG_INFINITY,
+                        threshold: entry.window.threshold,
+                    })
+                }
+            };
+            if best.score < entry.window.threshold {
+                return Err(RupsError::NoSynPoint {
+                    best_score: best.score,
+                    threshold: entry.window.threshold,
+                });
+            }
+            let mut points = vec![best];
+            // Older segments, symmetrically (cf. syn::find_syn_points_impl).
+            for s in 1..self.cfg.n_syn_points {
+                let fwd = ours
+                    .len()
+                    .checked_sub(s * self.cfg.syn_segment_stride_m)
+                    .filter(|&end| end >= w)
+                    .and_then(|end| self.window_entry(ctx, w, end).map(|e| (end, e)))
+                    .and_then(|(end, e)| {
+                        self.directed_fwd(ctx, &e, end, theirs, kernel, parallel, scratch)
+                            .filter(|p| p.score >= e.window.threshold)
+                    });
+                let rev = theirs
+                    .len()
+                    .checked_sub(s * self.cfg.syn_segment_stride_m)
+                    .filter(|&end| end >= w)
+                    .and_then(|end| {
+                        CheckWindow::with_len(theirs, &self.cfg, w, end).map(|wnd| (end, wnd))
+                    })
+                    .and_then(|(end, wnd)| {
+                        self.directed_rev(ctx, &wnd, end, theirs, kernel, parallel, scratch)
+                            .filter(|p| p.score >= wnd.threshold)
+                    })
+                    .map(syn::swap_perspective);
+                let cand = match (fwd, rev) {
+                    (Some(f), Some(r)) => Some(if f.score >= r.score { f } else { r }),
+                    (f, r) => f.or(r),
+                };
+                if let Some(p) = cand {
+                    points.push(p);
+                }
+            }
+            Ok(points)
+        })
+    }
+
+    /// Forward directed pass: the own window `[end − w, end)` (cached
+    /// channels + fixed sums) slid over the neighbour trajectory.
+    #[allow(clippy::too_many_arguments)]
+    fn directed_fwd(
+        &self,
+        ctx: &OwnContext,
+        entry: &WindowEntry,
+        end: usize,
+        theirs: &GsmTrajectory,
+        kernel: Kernel,
+        parallel: bool,
+        scratch: &mut Scratch,
+    ) -> Option<SynPoint> {
+        let w = entry.window.len_m;
+        if end < w || theirs.len() < w {
+            return None;
+        }
+        let used_fft = kernel == Kernel::Fft
+            && ctx.dense
+            && self.fft_scores_own_fixed(ctx, entry, end, theirs, scratch);
+        if used_fft {
+            self.counters.fft_passes.fetch_add(1, Relaxed);
+        } else {
+            if kernel == Kernel::Fft {
+                self.counters.fft_fallbacks.fetch_add(1, Relaxed);
+            }
+            self.counters.reference_passes.fetch_add(1, Relaxed);
+            if parallel {
+                scratch.scores =
+                    syn::slide_scores_parallel(&ctx.gsm, end - w, theirs, &entry.window);
+            } else {
+                syn::slide_scores_into(&ctx.gsm, end - w, theirs, &entry.window, &mut scratch.scores);
+            }
+        }
+        let (j, score, refine) = syn::peak(&scratch.scores)?;
+        Some(SynPoint {
+            self_end: end,
+            other_end: j + w,
+            refine_m: refine,
+            score,
+            window_len: w,
+        })
+    }
+
+    /// Reverse directed pass: the neighbour window `[end − w, end)` slid
+    /// over the own trajectory (cached rows + prefix sums). Returns the hit
+    /// from the *neighbour's* perspective; the caller swaps it.
+    #[allow(clippy::too_many_arguments)]
+    fn directed_rev(
+        &self,
+        ctx: &OwnContext,
+        window: &CheckWindow,
+        end: usize,
+        theirs: &GsmTrajectory,
+        kernel: Kernel,
+        parallel: bool,
+        scratch: &mut Scratch,
+    ) -> Option<SynPoint> {
+        let w = window.len_m;
+        if end < w || ctx.gsm.len() < w {
+            return None;
+        }
+        let used_fft = kernel == Kernel::Fft
+            && ctx.dense
+            && self.fft_scores_their_fixed(ctx, window, end, theirs, scratch);
+        if used_fft {
+            self.counters.fft_passes.fetch_add(1, Relaxed);
+        } else {
+            if kernel == Kernel::Fft {
+                self.counters.fft_fallbacks.fetch_add(1, Relaxed);
+            }
+            self.counters.reference_passes.fetch_add(1, Relaxed);
+            if parallel {
+                scratch.scores = syn::slide_scores_parallel(theirs, end - w, &ctx.gsm, window);
+            } else {
+                syn::slide_scores_into(theirs, end - w, &ctx.gsm, window, &mut scratch.scores);
+            }
+        }
+        let (j, score, refine) = syn::peak(&scratch.scores)?;
+        Some(SynPoint {
+            self_end: end,
+            other_end: j + w,
+            refine_m: refine,
+            score,
+            window_len: w,
+        })
+    }
+
+    /// FFT forward pass into `scratch.scores`. Returns `false` (caller
+    /// falls back) when a selected neighbour row carries NaN; the own side
+    /// is dense by precondition.
+    fn fft_scores_own_fixed(
+        &self,
+        ctx: &OwnContext,
+        entry: &WindowEntry,
+        end: usize,
+        theirs: &GsmTrajectory,
+        scratch: &mut Scratch,
+    ) -> bool {
+        let window = &entry.window;
+        let w = window.len_m;
+        let n_pos = theirs.len() - w + 1;
+        for &ch in &window.channels {
+            if theirs.channel(ch).iter().any(|v| v.is_nan()) {
+                return false;
+            }
+        }
+        let k = window.channels.len();
+        let Scratch {
+            fa,
+            fb,
+            dots,
+            s64,
+            ps,
+            pss,
+            chan_sum,
+            chan_n,
+            mean_f,
+            mean_s,
+            scores,
+            ..
+        } = scratch;
+        chan_sum.clear();
+        chan_sum.resize(n_pos, 0.0);
+        chan_n.clear();
+        chan_n.resize(n_pos, 0);
+        mean_f.clear();
+        while mean_s.len() < k {
+            mean_s.push(Vec::new());
+        }
+        for (ci, &ch) in window.channels.iter().enumerate() {
+            let fixed = &ctx.rows64[ch][end - w..end];
+            let (sum_f, sumsq_f) = entry.fixed_sums[ci];
+            s64.clear();
+            s64.extend(theirs.channel(ch).iter().map(|&v| v as f64));
+            dsp::sliding_dot_into(fixed, s64, fa, fb, dots);
+            dsp::prefix_sums_into(s64, ps, pss);
+            let row = &mut mean_s[ci];
+            row.clear();
+            let mf = syn_fast::accumulate_dense_channel(
+                w, n_pos, sum_f, sumsq_f, dots, ps, pss, chan_sum, chan_n, row,
+            );
+            mean_f.push(mf);
+        }
+        scores.clear();
+        syn_fast::combine_dense_scores(n_pos, mean_f, &mean_s[..k], chan_sum, chan_n, scores);
+        true
+    }
+
+    /// FFT reverse pass into `scratch.scores`: neighbour window fixed, own
+    /// rows sliding — the own-side prefix sums come straight from the
+    /// context cache. Returns `false` when the neighbour window slice
+    /// carries NaN.
+    fn fft_scores_their_fixed(
+        &self,
+        ctx: &OwnContext,
+        window: &CheckWindow,
+        end: usize,
+        theirs: &GsmTrajectory,
+        scratch: &mut Scratch,
+    ) -> bool {
+        let w = window.len_m;
+        let n_pos = ctx.gsm.len() - w + 1;
+        for &ch in &window.channels {
+            if theirs.channel(ch)[end - w..end].iter().any(|v| v.is_nan()) {
+                return false;
+            }
+        }
+        let k = window.channels.len();
+        let Scratch {
+            fa,
+            fb,
+            dots,
+            fixed64,
+            chan_sum,
+            chan_n,
+            mean_f,
+            mean_s,
+            scores,
+            ..
+        } = scratch;
+        chan_sum.clear();
+        chan_sum.resize(n_pos, 0.0);
+        chan_n.clear();
+        chan_n.resize(n_pos, 0);
+        mean_f.clear();
+        while mean_s.len() < k {
+            mean_s.push(Vec::new());
+        }
+        for (ci, &ch) in window.channels.iter().enumerate() {
+            fixed64.clear();
+            fixed64.extend(theirs.channel(ch)[end - w..end].iter().map(|&v| v as f64));
+            let sum_f: f64 = fixed64.iter().sum();
+            let sumsq_f: f64 = fixed64.iter().map(|v| v * v).sum();
+            let (ps, pss) = &ctx.prefix[ch];
+            dsp::sliding_dot_into(fixed64, &ctx.rows64[ch], fa, fb, dots);
+            let row = &mut mean_s[ci];
+            row.clear();
+            let mf = syn_fast::accumulate_dense_channel(
+                w, n_pos, sum_f, sumsq_f, dots, ps, pss, chan_sum, chan_n, row,
+            );
+            mean_f.push(mf);
+        }
+        scores.clear();
+        syn_fast::combine_dense_scores(n_pos, mean_f, &mean_s[..k], chan_sum, chan_n, scores);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gsm::PowerVector;
+    use crate::testfield;
+
+    fn traj(seed: u64, start: usize, len: usize, n_channels: usize) -> GsmTrajectory {
+        let mut t = GsmTrajectory::with_capacity(n_channels, len);
+        for i in 0..len {
+            let s = (start + i) as f64;
+            t.push(&PowerVector::from_fn(n_channels, |ch| {
+                Some(testfield::rssi(seed, s, ch))
+            }));
+        }
+        t
+    }
+
+    fn cfg(n_channels: usize) -> RupsConfig {
+        RupsConfig {
+            n_channels,
+            window_channels: n_channels.min(45),
+            ..RupsConfig::default()
+        }
+    }
+
+    #[test]
+    fn reference_kernel_is_bit_identical_to_syn() {
+        let ours = traj(11, 0, 400, 24);
+        let theirs = traj(11, 70, 400, 24);
+        let c = cfg(24);
+        let engine = SynQueryEngine::new(c.clone());
+        engine.set_context(&ours);
+        let expect = syn::find_syn_points(&ours, &theirs, &c).unwrap();
+        let got = engine
+            .find_syn_points_with(&theirs, Kernel::Reference, false)
+            .unwrap();
+        assert_eq!(expect.len(), got.len());
+        for (e, g) in expect.iter().zip(&got) {
+            assert_eq!(e, g, "engine must replicate the reference bit-for-bit");
+        }
+    }
+
+    #[test]
+    fn fft_kernel_is_bit_identical_to_syn_fast_entry_point() {
+        let ours = traj(12, 0, 400, 24);
+        let theirs = traj(12, 55, 400, 24);
+        let c = cfg(24);
+        let engine = SynQueryEngine::new(c.clone());
+        engine.set_context(&ours);
+        let expect = syn::find_syn_points_fft(&ours, &theirs, &c).unwrap();
+        let got = engine
+            .find_syn_points_with(&theirs, Kernel::Fft, false)
+            .unwrap();
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn counters_show_cache_reuse_across_queries() {
+        let ours = traj(13, 0, 300, 16);
+        let c = cfg(16);
+        let engine = SynQueryEngine::new(c);
+        engine.set_context(&ours);
+        for off in [20usize, 35, 50] {
+            let theirs = traj(13, off, 300, 16);
+            engine.find_syn_points(&theirs).unwrap();
+        }
+        let s = engine.stats();
+        assert_eq!(s.queries, 3);
+        assert_eq!(s.context_rebuilds, 1);
+        assert!(
+            s.window_hits > 0,
+            "repeat queries must hit the window memo: {s:?}"
+        );
+        assert_eq!(s.scratch_allocs, 1, "one scratch arena should suffice");
+        assert_eq!(s.scratch_reuses, 2);
+    }
+
+    #[test]
+    fn batch_matches_individual_queries() {
+        let ours = traj(14, 0, 350, 16);
+        let c = cfg(16);
+        let engine = SynQueryEngine::new(c);
+        engine.set_context(&ours);
+        let snaps: Vec<ContextSnapshot> = [25usize, 60, 90]
+            .iter()
+            .map(|&off| ContextSnapshot {
+                vehicle_id: Some(off as u64),
+                geo: crate::geo::GeoTrajectory::new(),
+                gsm: traj(14, off, 350, 16),
+            })
+            .collect();
+        let batch = engine.fix_batch(&snaps);
+        for (snap, fix) in snaps.iter().zip(&batch) {
+            let single = engine.fix(snap).unwrap();
+            let fix = fix.as_ref().unwrap();
+            assert_eq!(single.syn_points.len(), fix.syn_points.len());
+            assert!((single.distance_m - fix.distance_m).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_context_reports_insufficient() {
+        let engine = SynQueryEngine::new(cfg(8));
+        let theirs = traj(1, 0, 100, 8);
+        assert!(matches!(
+            engine.find_syn_points(&theirs),
+            Err(RupsError::InsufficientContext { available_m: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn fft_falls_back_per_pass_on_sparse_neighbours() {
+        let ours = traj(15, 0, 300, 12);
+        let mut rows: Vec<Vec<f32>> = (0..12)
+            .map(|ch| traj(15, 40, 300, 12).channel(ch).to_vec())
+            .collect();
+        rows[0][150] = f32::NAN;
+        let theirs = GsmTrajectory::from_rows(rows);
+        let c = RupsConfig {
+            interpolate_missing: false,
+            ..cfg(12)
+        };
+        let engine = SynQueryEngine::new(c.clone());
+        engine.set_context(&ours);
+        let got = engine
+            .find_syn_points_with(&theirs, Kernel::Fft, false)
+            .unwrap();
+        let expect = syn::find_syn_points_fft(&ours, &theirs, &c).unwrap();
+        assert_eq!(expect, got);
+        assert!(
+            engine.stats().fft_fallbacks > 0,
+            "NaN neighbour rows must trigger the reference fallback"
+        );
+    }
+
+    #[test]
+    fn context_version_gates_rebuilds() {
+        let c = cfg(8);
+        let engine = SynQueryEngine::new(c);
+        let raw = traj(16, 0, 120, 8);
+        let a = engine.ensure_context(7, &raw);
+        let b = engine.ensure_context(7, &raw);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c2 = engine.ensure_context(8, &raw);
+        assert!(!Arc::ptr_eq(&a, &c2));
+        let s = engine.stats();
+        assert_eq!(s.context_rebuilds, 2);
+        assert_eq!(s.context_hits, 1);
+    }
+}

@@ -70,6 +70,7 @@ pub mod binding;
 pub mod channel;
 pub mod config;
 pub mod dsp;
+pub mod engine;
 pub mod error;
 pub mod geo;
 pub mod gsm;
@@ -90,6 +91,7 @@ pub mod prelude {
     pub use crate::binding::{ScanSample, TrajectoryBinder};
     pub use crate::channel::{ChannelId, Rssi, RGSM_900_CHANNELS};
     pub use crate::config::{AggregationScheme, RupsConfig};
+    pub use crate::engine::{EngineStats, Kernel, SynQueryEngine};
     pub use crate::error::RupsError;
     pub use crate::geo::{GeoSample, GeoTrajectory};
     pub use crate::gsm::{GsmTrajectory, PowerVector};
@@ -104,6 +106,7 @@ pub mod prelude {
 pub use binding::{ScanSample, TrajectoryBinder};
 pub use channel::{ChannelId, Rssi, RGSM_900_CHANNELS};
 pub use config::{AggregationScheme, RupsConfig};
+pub use engine::{EngineStats, Kernel, SynQueryEngine};
 pub use error::RupsError;
 pub use geo::{GeoSample, GeoTrajectory};
 pub use gsm::{GsmTrajectory, PowerVector};

@@ -9,13 +9,12 @@
 
 use crate::binding::{ScanSample, TrajectoryBinder};
 use crate::config::RupsConfig;
+use crate::engine::{EngineStats, SynQueryEngine};
 use crate::error::RupsError;
 use crate::geo::{GeoSample, GeoTrajectory};
 use crate::gsm::{GsmTrajectory, PowerVector};
-use crate::resolve;
-use crate::syn::{self, SynPoint};
+use crate::syn::SynPoint;
 use crate::tracker::{NeighbourTracker, TrackedFix};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -68,6 +67,10 @@ pub struct RupsNode {
     /// Per-neighbour anchored-tracking state (§V-B), keyed by the
     /// neighbour's vehicle id.
     trackers: HashMap<u64, NeighbourTracker>,
+    /// The caching/batching query engine every distance query runs through.
+    engine: SynQueryEngine,
+    /// Bumped on every context append; gates the engine's context cache.
+    context_version: u64,
 }
 
 impl RupsNode {
@@ -84,6 +87,7 @@ impl RupsNode {
     pub fn try_new(cfg: RupsConfig) -> Result<Self, RupsError> {
         cfg.validate().map_err(RupsError::InvalidConfig)?;
         let n = cfg.n_channels;
+        let engine = SynQueryEngine::new(cfg.clone());
         Ok(Self {
             cfg,
             vehicle_id: None,
@@ -91,6 +95,8 @@ impl RupsNode {
             gsm: GsmTrajectory::new(n),
             binder: TrajectoryBinder::new(n, f64::NEG_INFINITY),
             trackers: HashMap::new(),
+            engine,
+            context_version: 0,
         })
     }
 
@@ -157,6 +163,7 @@ impl RupsNode {
             self.gsm.drain_front(drop);
             self.geo.drain_front(drop);
         }
+        self.context_version = self.context_version.wrapping_add(1);
     }
 
     /// Produces the snapshot this vehicle would broadcast: the most recent
@@ -175,13 +182,19 @@ impl RupsNode {
         }
     }
 
-    /// Prepares our own context for matching (interpolated per config).
-    fn own_matching_context(&self) -> GsmTrajectory {
-        if self.cfg.interpolate_missing {
-            self.gsm.interpolated()
-        } else {
-            self.gsm.clone()
-        }
+    /// The caching query engine backing every distance query, with its
+    /// context cache synchronised to the node's current journey context.
+    /// Exposed so harnesses can inspect [`EngineStats`] or drive batched
+    /// queries directly.
+    pub fn engine(&self) -> &SynQueryEngine {
+        self.engine
+            .ensure_context(self.context_version, &self.gsm);
+        &self.engine
+    }
+
+    /// Cache-hit / scratch-reuse / kernel counters of the query engine.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.stats()
     }
 
     /// Answers a relative-distance query against a neighbour snapshot: the
@@ -208,28 +221,13 @@ impl RupsNode {
         neighbour: &ContextSnapshot,
         parallel: bool,
     ) -> Result<DistanceFix, RupsError> {
-        let ours = self.own_matching_context();
-        let points = if parallel {
-            syn::find_syn_points_parallel(&ours, &neighbour.gsm, &self.cfg)?
-        } else {
-            syn::find_syn_points(&ours, &neighbour.gsm, &self.cfg)?
-        };
-        let (distance_m, estimates_m) = resolve::aggregate_distance(
-            &points,
-            ours.len(),
-            neighbour.gsm.len(),
-            self.cfg.aggregation,
-        )?;
-        let best_score = points
-            .iter()
-            .map(|p| p.score)
-            .fold(f64::NEG_INFINITY, f64::max);
-        Ok(DistanceFix {
-            distance_m,
-            syn_points: points,
-            estimates_m,
-            best_score,
-        })
+        let ctx = self.engine.ensure_context(self.context_version, &self.gsm);
+        let kernel = self.engine.kernel_for(&ctx, neighbour.gsm.len());
+        let points = self
+            .engine
+            .query_ctx(&ctx, &neighbour.gsm, kernel, parallel)?;
+        self.engine
+            .build_fix(ctx.gsm().len(), neighbour.gsm.len(), points)
     }
 
     /// Continuous-tracking query (§V-B): like [`RupsNode::fix_distance`]
@@ -267,7 +265,11 @@ impl RupsNode {
     /// assert!((second.distance_m - 45.0).abs() < 1.0);
     /// ```
     pub fn tracked_fix(&mut self, neighbour: &ContextSnapshot) -> Result<TrackedFix, RupsError> {
-        let ours = self.own_matching_context();
+        // The engine's cached interpolated context replaces the per-query
+        // clone + interpolation this path used to pay; its full-search
+        // fallback also runs through the engine's caches.
+        let ctx = self.engine.ensure_context(self.context_version, &self.gsm);
+        let engine = &self.engine;
         match neighbour.vehicle_id {
             Some(id) => {
                 let cfg = self.cfg.clone();
@@ -275,11 +277,11 @@ impl RupsNode {
                     .trackers
                     .entry(id)
                     .or_insert_with(|| NeighbourTracker::new(cfg));
-                tracker.update(&ours, &neighbour.gsm)
+                tracker.update_via(engine, ctx.gsm(), &neighbour.gsm)
             }
             None => {
                 let mut one_shot = NeighbourTracker::new(self.cfg.clone());
-                one_shot.update(&ours, &neighbour.gsm)
+                one_shot.update_via(engine, ctx.gsm(), &neighbour.gsm)
             }
         }
     }
@@ -297,34 +299,15 @@ impl RupsNode {
 
     /// Fixes distances to many neighbours concurrently (one rayon task per
     /// neighbour), preserving input order. This is the heavy-traffic path
-    /// discussed in §V-B.
+    /// discussed in §V-B: one epoch of queries runs as a single batched
+    /// work-stealing pass through the engine, with the own-side caches
+    /// shared across every task and the kernel chosen once per batch.
     pub fn fix_distances_parallel(
         &self,
         neighbours: &[ContextSnapshot],
     ) -> Vec<Result<DistanceFix, RupsError>> {
-        let ours = self.own_matching_context();
-        neighbours
-            .par_iter()
-            .map(|nb| {
-                let points = syn::find_syn_points(&ours, &nb.gsm, &self.cfg)?;
-                let (distance_m, estimates_m) = resolve::aggregate_distance(
-                    &points,
-                    ours.len(),
-                    nb.gsm.len(),
-                    self.cfg.aggregation,
-                )?;
-                let best_score = points
-                    .iter()
-                    .map(|p| p.score)
-                    .fold(f64::NEG_INFINITY, f64::max);
-                Ok(DistanceFix {
-                    distance_m,
-                    syn_points: points,
-                    estimates_m,
-                    best_score,
-                })
-            })
-            .collect()
+        let ctx = self.engine.ensure_context(self.context_version, &self.gsm);
+        self.engine.fix_batch_ctx(&ctx, neighbours)
     }
 }
 

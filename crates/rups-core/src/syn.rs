@@ -60,23 +60,37 @@ pub fn slide_scores(
     sliding: &GsmTrajectory,
     window: &CheckWindow,
 ) -> Vec<f64> {
+    let mut out = Vec::new();
+    slide_scores_into(fixed, fixed_start, sliding, window, &mut out);
+    out
+}
+
+/// [`slide_scores`] writing into a caller-provided buffer so repeated passes
+/// (one per segment per neighbour) reuse one allocation. Results are
+/// identical to [`slide_scores`].
+pub(crate) fn slide_scores_into(
+    fixed: &GsmTrajectory,
+    fixed_start: usize,
+    sliding: &GsmTrajectory,
+    window: &CheckWindow,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
     let w = window.len_m;
     if sliding.len() < w {
-        return Vec::new();
+        return;
     }
     let n_pos = sliding.len() - w + 1;
-    (0..n_pos)
-        .map(|j| {
-            fixed
-                .correlation(
-                    fixed_start..fixed_start + w,
-                    sliding,
-                    j..j + w,
-                    Some(&window.channels),
-                )
-                .unwrap_or(f64::NAN)
-        })
-        .collect()
+    out.extend((0..n_pos).map(|j| {
+        fixed
+            .correlation(
+                fixed_start..fixed_start + w,
+                sliding,
+                j..j + w,
+                Some(&window.channels),
+            )
+            .unwrap_or(f64::NAN)
+    }));
 }
 
 /// Parallel variant of [`slide_scores`]; placements are scored across the
@@ -142,7 +156,9 @@ pub fn slide_scores_range(
 
 /// Index and value of the maximum finite score, with parabolic sub-sample
 /// refinement of the peak position. `None` when every score is NaN.
-fn peak(scores: &[f64]) -> Option<(usize, f64, f64)> {
+/// Shared with [`crate::engine`] so both search paths pick peaks
+/// identically.
+pub(crate) fn peak(scores: &[f64]) -> Option<(usize, f64, f64)> {
     let mut best: Option<(usize, f64)> = None;
     for (i, &s) in scores.iter().enumerate() {
         if s.is_nan() {
@@ -171,6 +187,31 @@ fn peak(scores: &[f64]) -> Option<(usize, f64, f64)> {
         0.0
     };
     Some((i, s, refine))
+}
+
+/// Adaptive window sizing (§V-C): use the configured length when both
+/// contexts are long; with short contexts, cap the window at 60 % of the
+/// shorter context so the sliding pass retains room to discover partial
+/// overlaps (a full-context window could only test perfect alignment).
+/// `shorter` is the length of the shorter of the two contexts.
+pub(crate) fn adaptive_window_len(shorter: usize, cfg: &RupsConfig) -> usize {
+    let cap = (shorter * 3) / 5;
+    cfg.window_len_m
+        .min(cap.max(cfg.min_window_len_m))
+        .min(shorter)
+}
+
+/// Re-expresses a reverse-pass hit from our perspective: a reverse pass
+/// anchors *their* end and finds a window on *us*, so the roles swap, and
+/// the parabolic refinement (which belongs to the swept axis) flips sign so
+/// it still corrects `other_end` when the caller applies it.
+pub(crate) fn swap_perspective(p: SynPoint) -> SynPoint {
+    SynPoint {
+        self_end: p.other_end,
+        other_end: p.self_end,
+        refine_m: -p.refine_m,
+        ..p
+    }
 }
 
 /// How sliding-window placements are scored.
@@ -264,15 +305,7 @@ fn find_best_syn_impl(
         });
     }
     let shorter = ours.len().min(theirs.len());
-    // Adaptive window sizing (§V-C): use the configured length when both
-    // contexts are long; with short contexts, cap the window at 60 % of the
-    // shorter context so the sliding pass retains room to discover partial
-    // overlaps (a full-context window could only test perfect alignment).
-    let cap = (shorter * 3) / 5;
-    let len = cfg
-        .window_len_m
-        .min(cap.max(cfg.min_window_len_m))
-        .min(shorter);
+    let len = adaptive_window_len(shorter, cfg);
     let too_short = || RupsError::InsufficientContext {
         available_m: shorter,
         required_m: cfg.min_window_len_m.max(2),
@@ -291,15 +324,7 @@ fn find_best_syn_impl(
         .and_then(|wnd| directed_best(theirs, theirs.len(), ours, &wnd, mode))
         // A reverse-pass hit anchors *their* end and a window on *us*; swap
         // roles so the SynPoint is always expressed from our perspective.
-        .map(|p| SynPoint {
-            self_end: p.other_end,
-            other_end: p.self_end,
-            // The refinement belongs to the swept (our) axis after the swap;
-            // flip its sign so it still corrects the *other* offset when the
-            // caller applies it to `other_end`.
-            refine_m: -p.refine_m,
-            ..p
-        });
+        .map(swap_perspective);
 
     let best = match (fwd, rev) {
         (Some(f), Some(r)) => {
@@ -402,12 +427,7 @@ fn find_syn_points_impl(
             .and_then(|(end, wnd)| {
                 directed_best(theirs, end, ours, &wnd, mode).filter(|p| p.score >= wnd.threshold)
             })
-            .map(|p| SynPoint {
-                self_end: p.other_end,
-                other_end: p.self_end,
-                refine_m: -p.refine_m,
-                ..p
-            });
+            .map(swap_perspective);
         let cand = match (fwd, rev) {
             (Some(f), Some(r)) => Some(if f.score >= r.score { f } else { r }),
             (f, r) => f.or(r),

@@ -60,47 +60,98 @@ pub fn slide_scores_fast(
         let sumsq_f: f64 = f64s.iter().map(|v| v * v).sum();
 
         let mut means_row = Vec::with_capacity(n_pos);
-        for j in 0..n_pos {
-            let sum_s = ps[j + w] - ps[j];
-            let sumsq_s = pss[j + w] - pss[j];
-            // Reuse the exact PairSums → Pearson math of the reference path
-            // so thresholds and degenerate-variance handling agree.
-            let sums = PairSums {
-                n: w,
-                sum_a: sum_f,
-                sum_b: sum_s,
-                sum_aa: sumsq_f,
-                sum_bb: sumsq_s,
-                sum_ab: dots[j],
-            };
-            if let Some(r) = sums.pearson() {
-                chan_sum[j] += r;
-                chan_n[j] += 1;
-            }
-            means_row.push((sum_s / w as f64) as f32);
-        }
-        mean_f.push((sum_f / w as f64) as f32);
+        let mf = accumulate_dense_channel(
+            w,
+            n_pos,
+            sum_f,
+            sumsq_f,
+            &dots,
+            &ps,
+            &pss,
+            &mut chan_sum,
+            &mut chan_n,
+            &mut means_row,
+        );
+        mean_f.push(mf);
         mean_s.push(means_row);
     }
 
+    let mut scores = Vec::with_capacity(n_pos);
+    combine_dense_scores(n_pos, &mean_f, &mean_s, &chan_sum, &chan_n, &mut scores);
+    Some(scores)
+}
+
+/// Accumulates one dense channel's per-placement Pearson contributions into
+/// `chan_sum`/`chan_n`, pushes the per-placement sliding-window means into
+/// `means_row`, and returns the fixed-window mean. `dots[j]` must be the
+/// fixed·sliding dot product at placement `j` and `ps`/`pss` the prefix
+/// sums of the sliding row and its squares (length ≥ `n_pos + w`).
+///
+/// This is the placement-dependent half of Eq. (2), shared between
+/// [`slide_scores_fast`] and [`crate::engine::SynQueryEngine`] so the two
+/// paths stay bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn accumulate_dense_channel(
+    w: usize,
+    n_pos: usize,
+    sum_f: f64,
+    sumsq_f: f64,
+    dots: &[f64],
+    ps: &[f64],
+    pss: &[f64],
+    chan_sum: &mut [f64],
+    chan_n: &mut [u32],
+    means_row: &mut Vec<f32>,
+) -> f32 {
+    for j in 0..n_pos {
+        let sum_s = ps[j + w] - ps[j];
+        let sumsq_s = pss[j + w] - pss[j];
+        // Reuse the exact PairSums → Pearson math of the reference path
+        // so thresholds and degenerate-variance handling agree.
+        let sums = PairSums {
+            n: w,
+            sum_a: sum_f,
+            sum_b: sum_s,
+            sum_aa: sumsq_f,
+            sum_bb: sumsq_s,
+            sum_ab: dots[j],
+        };
+        if let Some(r) = sums.pearson() {
+            chan_sum[j] += r;
+            chan_n[j] += 1;
+        }
+        means_row.push((sum_s / w as f64) as f32);
+    }
+    (sum_f / w as f64) as f32
+}
+
+/// Combines the per-channel accumulators of [`accumulate_dense_channel`]
+/// into final Eq. (2) scores (mean per-channel Pearson + mean-profile
+/// Pearson), appending one score per placement to `scores`.
+pub(crate) fn combine_dense_scores(
+    n_pos: usize,
+    mean_f: &[f32],
+    mean_s: &[Vec<f32>],
+    chan_sum: &[f64],
+    chan_n: &[u32],
+    scores: &mut Vec<f64>,
+) {
     // Mean-profile Pearson across channels, per placement.
     let k = mean_f.len();
-    let mut scores = Vec::with_capacity(n_pos);
     let mut profile = vec![0.0f32; k];
     for j in 0..n_pos {
         if chan_n[j] == 0 {
             scores.push(f64::NAN);
             continue;
         }
-        for (slot, row) in profile.iter_mut().zip(&mean_s) {
+        for (slot, row) in profile.iter_mut().zip(mean_s) {
             *slot = row[j];
         }
-        match stats::pearson(&mean_f, &profile) {
+        match stats::pearson(mean_f, &profile) {
             Some(mp) => scores.push(chan_sum[j] / chan_n[j] as f64 + mp),
             None => scores.push(f64::NAN),
         }
     }
-    Some(scores)
 }
 
 #[cfg(test)]

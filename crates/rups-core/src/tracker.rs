@@ -14,6 +14,7 @@
 //! transparently falls back to a full search.
 
 use crate::config::RupsConfig;
+use crate::engine::SynQueryEngine;
 use crate::error::RupsError;
 use crate::gsm::GsmTrajectory;
 use crate::resolve;
@@ -97,14 +98,45 @@ impl NeighbourTracker {
         self.full(ours, theirs)
     }
 
+    /// Like [`NeighbourTracker::update`] but routing the full-search
+    /// fallback through a [`SynQueryEngine`] whose installed context is
+    /// `ours`, so re-acquisition reuses the engine's window memo and
+    /// scratch pool. [`crate::pipeline::RupsNode::tracked_fix`] calls this.
+    pub fn update_via(
+        &mut self,
+        engine: &SynQueryEngine,
+        ours: &GsmTrajectory,
+        theirs: &GsmTrajectory,
+    ) -> Result<TrackedFix, RupsError> {
+        if let Some(shift) = self.shift {
+            if let Some(fix) = self.incremental(ours, theirs, shift) {
+                self.shift = Some(fix.1);
+                return Ok(fix.0);
+            }
+        }
+        let points = engine.find_syn_points(theirs)?;
+        self.adopt_full(points, ours.len(), theirs.len())
+    }
+
     fn full(
         &mut self,
         ours: &GsmTrajectory,
         theirs: &GsmTrajectory,
     ) -> Result<TrackedFix, RupsError> {
         let points = syn::find_syn_points(ours, theirs, &self.cfg)?;
+        self.adopt_full(points, ours.len(), theirs.len())
+    }
+
+    /// Resolves, aggregates and anchors the result of a full multi-SYN
+    /// search (shared by the standalone and the engine-backed paths).
+    fn adopt_full(
+        &mut self,
+        points: Vec<SynPoint>,
+        ours_len: usize,
+        theirs_len: usize,
+    ) -> Result<TrackedFix, RupsError> {
         let (distance_m, _) =
-            resolve::aggregate_distance(&points, ours.len(), theirs.len(), self.cfg.aggregation)?;
+            resolve::aggregate_distance(&points, ours_len, theirs_len, self.cfg.aggregation)?;
         let best = points
             .iter()
             .map(|p| p.score)

@@ -155,4 +155,90 @@ mod tests {
         let w = CheckWindow::for_context(&t, &cfg).unwrap();
         assert_eq!(w.channels.len(), 10);
     }
+
+    #[test]
+    fn zero_variance_context_still_resolves_a_window() {
+        // A flat stretch (every channel constant): channel selection ranks
+        // by mean strength alone, so the window still resolves — it is the
+        // downstream correlation that rejects it, because Pearson is
+        // undefined on zero variance.
+        let cfg = RupsConfig {
+            n_channels: 6,
+            window_channels: 4,
+            ..RupsConfig::default()
+        };
+        let rows = (0..6).map(|ch| vec![-60.0 - ch as f32; 120]).collect();
+        let t = GsmTrajectory::from_rows(rows);
+        let w = CheckWindow::for_context(&t, &cfg).unwrap();
+        assert_eq!(w.len_m, 85);
+        assert_eq!(w.channels, vec![0, 1, 2, 3], "strongest four channels");
+        let start = t.len() - w.len_m;
+        assert!(
+            t.correlation(start..t.len(), &t, start..t.len(), Some(&w.channels))
+                .is_none(),
+            "zero-variance windows must yield no defined correlation"
+        );
+    }
+
+    #[test]
+    fn fully_missing_context_yields_no_window() {
+        // Scanner produced nothing (e.g. deep tunnel): every channel is
+        // missing over the whole window, so no channel subset exists.
+        let cfg = RupsConfig {
+            n_channels: 4,
+            ..RupsConfig::default()
+        };
+        let t = GsmTrajectory::from_rows(vec![vec![f32::NAN; 50]; 4]);
+        assert!(CheckWindow::for_context(&t, &cfg).is_none());
+        assert!(CheckWindow::with_len(&t, &cfg, 20, 50).is_none());
+    }
+
+    #[test]
+    fn all_missing_columns_inside_the_window_are_tolerated() {
+        // A few fully-occluded metres inside an otherwise healthy window:
+        // channel ranking works on the present samples, full subset kept.
+        let cfg = RupsConfig {
+            n_channels: 5,
+            window_channels: 5,
+            ..RupsConfig::default()
+        };
+        let mut rows: Vec<Vec<f32>> = (0..5).map(|ch| vec![-55.0 - ch as f32; 140]).collect();
+        for row in &mut rows {
+            row[100..105].fill(f32::NAN);
+        }
+        let t = GsmTrajectory::from_rows(rows);
+        let w = CheckWindow::for_context(&t, &cfg).unwrap();
+        assert_eq!(w.len_m, 85);
+        assert_eq!(w.channels.len(), 5);
+    }
+
+    #[test]
+    fn window_longer_than_context_is_rejected() {
+        let cfg = RupsConfig {
+            n_channels: 8,
+            ..RupsConfig::default()
+        };
+        let t = traj(8, 40);
+        // The explicit length cannot be placed: longer than the prefix
+        // ending at `end`, or ending beyond the context entirely.
+        assert!(CheckWindow::with_len(&t, &cfg, 41, 40).is_none());
+        assert!(CheckWindow::with_len(&t, &cfg, 60, 60).is_none());
+        // The adaptive path shrinks instead of rejecting.
+        let w = CheckWindow::for_context(&t, &cfg).unwrap();
+        assert_eq!(w.len_m, 40);
+    }
+
+    #[test]
+    fn single_metre_context_yields_no_window() {
+        // One metre of journey cannot carry a correlation window (a window
+        // needs at least two samples for variance to exist).
+        let cfg = RupsConfig {
+            n_channels: 8,
+            min_window_len_m: 1,
+            ..RupsConfig::default()
+        };
+        let t = traj(8, 1);
+        assert!(CheckWindow::for_context(&t, &cfg).is_none());
+        assert!(CheckWindow::with_len(&t, &cfg, 1, 1).is_none());
+    }
 }

@@ -274,8 +274,8 @@ fn gen_occlusions(seed: u64, duration_s: f64, rate_per_min: f64) -> Vec<Occlusio
         if t >= duration_s {
             break;
         }
-        let dur = rng.gen_range(4.0..15.0);
-        let loss = rng.gen_range(10.0..22.0) as f32;
+        let dur: f64 = rng.gen_range(4.0..15.0);
+        let loss = rng.gen_range(10.0f64..22.0) as f32;
         out.push(Occlusion {
             start_s: t,
             end_s: (t + dur).min(duration_s),

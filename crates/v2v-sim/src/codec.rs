@@ -40,6 +40,9 @@ pub enum CodecError {
     BadMagic,
     /// Unsupported codec version.
     BadVersion(u8),
+    /// Structurally valid but semantically impossible payload
+    /// (e.g. non-finite or regressing metre timestamps).
+    Corrupt(&'static str),
 }
 
 impl std::fmt::Display for CodecError {
@@ -48,6 +51,7 @@ impl std::fmt::Display for CodecError {
             CodecError::Truncated => write!(f, "snapshot payload truncated"),
             CodecError::BadMagic => write!(f, "bad magic: not a RUPS snapshot"),
             CodecError::BadVersion(v) => write!(f, "unsupported codec version {v}"),
+            CodecError::Corrupt(why) => write!(f, "corrupt snapshot payload: {why}"),
         }
     }
 }
@@ -151,9 +155,19 @@ pub fn decode_snapshot(mut data: &[u8]) -> Result<ContextSnapshot, CodecError> {
     let mut geo = GeoTrajectory::with_capacity(len);
     let mut gsm = GsmTrajectory::with_capacity(n_channels, len);
     let mut col = vec![f32::NAN; n_channels];
+    if !t0.is_finite() {
+        return Err(CodecError::Corrupt("non-finite base timestamp"));
+    }
+    let mut prev_dt = f64::NEG_INFINITY;
     for _ in 0..len {
         let heading = data.get_i16_le() as f64 / 1e4;
         let dt = data.get_f32_le() as f64;
+        // Metre marks are recorded in time order; anything else means the
+        // payload bytes do not describe a real trajectory.
+        if !dt.is_finite() || dt < prev_dt {
+            return Err(CodecError::Corrupt("metre timestamps not non-decreasing"));
+        }
+        prev_dt = dt;
         geo.push(GeoSample {
             heading_rad: heading,
             timestamp_s: t0 + dt,

@@ -1,0 +1,329 @@
+//! Workspace-local stand-in for the `criterion` subset this workspace
+//! uses: benchmark groups, `bench_function` / `bench_with_input`,
+//! `Bencher::iter`, throughput annotation, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Timing is a simple warmup + time-boxed sampling loop. Results are
+//! printed to stdout and recorded in criterion's on-disk layout
+//! (`target/criterion/<group>/<id>/new/estimates.json` with a
+//! `mean.point_estimate` in nanoseconds) so downstream tooling that
+//! reads the bench JSON keeps working.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        let measurement_time = self.measurement_time;
+        run_benchmark(
+            &id.to_string(),
+            None,
+            sample_size,
+            measurement_time,
+            None,
+            f,
+        );
+        self
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Units processed per iteration, used to report derived throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |bencher| f(bencher, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        run_benchmark(
+            &self.name,
+            Some(id),
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.measurement_time,
+            self.throughput,
+            f,
+        );
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the routine.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup (also primes caches/allocators).
+        black_box(routine());
+        let deadline = Instant::now() + self.measurement_time;
+        for done in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
+            // Always collect a handful of samples, then respect the box.
+            if done >= 4 && Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: Option<&str>,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        samples_ns: Vec::with_capacity(sample_size),
+        sample_size,
+        measurement_time,
+    };
+    f(&mut bencher);
+    let label = match id {
+        Some(id) => format!("{group}/{id}"),
+        None => group.to_string(),
+    };
+    if bencher.samples_ns.is_empty() {
+        println!("{label}: no samples collected");
+        return;
+    }
+    let n = bencher.samples_ns.len();
+    let mean_ns = bencher.samples_ns.iter().sum::<f64>() / n as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(b) => format!(", {:.1} MiB/s", b as f64 / mean_ns * 1e9 / (1 << 20) as f64),
+        Throughput::Elements(e) => format!(", {:.1} elem/s", e as f64 / mean_ns * 1e9),
+    });
+    println!(
+        "{label}: mean {} ({n} samples{})",
+        format_ns(mean_ns),
+        rate.unwrap_or_default()
+    );
+    write_estimates(group, id, mean_ns, n, throughput);
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Mirrors criterion's `target/criterion/<group>/<id>/new/estimates.json`
+/// layout closely enough for scripts that read `mean.point_estimate`.
+fn write_estimates(
+    group: &str,
+    id: Option<&str>,
+    mean_ns: f64,
+    samples: usize,
+    throughput: Option<Throughput>,
+) {
+    let mut dir = target_dir().join("criterion").join(sanitize(group));
+    if let Some(id) = id {
+        dir = dir.join(sanitize(id));
+    }
+    let dir = dir.join("new");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let throughput_json = match throughput {
+        Some(Throughput::Bytes(b)) => format!(",\"throughput\":{{\"Bytes\":{b}}}"),
+        Some(Throughput::Elements(e)) => format!(",\"throughput\":{{\"Elements\":{e}}}"),
+        None => String::new(),
+    };
+    let json = format!(
+        "{{\"mean\":{{\"point_estimate\":{mean_ns},\"unit\":\"ns\"}},\"samples\":{samples}{throughput_json}}}"
+    );
+    let _ = std::fs::write(dir.join("estimates.json"), json);
+}
+
+fn target_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir);
+    }
+    // `cargo bench` runs with the package root as cwd and exports
+    // CARGO_MANIFEST_DIR; the shared target dir sits at the workspace
+    // root two levels up (crates/<pkg>). Fall back to ./target.
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let candidate = PathBuf::from(&manifest).join("../../target");
+        if candidate.is_dir() {
+            return candidate;
+        }
+    }
+    PathBuf::from("target")
+}
+
+fn sanitize(part: &str) -> String {
+    part.chars()
+        .map(|c| if c == '/' || c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench forwards harness flags (e.g. --bench); accept
+            // and ignore them like the real criterion binary does.
+            let _args: Vec<String> = std::env::args().collect();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(5);
+        group.throughput(Throughput::Bytes(64));
+        group.bench_with_input(BenchmarkId::from_parameter(64), &64usize, |b, &n| {
+            b.iter(|| black_box((0..n).sum::<usize>()))
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(32).to_string(), "32");
+        assert_eq!(BenchmarkId::new("kernel", "fft").to_string(), "kernel/fft");
+    }
+}

@@ -1,0 +1,34 @@
+//! Workspace-local stand-in for the `crossbeam::channel` subset this
+//! workspace uses, backed by `std::sync::mpsc`.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// An unbounded MPSC channel (`crossbeam::channel::unbounded`).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn send_try_iter_roundtrip() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert!(rx.try_iter().next().is_none());
+    }
+
+    #[test]
+    fn cloneable_sender_across_threads() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(7u32).unwrap());
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+}

@@ -1,0 +1,378 @@
+//! Workspace-local stand-in for the `serde` façade.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace carries a minimal, source-compatible subset of serde built
+//! around an owned value tree ([`value::Value`]). `Serialize` produces a
+//! `Value`; formats (here: `serde_json`) render and parse that tree. The
+//! trait signatures match real serde closely enough that the manual
+//! impls in `rups-core` (`PowerVector`, `GsmTrajectory`) and the derive
+//! invocations across the workspace compile unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    /// Owned, format-independent serialization tree.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Int(i64),
+        UInt(u64),
+        Float(f64),
+        Str(String),
+        Seq(Vec<Value>),
+        /// Ordered map: field order is preserved so output is stable.
+        Map(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The value as an `i64`, when it is an integral number in range.
+        pub fn as_i64(&self) -> Option<i64> {
+            match *self {
+                Value::Int(v) => Some(v),
+                Value::UInt(v) => i64::try_from(v).ok(),
+                Value::Float(v) if v.fract() == 0.0 && v.abs() < 9.2e18 => Some(v as i64),
+                _ => None,
+            }
+        }
+
+        /// The value as a `u64`, when it is a non-negative integral number.
+        pub fn as_u64(&self) -> Option<u64> {
+            match *self {
+                Value::UInt(v) => Some(v),
+                Value::Int(v) => u64::try_from(v).ok(),
+                Value::Float(v) if v.fract() == 0.0 && (0.0..1.9e19).contains(&v) => Some(v as u64),
+                _ => None,
+            }
+        }
+
+        /// The value as an `f64`, when numeric. `Null` maps to NaN so that
+        /// non-finite floats (rendered as `null`, as real serde_json does)
+        /// survive a round-trip.
+        pub fn as_f64(&self) -> Option<f64> {
+            match *self {
+                Value::Float(v) => Some(v),
+                Value::Int(v) => Some(v as f64),
+                Value::UInt(v) => Some(v as f64),
+                Value::Null => Some(f64::NAN),
+                _ => None,
+            }
+        }
+    }
+}
+
+pub mod ser {
+    use super::value::Value;
+    use std::fmt::Display;
+
+    /// Error raised while serializing.
+    pub trait Error: Sized {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A format backend: receives the finished value tree.
+    pub trait Serializer: Sized {
+        type Ok;
+        type Error: Error;
+        fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Present for source compatibility with `use serde::ser::SerializeSeq`.
+    pub trait SerializeSeq {
+        type Ok;
+        type Error;
+        fn serialize_element<T: super::Serialize + ?Sized>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+pub mod de {
+    use super::value::Value;
+    use std::fmt::Display;
+
+    /// Error raised while deserializing.
+    pub trait Error: Sized {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A format backend: yields the parsed value tree.
+    pub trait Deserializer<'de>: Sized {
+        type Error: Error;
+        fn take_value(self) -> Result<Value, Self::Error>;
+    }
+}
+
+pub use de::Deserializer;
+pub use ser::Serializer;
+pub use value::Value;
+
+/// A type that can render itself into the serde data model.
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type that can rebuild itself from the serde data model.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Uninhabited error for the infallible in-memory serializer.
+pub enum Impossible {}
+
+impl std::fmt::Debug for Impossible {
+    fn fmt(&self, _: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {}
+    }
+}
+
+impl ser::Error for Impossible {
+    fn custom<T: std::fmt::Display>(_msg: T) -> Self {
+        unreachable!("the in-memory value serializer cannot fail")
+    }
+}
+
+struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Impossible;
+    fn serialize_value(self, value: Value) -> Result<Value, Impossible> {
+        Ok(value)
+    }
+}
+
+/// Renders any `Serialize` type into the owned value tree (infallible).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    match value.serialize(ValueSerializer) {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
+/// Adapter deserializer over an owned `Value`, generic in the error type
+/// so nested `Deserialize` calls surface the caller's format error.
+pub struct ValueDeserializer<E> {
+    value: Value,
+    marker: std::marker::PhantomData<E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer {
+            value,
+            marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'de, E: de::Error> Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+    fn take_value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}
+
+/// Rebuilds a `Deserialize` type from an owned `Value`.
+pub fn from_value<'de, T: Deserialize<'de>, E: de::Error>(value: Value) -> Result<T, E> {
+    T::deserialize(ValueDeserializer::new(value))
+}
+
+/// Support routine for derived struct impls: extracts field `name` from a
+/// map, erroring when it is absent.
+pub fn __field<'de, T: Deserialize<'de>, E: de::Error>(
+    map: &mut Vec<(String, Value)>,
+    name: &str,
+) -> Result<T, E> {
+    match map.iter().position(|(k, _)| k == name) {
+        Some(i) => from_value(map.swap_remove(i).1),
+        None => Err(E::custom(format_args!("missing field `{name}`"))),
+    }
+}
+
+// ---- Serialize impls for std types ----------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+macro_rules! ser_int {
+    ($($t:ty => $variant:ident as $wide:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::$variant(*self as $wide))
+            }
+        }
+    )*};
+}
+
+ser_int!(i8 => Int as i64, i16 => Int as i64, i32 => Int as i64, i64 => Int as i64,
+         isize => Int as i64, u8 => UInt as u64, u16 => UInt as u64, u32 => UInt as u64,
+         u64 => UInt as u64, usize => UInt as u64);
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Float(f64::from(*self)))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Float(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_owned()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_value(Value::Null),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Seq(self.iter().map(to_value).collect()))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident . $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::Seq(vec![$(to_value(&self.$idx)),+]))
+            }
+        }
+    )+};
+}
+
+ser_tuple!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3)
+);
+
+// ---- Deserialize impls for std types --------------------------------------
+
+macro_rules! de_int {
+    ($($t:ty : $getter:ident => $msg:literal),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.take_value()?;
+                v.$getter()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| de::Error::custom($msg))
+            }
+        }
+    )*};
+}
+
+de_int!(i8: as_i64 => "expected i8", i16: as_i64 => "expected i16",
+        i32: as_i64 => "expected i32", i64: as_i64 => "expected i64",
+        isize: as_i64 => "expected isize", u8: as_u64 => "expected u8",
+        u16: as_u64 => "expected u16", u32: as_u64 => "expected u32",
+        u64: as_u64 => "expected u64", usize: as_u64 => "expected usize");
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer
+            .take_value()?
+            .as_f64()
+            .ok_or_else(|| de::Error::custom("expected f64"))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Bool(b) => Ok(b),
+            _ => Err(de::Error::custom("expected bool")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Str(s) => Ok(s),
+            _ => Err(de::Error::custom("expected string")),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            v => from_value(v).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Seq(items) => items.into_iter().map(from_value).collect(),
+            _ => Err(de::Error::custom("expected sequence")),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($n:literal : $($name:ident),+)),+) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                match deserializer.take_value()? {
+                    Value::Seq(items) if items.len() == $n => {
+                        let mut it = items.into_iter();
+                        Ok(($(from_value::<$name, De::Error>(it.next().unwrap())?,)+))
+                    }
+                    _ => Err(de::Error::custom(concat!("expected ", $n, "-tuple"))),
+                }
+            }
+        }
+    )+};
+}
+
+de_tuple!((2: A, B), (3: A, B, C), (4: A, B, C, D));

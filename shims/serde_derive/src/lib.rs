@@ -1,0 +1,301 @@
+//! Derive macros for the workspace-local serde stand-in.
+//!
+//! The offline build has neither `syn` nor `quote`, so the item is parsed
+//! directly from the `proc_macro` token stream. Supported shapes are the
+//! ones this workspace uses: non-generic structs with named fields,
+//! tuple structs, and enums whose variants carry no data. Anything else
+//! panics at expansion time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    /// `struct Name { a: A, b: B }` — the field names, in order.
+    Struct { name: String, fields: Vec<String> },
+    /// `struct Name(A, B);` — the number of fields.
+    Tuple { name: String, arity: usize },
+    /// `enum Name { V1, V2 }` — the variant names, in order.
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    let mut kind: Option<String> = None;
+
+    // Header: attributes and visibility, then `struct`/`enum` + name.
+    let name = loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next(); // the `[...]` attribute body
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" => {
+                        if let Some(TokenTree::Group(g)) = it.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                it.next(); // `pub(crate)` etc.
+                            }
+                        }
+                    }
+                    "struct" | "enum" => kind = Some(s),
+                    other if kind.is_some() => break other.to_string(),
+                    other => panic!("serde_derive: unexpected token `{other}`"),
+                }
+            }
+            other => panic!("serde_derive: unexpected item shape at {other:?}"),
+        }
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) => g,
+        other => panic!("serde_derive: expected body for `{name}`, got {other:?}"),
+    };
+
+    match (kind.as_deref(), body.delimiter()) {
+        (Some("struct"), Delimiter::Parenthesis) => Item::Tuple {
+            name,
+            arity: count_top_level_fields(body.stream()),
+        },
+        (Some("struct"), Delimiter::Brace) => Item::Struct {
+            name,
+            fields: parse_named_fields(body.stream()),
+        },
+        (Some("enum"), Delimiter::Brace) => Item::Enum {
+            name,
+            variants: parse_unit_variants(body.stream()),
+        },
+        _ => panic!("serde_derive: unsupported shape for `{name}`"),
+    }
+}
+
+/// Number of comma-separated entries at angle-bracket depth 0.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    fields + usize::from(saw_tokens)
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut it = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        // Skip attributes and visibility in front of the field name.
+        let field = loop {
+            match it.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                other => panic!("serde_derive: unexpected field token {other:?}"),
+            }
+        };
+        fields.push(field);
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field name, got {other:?}"),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0i32;
+        for tt in it.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_unit_variants(stream: TokenStream) -> Vec<String> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        match it.next() {
+            None => return variants,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let v = id.to_string();
+                if let Some(TokenTree::Group(_)) = it.peek() { panic!(
+                    "serde_derive shim: variant `{v}` carries data, which is unsupported"
+                ) }
+                variants.push(v);
+                // Consume up to and including the separating comma
+                // (covers explicit discriminants like `V = 3`).
+                for tt in it.by_ref() {
+                    if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                }
+            }
+            other => panic!("serde_derive: unexpected enum token {other:?}"),
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__map.push((::std::string::String::from(\"{f}\"), \
+                         ::serde::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 let mut __map: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)>\n\
+                 = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Serializer::serialize_value(__serializer, ::serde::value::Value::Map(__map))\n\
+                 }}\n}}"
+            )
+        }
+        Item::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+             -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+             ::serde::Serialize::serialize(&self.0, __serializer)\n\
+             }}\n}}"
+        ),
+        Item::Tuple { name, arity } => {
+            let elems: Vec<String> = (0..arity)
+                .map(|i| format!("::serde::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 ::serde::Serializer::serialize_value(__serializer, \
+                 ::serde::value::Value::Seq(::std::vec![{}]))\n\
+                 }}\n}}",
+                elems.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 let __variant = match self {{\n{arms}}};\n\
+                 ::serde::Serializer::serialize_value(__serializer, \
+                 ::serde::value::Value::Str(::std::string::String::from(__variant)))\n\
+                 }}\n}}"
+            )
+        }
+    };
+    out.parse().expect("serde_derive: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(&mut __map, \"{f}\")?,\n"))
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 match ::serde::Deserializer::take_value(__deserializer)? {{\n\
+                 ::serde::value::Value::Map(mut __map) => {{\n\
+                 let _ = &mut __map;\n\
+                 ::core::result::Result::Ok({name} {{\n{inits}}})\n\
+                 }}\n\
+                 _ => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 \"expected map for struct {name}\")),\n\
+                 }}\n}}\n}}"
+            )
+        }
+        Item::Tuple { name, arity: 1 } => format!(
+            "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D)\n\
+             -> ::core::result::Result<Self, __D::Error> {{\n\
+             ::core::result::Result::Ok({name}(::serde::from_value(\
+             ::serde::Deserializer::take_value(__deserializer)?)?))\n\
+             }}\n}}"
+        ),
+        Item::Tuple { name, arity } => {
+            let elems: Vec<String> = (0..arity)
+                .map(|_| "::serde::from_value(__it.next().unwrap())?".to_string())
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 match ::serde::Deserializer::take_value(__deserializer)? {{\n\
+                 ::serde::value::Value::Seq(__items) if __items.len() == {arity} => {{\n\
+                 let mut __it = __items.into_iter();\n\
+                 ::core::result::Result::Ok({name}({}))\n\
+                 }}\n\
+                 _ => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 \"expected {arity}-element sequence for {name}\")),\n\
+                 }}\n}}\n}}",
+                elems.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::core::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 match ::serde::Deserializer::take_value(__deserializer)? {{\n\
+                 ::serde::value::Value::Str(__s) => match __s.as_str() {{\n\
+                 {arms}\
+                 __other => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 ::std::format!(\"unknown {name} variant `{{}}`\", __other))),\n\
+                 }},\n\
+                 _ => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 \"expected string for enum {name}\")),\n\
+                 }}\n}}\n}}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde_derive: generated impl must parse")
+}
