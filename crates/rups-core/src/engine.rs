@@ -249,9 +249,9 @@ impl SynQueryEngine {
 
     /// Installs the querying vehicle's raw context (standalone use).
     /// Interpolates missing channels per the configuration and rebuilds
-    /// every cache. [`crate::pipeline::RupsNode`] instead calls
-    /// [`ensure_context`](Self::ensure_context) with its own version
-    /// counter so unchanged contexts are never rebuilt.
+    /// every cache. [`crate::pipeline::RupsNode`] instead calls the
+    /// crate-internal `ensure_context` with its own version counter so
+    /// unchanged contexts are never rebuilt.
     pub fn set_context(&self, raw: &GsmTrajectory) {
         let v = self.own_version.fetch_add(1, Relaxed).wrapping_add(1);
         self.ensure_context(v, raw);

@@ -30,6 +30,19 @@ pub enum RupsError {
     },
     /// A configuration failed validation.
     InvalidConfig(String),
+    /// A neighbour snapshot is older than the staleness horizon: acting on
+    /// it would fix a distance to where the neighbour *was*, not where it
+    /// is.
+    StaleSnapshot {
+        /// Age of the snapshot's newest metre, seconds.
+        age_s: f64,
+        /// Configured staleness horizon, seconds.
+        horizon_s: f64,
+    },
+    /// A snapshot is internally inconsistent (e.g. geo/GSM halves of
+    /// different length, non-finite timestamps) — hostile or damaged wire
+    /// input that decoded structurally but cannot be queried.
+    MalformedSnapshot(&'static str),
 }
 
 impl fmt::Display for RupsError {
@@ -54,6 +67,11 @@ impl fmt::Display for RupsError {
                  below coherency threshold {threshold:.3}"
             ),
             RupsError::InvalidConfig(msg) => write!(f, "invalid RUPS configuration: {msg}"),
+            RupsError::StaleSnapshot { age_s, horizon_s } => write!(
+                f,
+                "stale snapshot: {age_s:.1} s old, horizon {horizon_s:.1} s"
+            ),
+            RupsError::MalformedSnapshot(why) => write!(f, "malformed snapshot: {why}"),
         }
     }
 }
@@ -84,6 +102,14 @@ mod tests {
         assert!(e.to_string().contains("194"));
         let e = RupsError::InvalidConfig("boom".into());
         assert!(e.to_string().contains("boom"));
+        let e = RupsError::StaleSnapshot {
+            age_s: 42.5,
+            horizon_s: 30.0,
+        };
+        assert!(e.to_string().contains("42.5"));
+        assert!(e.to_string().contains("30.0"));
+        let e = RupsError::MalformedSnapshot("geo/gsm length mismatch");
+        assert!(e.to_string().contains("geo/gsm"));
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub mod engine;
 pub mod error;
 pub mod geo;
 pub mod gsm;
+pub mod inbox;
 pub mod motion;
 pub mod pipeline;
 pub mod quality;
@@ -95,7 +96,8 @@ pub mod prelude {
     pub use crate::error::RupsError;
     pub use crate::geo::{GeoSample, GeoTrajectory};
     pub use crate::gsm::{GsmTrajectory, PowerVector};
-    pub use crate::pipeline::{ContextSnapshot, DistanceFix, RupsNode};
+    pub use crate::inbox::{InboxConfig, InboxStats, SnapshotInbox};
+    pub use crate::pipeline::{ContextSnapshot, DistanceFix, GradedFix, RupsNode};
     pub use crate::quality::{assess, FixQuality, QualityConfig, QualityReport};
     pub use crate::resolve::resolve_relative_distance;
     pub use crate::syn::{find_best_syn, find_syn_points, SynPoint};
@@ -110,6 +112,7 @@ pub use engine::{EngineStats, Kernel, SynQueryEngine};
 pub use error::RupsError;
 pub use geo::{GeoSample, GeoTrajectory};
 pub use gsm::{GsmTrajectory, PowerVector};
-pub use pipeline::{ContextSnapshot, DistanceFix, RupsNode};
+pub use inbox::{InboxConfig, InboxStats, SnapshotInbox};
+pub use pipeline::{ContextSnapshot, DistanceFix, GradedFix, RupsNode};
 pub use syn::SynPoint;
 pub use window::CheckWindow;

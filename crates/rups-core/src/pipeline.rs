@@ -13,6 +13,8 @@ use crate::engine::{EngineStats, SynQueryEngine};
 use crate::error::RupsError;
 use crate::geo::{GeoSample, GeoTrajectory};
 use crate::gsm::{GsmTrajectory, PowerVector};
+use crate::inbox::SnapshotInbox;
+use crate::quality::{assess, QualityConfig, QualityReport};
 use crate::syn::SynPoint;
 use crate::tracker::{NeighbourTracker, TrackedFix};
 use serde::{Deserialize, Serialize};
@@ -40,6 +42,17 @@ impl ContextSnapshot {
     pub fn is_empty(&self) -> bool {
         self.gsm.is_empty()
     }
+}
+
+/// A distance fix bundled with its [`QualityReport`] — the
+/// graceful-degradation result type: marginal context downgrades the grade
+/// and widens the error bound instead of erroring.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GradedFix {
+    /// The distance fix.
+    pub fix: DistanceFix,
+    /// Its quality grade and conservative error bound.
+    pub report: QualityReport,
 }
 
 /// The result of a relative-distance query.
@@ -187,14 +200,34 @@ impl RupsNode {
     /// Exposed so harnesses can inspect [`EngineStats`] or drive batched
     /// queries directly.
     pub fn engine(&self) -> &SynQueryEngine {
-        self.engine
-            .ensure_context(self.context_version, &self.gsm);
+        self.engine.ensure_context(self.context_version, &self.gsm);
         &self.engine
     }
 
     /// Cache-hit / scratch-reuse / kernel counters of the query engine.
     pub fn engine_stats(&self) -> EngineStats {
         self.engine.stats()
+    }
+
+    /// Structural validation every neighbour snapshot must pass before it
+    /// can touch the correlation kernels: aligned halves and a channel
+    /// count matching this node's configuration (a mismatched snapshot is
+    /// trivial to produce via the wire codec, and the anchored tracking
+    /// path would otherwise feed it to `correlation` with undefined
+    /// results).
+    fn validate_neighbour(&self, neighbour: &ContextSnapshot) -> Result<(), RupsError> {
+        if neighbour.geo.len() != neighbour.gsm.len() {
+            return Err(RupsError::MalformedSnapshot(
+                "geo and gsm halves differ in length",
+            ));
+        }
+        if neighbour.gsm.n_channels() != self.cfg.n_channels {
+            return Err(RupsError::ChannelMismatch {
+                ours: self.cfg.n_channels,
+                theirs: neighbour.gsm.n_channels(),
+            });
+        }
+        Ok(())
     }
 
     /// Answers a relative-distance query against a neighbour snapshot: the
@@ -221,6 +254,7 @@ impl RupsNode {
         neighbour: &ContextSnapshot,
         parallel: bool,
     ) -> Result<DistanceFix, RupsError> {
+        self.validate_neighbour(neighbour)?;
         let ctx = self.engine.ensure_context(self.context_version, &self.gsm);
         let kernel = self.engine.kernel_for(&ctx, neighbour.gsm.len());
         let points = self
@@ -265,6 +299,10 @@ impl RupsNode {
     /// assert!((second.distance_m - 45.0).abs() < 1.0);
     /// ```
     pub fn tracked_fix(&mut self, neighbour: &ContextSnapshot) -> Result<TrackedFix, RupsError> {
+        // Validate before touching tracker state: the anchored incremental
+        // check slides channel indices straight over the neighbour rows
+        // and must never see a mismatched snapshot.
+        self.validate_neighbour(neighbour)?;
         // The engine's cached interpolated context replaces the per-query
         // clone + interpolation this path used to pay; its full-search
         // fallback also runs through the engine's caches.
@@ -307,7 +345,45 @@ impl RupsNode {
         neighbours: &[ContextSnapshot],
     ) -> Vec<Result<DistanceFix, RupsError>> {
         let ctx = self.engine.ensure_context(self.context_version, &self.gsm);
-        self.engine.fix_batch_ctx(&ctx, neighbours)
+        let mut out = self.engine.fix_batch_ctx(&ctx, neighbours);
+        // Surface structural problems as their typed errors, preserving
+        // positions: the engine only reports what its kernels notice.
+        for (nb, slot) in neighbours.iter().zip(out.iter_mut()) {
+            if let Err(e) = self.validate_neighbour(nb) {
+                *slot = Err(e);
+            }
+        }
+        out
+    }
+
+    /// Queries every vetted, fresh-enough neighbour context held by a
+    /// [`SnapshotInbox`] in one parallel batch and grades each successful
+    /// fix with [`assess`]. This is the degraded-operation entry point: a
+    /// marginal context (short after a turn, weak correlation, disagreeing
+    /// SYN points) still yields a fix — downgraded to
+    /// [`crate::quality::FixQuality::Low`] with a widened error bound —
+    /// while structurally invalid snapshots never reach this point because
+    /// the inbox rejected them on arrival.
+    pub fn fix_inbox_parallel(
+        &self,
+        inbox: &SnapshotInbox,
+        now_s: f64,
+        quality: &QualityConfig,
+    ) -> Vec<(Option<u64>, Result<GradedFix, RupsError>)> {
+        let fresh = inbox.fresh(now_s);
+        let snaps: Vec<ContextSnapshot> = fresh.iter().map(|s| (*s).clone()).collect();
+        let fixes = self.fix_distances_parallel(&snaps);
+        fresh
+            .iter()
+            .zip(fixes)
+            .map(|(snap, fix)| {
+                let graded = fix.map(|fix| {
+                    let report = assess(&fix, quality);
+                    GradedFix { fix, report }
+                });
+                (snap.vehicle_id, graded)
+            })
+            .collect()
     }
 }
 
@@ -561,5 +637,141 @@ mod tests {
                 theirs: 7
             })
         ));
+    }
+
+    /// A neighbour snapshot carrying a different band width than ours.
+    fn mismatched_neighbour(start_m: usize, len: usize, n_channels: usize) -> ContextSnapshot {
+        let mut v = RupsNode::new(RupsConfig {
+            n_channels,
+            window_channels: n_channels.min(24),
+            ..RupsConfig::default()
+        });
+        for i in 0..len {
+            let s = (start_m + i) as f64;
+            let geo = GeoSample {
+                heading_rad: 0.0,
+                timestamp_s: s,
+            };
+            let pv = PowerVector::from_fn(n_channels, |ch| Some(field(s, ch)));
+            v.append_metre(geo, &pv).unwrap();
+        }
+        v.snapshot(None)
+    }
+
+    #[test]
+    fn neighbour_channel_mismatch_is_a_typed_error_on_every_query_path() {
+        let mut a = RupsNode::new(cfg());
+        drive(&mut a, 0, 400);
+        let bad = mismatched_neighbour(70, 400, 16);
+        // Single-shot paths.
+        assert!(matches!(
+            a.fix_distance(&bad),
+            Err(RupsError::ChannelMismatch {
+                ours: 32,
+                theirs: 16
+            })
+        ));
+        assert!(matches!(
+            a.fix_distance_parallel(&bad),
+            Err(RupsError::ChannelMismatch { .. })
+        ));
+        // Tracked path: previously the anchored incremental re-query could
+        // bypass the engine's check; validation now happens up front and no
+        // tracker state is created for the bad neighbour.
+        let bad_id = ContextSnapshot {
+            vehicle_id: Some(5),
+            ..bad.clone()
+        };
+        assert!(matches!(
+            a.tracked_fix(&bad_id),
+            Err(RupsError::ChannelMismatch { .. })
+        ));
+        assert_eq!(a.tracked_neighbours(), 0);
+    }
+
+    #[test]
+    fn misaligned_snapshot_halves_are_rejected_not_undefined() {
+        let mut a = RupsNode::new(cfg());
+        let mut b = RupsNode::new(cfg());
+        drive(&mut a, 0, 400);
+        drive(&mut b, 70, 400);
+        let mut bad = b.snapshot(None);
+        bad.geo = bad.geo.tail(300); // gsm still has 400 columns
+        assert!(matches!(
+            a.fix_distance(&bad),
+            Err(RupsError::MalformedSnapshot(_))
+        ));
+        assert!(matches!(
+            a.tracked_fix(&bad),
+            Err(RupsError::MalformedSnapshot(_))
+        ));
+    }
+
+    #[test]
+    fn parallel_batch_isolates_bad_snapshots_per_slot() {
+        let mut a = RupsNode::new(cfg());
+        drive(&mut a, 0, 400);
+        let mut good = RupsNode::new(cfg());
+        drive(&mut good, 60, 400);
+        let snaps = vec![
+            good.snapshot(None),
+            mismatched_neighbour(60, 400, 16),
+            good.snapshot(Some(0)),
+        ];
+        let fixes = a.fix_distances_parallel(&snaps);
+        assert_eq!(fixes.len(), 3);
+        let d = fixes[0].as_ref().unwrap().distance_m;
+        assert!((d - 60.0).abs() < 1.0, "good slot got {d}");
+        assert!(matches!(fixes[1], Err(RupsError::ChannelMismatch { .. })));
+        assert!(matches!(
+            fixes[2],
+            Err(RupsError::InsufficientContext { .. })
+        ));
+    }
+
+    #[test]
+    fn inbox_fed_fixes_are_graded_not_rejected() {
+        use crate::inbox::{InboxConfig, SnapshotInbox};
+        use crate::quality::QualityConfig;
+
+        let mut a = RupsNode::new(cfg());
+        let mut b = RupsNode::new(cfg()).with_vehicle_id(2);
+        let mut c = RupsNode::new(cfg()).with_vehicle_id(3);
+        drive(&mut a, 0, 400);
+        drive(&mut b, 70, 400);
+        drive(&mut c, 120, 400);
+
+        // Timestamps track road metres here, so b's newest metre is t = 469
+        // and c's is t = 519; a 60 s horizon keeps both fresh at t = 521.
+        let mut inbox = SnapshotInbox::new(InboxConfig::for_rups(&cfg(), 60.0));
+        let now = 521.0;
+        assert!(inbox.accept(b.snapshot(None), now).unwrap());
+        assert!(inbox.accept(c.snapshot(None), now).unwrap());
+        // A wrong-band snapshot never reaches the query path.
+        assert!(inbox
+            .accept(mismatched_neighbour(70, 400, 16), now)
+            .is_err());
+
+        let out = a.fix_inbox_parallel(&inbox, now, &QualityConfig::default());
+        assert_eq!(out.len(), 2);
+        for (id, graded) in &out {
+            let graded = graded.as_ref().expect("vetted snapshots should fix");
+            let expect = match id {
+                Some(2) => 70.0,
+                Some(3) => 120.0,
+                other => panic!("unexpected neighbour {other:?}"),
+            };
+            assert!(
+                (graded.fix.distance_m - expect).abs() < 1.0,
+                "neighbour {id:?} got {}",
+                graded.fix.distance_m
+            );
+            // Fixes come graded, with a finite positive error bound.
+            assert!(graded.report.error_bound_m.is_finite());
+            assert!(graded.report.error_bound_m > 0.0);
+        }
+        // Once everything went stale, the query path sees nothing at all.
+        let out = a.fix_inbox_parallel(&inbox, now + 100.0, &QualityConfig::default());
+        assert!(out.is_empty());
     }
 }

@@ -17,6 +17,9 @@
 use crate::pipeline::DistanceFix;
 use serde::{Deserialize, Serialize};
 
+/// The Eq. (2) coherency floor the error-bound interpolation anchors to.
+const SCORE_FLOOR: f64 = 1.2;
+
 /// Confidence grade of a distance fix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum FixQuality {
@@ -102,9 +105,12 @@ pub fn assess(fix: &DistanceFix, cfg: &QualityConfig) -> QualityReport {
 
     // Error bound: baseline, widened by estimate disagreement and by a weak
     // score (linearly up to 3× as the score falls from high_score to the
-    // 1.2 coherency floor).
+    // 1.2 coherency floor). A config with high_score <= 1.2 would make the
+    // denominator zero or negative (NaN / negative bounds), so it is
+    // clamped: any score below such a high_score then takes the full 3×.
+    let score_range = (cfg.high_score - SCORE_FLOOR).max(f64::EPSILON);
     let score_factor =
-        1.0 + 2.0 * ((cfg.high_score - fix.best_score) / (cfg.high_score - 1.2)).clamp(0.0, 1.0);
+        1.0 + 2.0 * ((cfg.high_score - fix.best_score) / score_range).clamp(0.0, 1.0);
     let error_bound_m = (cfg.base_bound_m + 2.0 * spread) * score_factor;
 
     QualityReport {
@@ -182,6 +188,31 @@ mod tests {
     fn grades_are_ordered() {
         assert!(FixQuality::Low < FixQuality::Medium);
         assert!(FixQuality::Medium < FixQuality::High);
+    }
+
+    #[test]
+    fn degenerate_high_score_yields_finite_positive_bounds() {
+        // Regression: high_score <= 1.2 used to make the score-factor
+        // denominator zero or negative, producing NaN or shrunken bounds.
+        for high_score in [1.2, 1.0, 0.5, -2.0] {
+            let cfg = QualityConfig {
+                high_score,
+                ..QualityConfig::default()
+            };
+            for score in [-2.0, 0.0, 1.19, 1.2, 1.3, 2.0] {
+                let r = assess(&fix(score, vec![40.0, 41.0, 39.5]), &cfg);
+                assert!(
+                    r.error_bound_m.is_finite() && r.error_bound_m > 0.0,
+                    "high_score {high_score}, score {score}: bound {}",
+                    r.error_bound_m
+                );
+                // Never below baseline, never past the 3× widening.
+                assert!(r.error_bound_m >= cfg.base_bound_m - 1e-9);
+                assert!(
+                    r.error_bound_m <= 3.0 * (cfg.base_bound_m + 2.0 * r.estimate_spread_m) + 1e-9
+                );
+            }
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! evaluate [--quick] [--json DIR] [FIGURE ...]
 //!
 //!   FIGURE   any of: fig1 fig2 fig3 fig4 sec5a sec5b fig9 fig10 fig11 fig12
-//!            ext-fpr ext-multiband ext-pedestrian   (default: all)
+//!            ext-faults ext-fpr ext-multiband ext-pedestrian   (default: all)
 //!   --quick  reduced scale (fast; for smoke runs and debug builds)
 //!   --json DIR  also write each figure as DIR/<id>.json
 //! ```
@@ -42,7 +42,7 @@ fn parse_args() -> Args {
                 println!(
                     "usage: evaluate [--quick] [--json DIR] [FIGURE ...]\n\
                      figures: fig1 fig2 fig3 fig4 sec5a sec5b fig9 fig10 fig11 fig12 \
-                              ext-fpr ext-multiband ext-pedestrian \
+                              ext-faults ext-fpr ext-multiband ext-pedestrian \
                               abl-window abl-channels abl-interp"
                 );
                 std::process::exit(0);
@@ -116,6 +116,14 @@ fn run_figure(id: &str, quick: bool, scale: EvalScale) -> Figure {
         }),
         "fig11" => figures::fig11::run(&figures::fig11::Params { scale }),
         "fig12" => figures::fig12::run(&figures::fig12::Params { scale }),
+        "ext-faults" => {
+            let p = if quick {
+                figures::ext_faults::quick_params()
+            } else {
+                figures::ext_faults::Params::default()
+            };
+            figures::ext_faults::run(&p)
+        }
         "ext-fpr" => {
             let p = if quick {
                 figures::ext_fpr::quick_params()
@@ -155,7 +163,7 @@ fn run_figure(id: &str, quick: bool, scale: EvalScale) -> Figure {
     }
 }
 
-const ALL_FIGURES: [&str; 17] = [
+const ALL_FIGURES: [&str; 18] = [
     "fig1",
     "fig2",
     "fig3",
@@ -166,6 +174,7 @@ const ALL_FIGURES: [&str; 17] = [
     "fig10",
     "fig11",
     "fig12",
+    "ext-faults",
     "ext-fpr",
     "ext-multiband",
     "ext-pedestrian",

@@ -15,6 +15,8 @@
 //!
 //! Extensions beyond the paper's figures:
 //!
+//! * [`ext_faults`] — fix availability/error under V2V channel faults
+//!   (burst loss, corruption; hardening of §V-B)
 //! * [`ext_fpr`] — detection vs false-positive rate of the adaptive short
 //!   window (quantifies the §V-C claim)
 //! * [`ext_multiband`] — FM-band fingerprint fusion (§VII future work)
@@ -28,6 +30,7 @@ use serde::{Deserialize, Serialize};
 pub mod ablations;
 pub mod comm;
 pub mod cost;
+pub mod ext_faults;
 pub mod ext_fpr;
 pub mod ext_multiband;
 pub mod ext_pedestrian;

@@ -31,7 +31,7 @@ pub const MAGIC: u32 = 0x5350_5552;
 /// Current codec version.
 pub const VERSION: u8 = 1;
 
-/// Decoding errors.
+/// Decoding/encoding errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
     /// Input shorter than its headers/payload claim.
@@ -43,6 +43,14 @@ pub enum CodecError {
     /// Structurally valid but semantically impossible payload
     /// (e.g. non-finite or regressing metre timestamps).
     Corrupt(&'static str),
+    /// A snapshot offered for encoding whose geographical and GSM halves
+    /// disagree on length — it does not describe one trajectory.
+    Misaligned {
+        /// Metres in the geographical half.
+        geo: usize,
+        /// Metres in the GSM half.
+        gsm: usize,
+    },
 }
 
 impl std::fmt::Display for CodecError {
@@ -52,6 +60,10 @@ impl std::fmt::Display for CodecError {
             CodecError::BadMagic => write!(f, "bad magic: not a RUPS snapshot"),
             CodecError::BadVersion(v) => write!(f, "unsupported codec version {v}"),
             CodecError::Corrupt(why) => write!(f, "corrupt snapshot payload: {why}"),
+            CodecError::Misaligned { geo, gsm } => write!(
+                f,
+                "misaligned snapshot: geo half has {geo} m, gsm half {gsm} m"
+            ),
         }
     }
 }
@@ -100,8 +112,11 @@ pub fn dequantise_rssi(q: u8) -> f32 {
 /// ```
 pub fn encode_snapshot(snap: &ContextSnapshot) -> Bytes {
     let n_channels = snap.gsm.n_channels();
-    let len = snap.gsm.len();
-    debug_assert_eq!(len, snap.geo.len(), "geo and gsm halves must align");
+    // Contract for misaligned input: encode the aligned prefix rather than
+    // panicking on out-of-bounds indexing mid-encode (a release build used
+    // to do exactly that). Callers that must treat misalignment as an
+    // error use [`try_encode_snapshot`].
+    let len = snap.gsm.len().min(snap.geo.len());
     let mut buf = BytesMut::with_capacity(32 + len * (6 + n_channels));
     buf.put_u32_le(MAGIC);
     buf.put_u8(VERSION);
@@ -125,6 +140,19 @@ pub fn encode_snapshot(snap: &ContextSnapshot) -> Bytes {
     buf.freeze()
 }
 
+/// Serialises a snapshot, rejecting one whose geo and GSM halves disagree
+/// on length instead of silently encoding the aligned prefix (the
+/// [`encode_snapshot`] contract).
+pub fn try_encode_snapshot(snap: &ContextSnapshot) -> Result<Bytes, CodecError> {
+    if snap.geo.len() != snap.gsm.len() {
+        return Err(CodecError::Misaligned {
+            geo: snap.geo.len(),
+            gsm: snap.gsm.len(),
+        });
+    }
+    Ok(encode_snapshot(snap))
+}
+
 /// Parses a snapshot from its wire form.
 pub fn decode_snapshot(mut data: &[u8]) -> Result<ContextSnapshot, CodecError> {
     if data.remaining() < 12 {
@@ -140,6 +168,9 @@ pub fn decode_snapshot(mut data: &[u8]) -> Result<ContextSnapshot, CodecError> {
     let flags = data.get_u8();
     let n_channels = data.get_u16_le() as usize;
     let len = data.get_u32_le() as usize;
+    if n_channels == 0 && len > 0 {
+        return Err(CodecError::Corrupt("zero channels with non-empty context"));
+    }
     let vehicle_id = if flags & 1 != 0 {
         if data.remaining() < 8 {
             return Err(CodecError::Truncated);
@@ -295,6 +326,56 @@ mod tests {
             decode_snapshot(&wire[..wire.len() - 3]),
             Err(CodecError::Truncated)
         );
+    }
+
+    #[test]
+    fn misaligned_snapshot_is_a_checked_error_not_a_panic() {
+        // Build a snapshot whose geo half is one metre short of its gsm
+        // half (easy to produce by mixing tails of different lengths).
+        let full = snapshot(10, 4, true);
+        let misaligned = ContextSnapshot {
+            vehicle_id: full.vehicle_id,
+            geo: full.geo.tail(9),
+            gsm: full.gsm.tail(10),
+        };
+        assert_eq!(
+            try_encode_snapshot(&misaligned),
+            Err(CodecError::Misaligned { geo: 9, gsm: 10 })
+        );
+        // The infallible entry point encodes the aligned prefix instead of
+        // panicking on slice indexing (release-mode behaviour before the
+        // fix) — and the result still decodes.
+        let wire = encode_snapshot(&misaligned);
+        let back = decode_snapshot(&wire).unwrap();
+        assert_eq!(back.len(), 9);
+        assert_eq!(back.geo.len(), back.gsm.len());
+        // Aligned snapshots pass through the fallible path unchanged.
+        assert_eq!(try_encode_snapshot(&full).unwrap(), encode_snapshot(&full));
+    }
+
+    #[test]
+    fn zero_channel_nonempty_payload_rejected() {
+        // Hand-craft a header claiming 0 channels but 3 metres of context.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC.to_le_bytes());
+        wire.push(VERSION);
+        wire.push(0); // no vehicle id
+        wire.extend_from_slice(&0u16.to_le_bytes()); // n_channels = 0
+        wire.extend_from_slice(&3u32.to_le_bytes()); // len = 3
+        wire.extend_from_slice(&0f64.to_le_bytes()); // t0
+        wire.extend_from_slice(&[0u8; 18]); // 3 metres × (2 + 4 + 0) bytes
+        assert!(matches!(
+            decode_snapshot(&wire),
+            Err(CodecError::Corrupt(_))
+        ));
+        // A genuinely empty zero-channel snapshot stays decodable.
+        let empty = ContextSnapshot {
+            vehicle_id: None,
+            geo: GeoTrajectory::new(),
+            gsm: GsmTrajectory::new(0),
+        };
+        let back = decode_snapshot(&encode_snapshot(&empty)).unwrap();
+        assert!(back.is_empty());
     }
 
     #[test]

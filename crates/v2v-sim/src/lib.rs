@@ -13,7 +13,10 @@
 //!   metre of context, matching the paper's 182 KB/km figure).
 //! * [`wsm`] — WSM fragmentation and latency model.
 //! * [`link`] — an in-process broadcast medium (crossbeam channels) with
-//!   deterministic loss, for multi-vehicle integration tests and examples.
+//!   deterministic fault injection and time-aware delivery, for
+//!   multi-vehicle integration tests and examples.
+//! * [`fault`] — the channel fault model: Gilbert–Elliott burst loss,
+//!   duplication, reordering, payload truncation/corruption, jitter.
 //! * [`tracking`] — the §V-B scalability optimisation: full context first,
 //!   small incremental tail updates while tracking.
 
@@ -21,11 +24,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod codec;
+pub mod fault;
 pub mod link;
 pub mod tracking;
 pub mod wsm;
 
-pub use codec::{decode_snapshot, encode_snapshot, CodecError};
-pub use link::V2vLink;
+pub use codec::{decode_snapshot, encode_snapshot, try_encode_snapshot, CodecError};
+pub use fault::FaultConfig;
+pub use link::{LinkStats, V2vLink};
 pub use tracking::{TrackingSession, Update};
 pub use wsm::{exchange_time_s, fragment, WsmConfig};

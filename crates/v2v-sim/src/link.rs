@@ -1,15 +1,24 @@
 //! An in-process broadcast medium for multi-vehicle tests and examples.
 //!
 //! Models the shared DSRC channel: every registered node hears every other
-//! node's broadcasts, subject to deterministic packet loss and the WSM
-//! latency model. Delivery is via crossbeam channels so vehicle tasks can
-//! run on separate threads; the registry is guarded by a `parking_lot`
-//! mutex.
+//! node's broadcasts, subject to the configured [`FaultConfig`] (bursty
+//! Gilbert–Elliott loss, duplication, reordering, payload damage, jitter)
+//! and the WSM latency model. Delivery is via crossbeam channels so vehicle
+//! tasks can run on separate threads; the registry is guarded by a
+//! `parking_lot` mutex.
+//!
+//! Delivery is **time-aware**: [`Endpoint::poll_until`] only surfaces
+//! messages whose arrival time has passed, so a simulation stepping through
+//! time never reads a payload that is still "on the air". The legacy
+//! [`Endpoint::poll`] drains everything regardless of arrival time and is
+//! kept for tests and threaded examples that do not track simulated time.
 
+use crate::fault::{ChannelState, FaultConfig};
 use crate::wsm::{exchange_time_s, WsmConfig};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -20,19 +29,53 @@ pub struct Delivery {
     /// Sending node id.
     pub from: u64,
     /// Simulated time at which the message finished arriving, seconds
-    /// (send time plus the WSM transfer latency for its size).
+    /// (send time plus the WSM transfer latency for its size, plus any
+    /// fault-injected jitter or reordering delay).
     pub arrival_s: f64,
-    /// Message payload.
+    /// Message payload (possibly truncated or bit-corrupted when the link
+    /// injects payload faults — receivers must validate what they decode).
     pub payload: Bytes,
+}
+
+/// Counters of everything the fault layer did, for experiment reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// `(message, receiver)` pairs offered to the fault layer.
+    pub offered: u64,
+    /// Pairs actually delivered (including duplicates).
+    pub delivered: u64,
+    /// Pairs dropped by the Gilbert–Elliott loss draw.
+    pub dropped: u64,
+    /// Extra copies delivered by the duplication fault.
+    pub duplicated: u64,
+    /// Deliveries held back by the reordering fault.
+    pub reordered: u64,
+    /// Deliveries with a truncated payload.
+    pub truncated: u64,
+    /// Deliveries with flipped payload bits.
+    pub corrupted: u64,
+}
+
+#[derive(Default)]
+struct StatCounters {
+    offered: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    reordered: AtomicU64,
+    truncated: AtomicU64,
+    corrupted: AtomicU64,
 }
 
 struct Inner {
     peers: Mutex<HashMap<u64, Sender<Delivery>>>,
+    /// Per-receiver Gilbert–Elliott channel state.
+    states: Mutex<HashMap<u64, ChannelState>>,
     cfg: WsmConfig,
-    /// Packet loss probability in [0, 1], applied per (message, receiver).
-    loss: f64,
+    faults: FaultConfig,
     seq: AtomicU64,
     seed: u64,
+    stats: StatCounters,
 }
 
 /// Handle to the shared broadcast medium.
@@ -47,6 +90,9 @@ pub struct Endpoint {
     pub id: u64,
     link: V2vLink,
     rx: Receiver<Delivery>,
+    /// Messages received off the channel but not yet surfaced because
+    /// their arrival time lies in the future (time-aware delivery).
+    pending: RefCell<Vec<Delivery>>,
 }
 
 fn mix(mut z: u64) -> u64 {
@@ -56,23 +102,63 @@ fn mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// One deterministic uniform draw in `[0, 1)` for a `(seed, message,
+/// receiver, purpose)` tuple.
+fn draw(seed: u64, msg_seq: u64, id: u64, salt: u64) -> f64 {
+    mix(seed ^ msg_seq.wrapping_mul(31) ^ id ^ salt.wrapping_mul(0x9E37_79B9)) as f64
+        / u64::MAX as f64
+}
+
 impl V2vLink {
-    /// A lossless link with default WSM parameters.
+    /// A lossless, fault-free link with default WSM parameters.
     pub fn new() -> Self {
-        Self::with_loss(0.0, 0)
+        Self::with_faults(FaultConfig::ideal(), 0)
     }
 
-    /// A link dropping each (message, receiver) pair with probability
-    /// `loss` (deterministic in `seed`).
+    /// A link dropping each (message, receiver) pair i.i.d. with
+    /// probability `loss` (deterministic in `seed`). Kept for callers that
+    /// predate the fault layer; equivalent to
+    /// `with_faults(FaultConfig::iid_loss(loss), seed)`.
     pub fn with_loss(loss: f64, seed: u64) -> Self {
+        Self::with_faults(FaultConfig::iid_loss(loss), seed)
+    }
+
+    /// A link with the full fault model (deterministic in `seed`).
+    ///
+    /// # Panics
+    /// Panics when the fault configuration is invalid (probabilities
+    /// outside `[0, 1]`, negative delays).
+    pub fn with_faults(faults: FaultConfig, seed: u64) -> Self {
+        faults.validate().expect("invalid fault configuration");
         V2vLink {
             inner: Arc::new(Inner {
                 peers: Mutex::new(HashMap::new()),
+                states: Mutex::new(HashMap::new()),
                 cfg: WsmConfig::default(),
-                loss: loss.clamp(0.0, 1.0),
+                faults,
                 seq: AtomicU64::new(0),
                 seed,
+                stats: StatCounters::default(),
             }),
+        }
+    }
+
+    /// The active fault configuration.
+    pub fn faults(&self) -> &FaultConfig {
+        &self.inner.faults
+    }
+
+    /// Snapshot of the fault-layer counters.
+    pub fn stats(&self) -> LinkStats {
+        let s = &self.inner.stats;
+        LinkStats {
+            offered: s.offered.load(Ordering::Relaxed),
+            delivered: s.delivered.load(Ordering::Relaxed),
+            dropped: s.dropped.load(Ordering::Relaxed),
+            duplicated: s.duplicated.load(Ordering::Relaxed),
+            reordered: s.reordered.load(Ordering::Relaxed),
+            truncated: s.truncated.load(Ordering::Relaxed),
+            corrupted: s.corrupted.load(Ordering::Relaxed),
         }
     }
 
@@ -88,6 +174,7 @@ impl V2vLink {
             id,
             link: self.clone(),
             rx,
+            pending: RefCell::new(Vec::new()),
         }
     }
 
@@ -96,26 +183,95 @@ impl V2vLink {
         self.inner.peers.lock().len()
     }
 
+    /// Applies the payload faults (truncation, bit flips) for one
+    /// delivery; returns the possibly-damaged payload.
+    fn damage_payload(&self, payload: &Bytes, msg_seq: u64, id: u64, copy: u64) -> Bytes {
+        let f = &self.inner.faults;
+        let stats = &self.inner.stats;
+        let mut damaged: Option<Vec<u8>> = None;
+        if !payload.is_empty() && draw(self.inner.seed, msg_seq, id, 0x71 ^ copy) < f.truncate {
+            // Keep a strict prefix: at least 0, at most len-1 bytes.
+            let keep =
+                (draw(self.inner.seed, msg_seq, id, 0x72 ^ copy) * payload.len() as f64) as usize;
+            damaged = Some(payload[..keep.min(payload.len() - 1)].to_vec());
+            stats.truncated.fetch_add(1, Ordering::Relaxed);
+        }
+        let corrupt_len = damaged.as_ref().map_or(payload.len(), Vec::len);
+        if corrupt_len > 0 && draw(self.inner.seed, msg_seq, id, 0x73 ^ copy) < f.corrupt {
+            let buf = damaged.get_or_insert_with(|| payload.to_vec());
+            for k in 0..f.corrupt_bits.max(1) as u64 {
+                let bit = draw(self.inner.seed, msg_seq, id, 0x74 ^ copy ^ (k << 8));
+                let pos = (bit * (buf.len() * 8) as f64) as usize;
+                let byte = (pos / 8).min(buf.len() - 1);
+                buf[byte] ^= 1 << (pos % 8);
+            }
+            stats.corrupted.fetch_add(1, Ordering::Relaxed);
+        }
+        match damaged {
+            Some(v) => Bytes::from(v),
+            None => payload.clone(),
+        }
+    }
+
     fn broadcast(&self, from: u64, now_s: f64, payload: Bytes) -> f64 {
         let latency = exchange_time_s(payload.len(), &self.inner.cfg);
         let arrival_s = now_s + latency;
         let msg_seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let f = &self.inner.faults;
+        let stats = &self.inner.stats;
         let peers = self.inner.peers.lock();
         for (&id, tx) in peers.iter() {
             if id == from {
                 continue;
             }
-            // Deterministic per-receiver loss decision.
-            let draw =
-                mix(self.inner.seed ^ msg_seq.wrapping_mul(31) ^ id) as f64 / u64::MAX as f64;
-            if draw < self.inner.loss {
+            stats.offered.fetch_add(1, Ordering::Relaxed);
+
+            // Advance this receiver's Gilbert–Elliott chain one step, then
+            // draw the per-state loss decision.
+            let loss = {
+                let mut states = self.inner.states.lock();
+                let st = states.entry(id).or_default();
+                let flip = draw(self.inner.seed, msg_seq, id, 0x01);
+                if st.bad {
+                    if flip < f.p_bad_to_good {
+                        st.bad = false;
+                    }
+                } else if flip < f.p_good_to_bad {
+                    st.bad = true;
+                }
+                if st.bad {
+                    f.loss_bad
+                } else {
+                    f.loss_good
+                }
+            };
+            if draw(self.inner.seed, msg_seq, id, 0x02) < loss {
+                stats.dropped.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            let _ = tx.send(Delivery {
-                from,
-                arrival_s,
-                payload: payload.clone(),
-            });
+
+            // Number of copies: 1, plus one more under the duplication
+            // fault. Each copy gets independent payload-damage and timing
+            // draws, like genuinely re-received frames would.
+            let copies = 1 + u64::from(draw(self.inner.seed, msg_seq, id, 0x03) < f.duplicate);
+            for copy in 0..copies {
+                let mut when =
+                    arrival_s + draw(self.inner.seed, msg_seq, id, 0x04 ^ copy) * f.jitter_s;
+                if draw(self.inner.seed, msg_seq, id, 0x05 ^ copy) < f.reorder {
+                    when += f.reorder_delay_s;
+                    stats.reordered.fetch_add(1, Ordering::Relaxed);
+                }
+                let body = self.damage_payload(&payload, msg_seq, id, copy);
+                if copy > 0 {
+                    stats.duplicated.fetch_add(1, Ordering::Relaxed);
+                }
+                stats.delivered.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(Delivery {
+                    from,
+                    arrival_s: when,
+                    payload: body,
+                });
+            }
         }
         arrival_s
     }
@@ -128,19 +284,62 @@ impl Default for V2vLink {
 }
 
 impl Endpoint {
-    /// Broadcasts a payload at simulated time `now_s`; returns the arrival
-    /// time at the receivers (send time + WSM transfer latency).
+    /// Broadcasts a payload at simulated time `now_s`; returns the nominal
+    /// arrival time at the receivers (send time + WSM transfer latency,
+    /// before any fault-injected jitter).
     pub fn broadcast(&self, now_s: f64, payload: Bytes) -> f64 {
         self.link.broadcast(self.id, now_s, payload)
     }
 
-    /// Drains every message delivered so far.
+    /// Moves everything waiting on the channel into the pending buffer and
+    /// sorts it by arrival time (stable, so equal arrivals keep send
+    /// order).
+    fn buffer_incoming(&self) {
+        let mut pending = self.pending.borrow_mut();
+        let before = pending.len();
+        pending.extend(self.rx.try_iter());
+        if pending.len() > before {
+            pending.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
+        }
+    }
+
+    /// Surfaces every message whose arrival time has passed at simulated
+    /// time `now_s`, in arrival order. Messages still "on the air" stay
+    /// buffered for a later poll — this is the time-aware replacement for
+    /// [`Endpoint::poll`], which would let a simulation look into the
+    /// future.
+    pub fn poll_until(&self, now_s: f64) -> Vec<Delivery> {
+        self.buffer_incoming();
+        let mut pending = self.pending.borrow_mut();
+        let k = pending.partition_point(|d| d.arrival_s <= now_s);
+        pending.drain(..k).collect()
+    }
+
+    /// Drains every message received so far, in arrival order, regardless
+    /// of whether its arrival time has passed. Prefer
+    /// [`Endpoint::poll_until`] in time-stepped simulations; `poll` is for
+    /// threaded examples and tests that do not track simulated time.
     pub fn poll(&self) -> Vec<Delivery> {
-        self.rx.try_iter().collect()
+        self.buffer_incoming();
+        self.pending.borrow_mut().drain(..).collect()
+    }
+
+    /// Messages buffered but not yet surfaced (arrival time in the
+    /// future at the last [`Endpoint::poll_until`]).
+    pub fn pending_len(&self) -> usize {
+        self.buffer_incoming();
+        self.pending.borrow().len()
     }
 
     /// Blocks until a message arrives (for threaded examples/tests).
+    /// Buffered messages are surfaced first, earliest arrival first.
     pub fn recv_blocking(&self) -> Option<Delivery> {
+        {
+            let mut pending = self.pending.borrow_mut();
+            if !pending.is_empty() {
+                return Some(pending.remove(0));
+            }
+        }
         self.rx.recv().ok()
     }
 }
@@ -202,6 +401,163 @@ mod tests {
     }
 
     #[test]
+    fn poll_until_respects_arrival_time() {
+        let link = V2vLink::new();
+        let a = link.join(1);
+        let b = link.join(2);
+        // Two messages in flight: one arriving at ~1.004, one at ~5.004.
+        a.broadcast(1.0, Bytes::from_static(b"early"));
+        a.broadcast(5.0, Bytes::from_static(b"late"));
+        assert!(b.poll_until(0.5).is_empty(), "nothing has arrived yet");
+        assert_eq!(b.pending_len(), 2);
+        let first = b.poll_until(2.0);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].payload, Bytes::from_static(b"early"));
+        assert_eq!(b.pending_len(), 1);
+        // The later message only surfaces once time has passed it.
+        assert!(b.poll_until(4.9).is_empty());
+        let second = b.poll_until(6.0);
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].payload, Bytes::from_static(b"late"));
+        assert_eq!(b.pending_len(), 0);
+    }
+
+    #[test]
+    fn reordering_inverts_send_order_but_not_arrival_order() {
+        let faults = FaultConfig {
+            reorder: 0.5,
+            reorder_delay_s: 0.05,
+            ..FaultConfig::ideal()
+        };
+        let link = V2vLink::with_faults(faults, 3);
+        let a = link.join(1);
+        let b = link.join(2);
+        // Closely-spaced sends: a held-back message is overtaken by the
+        // next few.
+        for i in 0..50u8 {
+            a.broadcast(i as f64 * 0.001, Bytes::from(vec![i]));
+        }
+        let all = b.poll_until(100.0);
+        assert_eq!(all.len(), 50);
+        assert!(
+            all.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+            "poll_until must surface messages in arrival order"
+        );
+        let send_order: Vec<u8> = all.iter().map(|d| d.payload[0]).collect();
+        assert!(
+            send_order.windows(2).any(|w| w[0] > w[1]),
+            "expected at least one overtaken message, got {send_order:?}"
+        );
+    }
+
+    #[test]
+    fn bursty_loss_is_bursty_and_deterministic() {
+        // A chain that spends ~half its time in a bad state losing 90 %.
+        let faults = FaultConfig::bursty(0.2, 0.2, 0.9);
+        let run = |seed: u64| {
+            let link = V2vLink::with_faults(faults, seed);
+            let a = link.join(1);
+            let b = link.join(2);
+            let mut received = Vec::new();
+            for i in 0..400 {
+                a.broadcast(i as f64, Bytes::from_static(b"x"));
+                received.push(!b.poll_until(i as f64 + 1.0).is_empty());
+            }
+            received
+        };
+        let r1 = run(11);
+        let r2 = run(11);
+        assert_eq!(r1, r2, "fault injection must be deterministic");
+        let delivered = r1.iter().filter(|&&x| x).count();
+        let expected = (1.0 - faults.expected_loss()) * 400.0;
+        assert!(
+            (delivered as f64 - expected).abs() < 80.0,
+            "delivered {delivered}, expected ≈{expected}"
+        );
+        // Burstiness: consecutive losses must be far likelier than under
+        // i.i.d. loss at the same rate. Count loss runs of length ≥ 3.
+        let mut run_len = 0usize;
+        let mut long_runs = 0usize;
+        for &ok in &r1 {
+            if ok {
+                run_len = 0;
+            } else {
+                run_len += 1;
+                if run_len == 3 {
+                    long_runs += 1;
+                }
+            }
+        }
+        assert!(
+            long_runs >= 5,
+            "expected loss bursts, got {long_runs} runs ≥ 3"
+        );
+    }
+
+    #[test]
+    fn duplication_and_damage_counters() {
+        let faults = FaultConfig {
+            duplicate: 0.5,
+            truncate: 0.3,
+            corrupt: 0.3,
+            ..FaultConfig::ideal()
+        };
+        let link = V2vLink::with_faults(faults, 99);
+        let a = link.join(1);
+        let b = link.join(2);
+        for i in 0..200 {
+            a.broadcast(i as f64, Bytes::from(vec![0xABu8; 64]));
+        }
+        let got = b.poll_until(1e9);
+        let stats = link.stats();
+        assert_eq!(stats.offered, 200);
+        assert_eq!(stats.delivered as usize, got.len());
+        assert!(got.len() > 200, "duplicates must inflate delivery count");
+        assert!(stats.duplicated > 50, "stats {stats:?}");
+        assert!(stats.truncated > 20, "stats {stats:?}");
+        assert!(stats.corrupted > 20, "stats {stats:?}");
+        // Damaged payloads really differ from the original.
+        let pristine = Bytes::from(vec![0xABu8; 64]);
+        let damaged = got.iter().filter(|d| d.payload != pristine).count();
+        assert!(damaged > 20, "only {damaged} damaged payloads");
+        // Truncation only ever shortens; nothing grows past the original.
+        assert!(got.iter().all(|d| d.payload.len() <= 64));
+        assert!(got.iter().any(|d| d.payload.len() < 64));
+    }
+
+    #[test]
+    fn jitter_spreads_arrivals() {
+        let faults = FaultConfig {
+            jitter_s: 0.5,
+            ..FaultConfig::ideal()
+        };
+        let link = V2vLink::with_faults(faults, 5);
+        let a = link.join(1);
+        let b = link.join(2);
+        for _ in 0..50 {
+            a.broadcast(0.0, Bytes::from_static(b"x"));
+        }
+        let got = b.poll_until(10.0);
+        assert_eq!(got.len(), 50);
+        let min = got.iter().map(|d| d.arrival_s).fold(f64::MAX, f64::min);
+        let max = got.iter().map(|d| d.arrival_s).fold(f64::MIN, f64::max);
+        assert!(max - min > 0.1, "jitter spread {}", max - min);
+        assert!(max < 0.004 + 0.5 + 1e-9, "jitter bounded by jitter_s");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault configuration")]
+    fn invalid_fault_config_rejected() {
+        let _ = V2vLink::with_faults(
+            FaultConfig {
+                corrupt: 2.0,
+                ..FaultConfig::ideal()
+            },
+            0,
+        );
+    }
+
+    #[test]
     fn departed_nodes_stop_receiving() {
         let link = V2vLink::new();
         let a = link.join(1);
@@ -235,5 +591,19 @@ mod tests {
         let (from, len) = handle.join().unwrap();
         assert_eq!(from, 1);
         assert_eq!(len, 512);
+    }
+
+    #[test]
+    fn recv_blocking_surfaces_buffered_first() {
+        let link = V2vLink::new();
+        let a = link.join(1);
+        let b = link.join(2);
+        a.broadcast(5.0, Bytes::from_static(b"future"));
+        // poll_until buffers the not-yet-arrived message...
+        assert!(b.poll_until(0.0).is_empty());
+        assert_eq!(b.pending_len(), 1);
+        // ...and recv_blocking still hands it out rather than deadlocking.
+        let d = b.recv_blocking().unwrap();
+        assert_eq!(d.payload, Bytes::from_static(b"future"));
     }
 }

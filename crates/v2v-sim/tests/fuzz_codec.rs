@@ -1,0 +1,177 @@
+//! Fuzz suite for the snapshot wire codec.
+//!
+//! The decoder sits directly behind the radio: every byte string a faulty
+//! or hostile link can produce must come back as `Ok(snapshot)` or a typed
+//! [`CodecError`] — never a panic, never an inconsistent snapshot. Three
+//! attack surfaces are fuzzed:
+//!
+//! 1. arbitrary byte strings (no structure at all),
+//! 2. byte strings that start with a valid header prefix (to reach the
+//!    deeper parse branches the random case rarely finds), and
+//! 3. *mutated valid encodings* — bit flips, byte rewrites, truncations
+//!    and garbage extensions of real snapshots, which is exactly what the
+//!    `fault` module's corruption model hands the decoder.
+//!
+//! Run with `PROPTEST_CASES=512` (CI does) for a deeper sweep.
+
+use proptest::prelude::*;
+use rups_core::geo::{GeoSample, GeoTrajectory};
+use rups_core::gsm::{GsmTrajectory, PowerVector};
+use rups_core::pipeline::ContextSnapshot;
+use v2v_sim::codec::{decode_snapshot, encode_snapshot, try_encode_snapshot};
+
+/// The header magic, little-endian "RUPS".
+const MAGIC: [u8; 4] = 0x5350_5552u32.to_le_bytes();
+
+/// Structural invariants every successfully decoded snapshot must satisfy,
+/// no matter how damaged the input was.
+fn assert_consistent(snap: &ContextSnapshot) -> Result<(), TestCaseError> {
+    prop_assert_eq!(snap.geo.len(), snap.gsm.len());
+    let mut prev = f64::NEG_INFINITY;
+    for s in snap.geo.samples() {
+        prop_assert!(s.timestamp_s.is_finite(), "non-finite timestamp decoded");
+        prop_assert!(
+            s.timestamp_s >= prev,
+            "decoded timestamps regress: {} after {}",
+            s.timestamp_s,
+            prev
+        );
+        prop_assert!(s.heading_rad.is_finite());
+        prev = s.timestamp_s;
+    }
+    for ch in 0..snap.gsm.n_channels() {
+        for i in 0..snap.gsm.len() {
+            if let Some(rssi) = snap.gsm.get(ch, i) {
+                prop_assert!(rssi.is_finite(), "non-finite RSSI decoded");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A valid snapshot of modest size (kept small so mutations hit every
+/// region of the encoding with realistic probability).
+fn snapshot_strategy() -> impl Strategy<Value = ContextSnapshot> {
+    (
+        1usize..5,
+        0usize..24,
+        proptest::option::of(any::<u64>()),
+        any::<u32>(),
+    )
+        .prop_map(|(n_channels, len, vehicle_id, seed)| {
+            let mut geo = GeoTrajectory::new();
+            let mut gsm = GsmTrajectory::new(n_channels);
+            let mut h = seed as u64;
+            let mut next = move || {
+                h = h
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                h
+            };
+            for i in 0..len {
+                geo.push(GeoSample {
+                    heading_rad: ((next() % 6283) as f64 / 1000.0) - std::f64::consts::PI,
+                    timestamp_s: 2e5 + i as f64 * 0.41,
+                });
+                gsm.push(&PowerVector::from_fn(n_channels, |_| {
+                    (next() % 5 != 0).then(|| -108.0 + (next() % 1100) as f32 / 10.0)
+                }));
+            }
+            ContextSnapshot {
+                vehicle_id,
+                geo,
+                gsm,
+            }
+        })
+}
+
+proptest! {
+    // Surface 1: completely arbitrary bytes.
+    #[test]
+    fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(snap) = decode_snapshot(&data) {
+            assert_consistent(&snap)?;
+        }
+    }
+
+    // Surface 2: a valid magic + arbitrary tail, reaching the parse
+    // branches behind the header check.
+    #[test]
+    fn valid_magic_with_arbitrary_tail_never_panics(
+        tail in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut wire = MAGIC.to_vec();
+        wire.extend_from_slice(&tail);
+        if let Ok(snap) = decode_snapshot(&wire) {
+            assert_consistent(&snap)?;
+        }
+    }
+
+    // Surface 3a: bit flips anywhere in a valid encoding — the exact
+    // damage the fault model's `corrupt` knob inflicts.
+    #[test]
+    fn bit_flipped_encodings_never_panic(
+        snap in snapshot_strategy(),
+        flips in proptest::collection::vec((any::<u16>(), 0u8..8), 1..12),
+    ) {
+        let mut wire = encode_snapshot(&snap).to_vec();
+        for (idx, bit) in flips {
+            let i = idx as usize % wire.len();
+            wire[i] ^= 1 << bit;
+        }
+        if let Ok(back) = decode_snapshot(&wire) {
+            assert_consistent(&back)?;
+        }
+    }
+
+    // Surface 3b: whole-byte rewrites (e.g. a hostile sender forging
+    // lengths and counts).
+    #[test]
+    fn byte_rewritten_encodings_never_panic(
+        snap in snapshot_strategy(),
+        writes in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8),
+    ) {
+        let mut wire = encode_snapshot(&snap).to_vec();
+        for (idx, val) in writes {
+            let i = idx as usize % wire.len();
+            wire[i] = val;
+        }
+        if let Ok(back) = decode_snapshot(&wire) {
+            assert_consistent(&back)?;
+        }
+    }
+
+    // Surface 3c: truncation to any prefix plus optional trailing
+    // garbage — what the fault model's `truncate` knob and WSM
+    // reassembly bugs would produce.
+    #[test]
+    fn truncated_and_extended_encodings_never_panic(
+        snap in snapshot_strategy(),
+        keep in any::<u16>(),
+        garbage in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let wire = encode_snapshot(&snap);
+        let mut cut = wire[..keep as usize % (wire.len() + 1)].to_vec();
+        cut.extend_from_slice(&garbage);
+        if let Ok(back) = decode_snapshot(&cut) {
+            assert_consistent(&back)?;
+        }
+    }
+
+    // Round trip: an undamaged encoding decodes back to the same
+    // structure, and the fallible encoder agrees bit-for-bit with the
+    // infallible one on aligned snapshots.
+    #[test]
+    fn undamaged_roundtrip_is_lossless_in_structure(snap in snapshot_strategy()) {
+        let wire = encode_snapshot(&snap);
+        prop_assert_eq!(
+            try_encode_snapshot(&snap).expect("aligned snapshot must encode"),
+            wire.clone()
+        );
+        let back = decode_snapshot(&wire).expect("own encoding must decode");
+        assert_consistent(&back)?;
+        prop_assert_eq!(back.vehicle_id, snap.vehicle_id);
+        prop_assert_eq!(back.len(), snap.len());
+        prop_assert_eq!(back.gsm.n_channels(), snap.gsm.n_channels());
+    }
+}

@@ -289,8 +289,8 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::TestRng;
 
-    /// Length specifications accepted by [`vec`]: an exact `usize` or a
-    /// `Range<usize>`.
+    /// Length specifications accepted by [`vec()`](fn@vec): an exact
+    /// `usize` or a `Range<usize>`.
     pub trait IntoLenRange {
         fn pick_len(&self, rng: &mut TestRng) -> usize;
     }
