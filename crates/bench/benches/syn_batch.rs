@@ -8,7 +8,8 @@
 //! interpolate the own context, re-select every window and run the reference
 //! multi-SYN search, once per neighbour, sequentially.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use rups_bench::baseline::{self, Baseline, BenchCase, CacheRates};
 use rups_bench::{bench_config, synthetic_context};
 use rups_core::gsm::GsmTrajectory;
 use rups_core::pipeline::{ContextSnapshot, RupsNode};
@@ -39,10 +40,20 @@ fn build_node(seed: u64) -> RupsNode {
 
 fn neighbour_snapshots(seed: u64, n: usize) -> Vec<ContextSnapshot> {
     (0..n)
-        .map(|i| ContextSnapshot {
-            vehicle_id: Some(i as u64),
-            geo: GeoTrajectory::new(),
-            gsm: synthetic_context(seed, 20 + 7 * i, CONTEXT_M, N_CHANNELS),
+        .map(|i| {
+            // Snapshot validation requires aligned geo/gsm halves.
+            let mut geo = GeoTrajectory::new();
+            for m in 0..CONTEXT_M {
+                geo.push(GeoSample {
+                    heading_rad: 0.0,
+                    timestamp_s: m as f64,
+                });
+            }
+            ContextSnapshot {
+                vehicle_id: Some(i as u64),
+                geo,
+                gsm: synthetic_context(seed, 20 + 7 * i, CONTEXT_M, N_CHANNELS),
+            }
         })
         .collect()
 }
@@ -95,5 +106,58 @@ fn bench_syn_batch(c: &mut Criterion) {
     assert!(stats.window_hits > 0, "window memo must be hit");
 }
 
+/// Re-measures every case with a plain wall clock and writes the
+/// committed machine-readable baseline (`results/BENCH_syn_batch.json`,
+/// format in EXPERIMENTS.md): median ns per fix per case, plus the
+/// engine's cache-hit rates while driving the batched path.
+fn write_baseline() {
+    let node = build_node(21);
+    let mut cases = Vec::new();
+    const SAMPLES: usize = 15;
+    for &n in &[1usize, 8, 32] {
+        let snaps = neighbour_snapshots(21, n);
+        // Keep per-sample wall time roughly flat across input sizes.
+        let iters = (32 / n).max(1);
+        let batched = baseline::measure_median_ns_per_op(SAMPLES, iters, n, || {
+            let fixes = node.fix_distances_parallel(&snaps);
+            assert!(fixes.iter().all(|f| f.is_ok()));
+        });
+        cases.push(BenchCase {
+            id: format!("batched/{n}"),
+            ops_per_iter: n,
+            median_ns_per_op: batched,
+            samples: SAMPLES,
+        });
+        let naive = baseline::measure_median_ns_per_op(SAMPLES, iters, n, || {
+            for s in &snaps {
+                naive_fix(&node, &s.gsm);
+            }
+        });
+        cases.push(BenchCase {
+            id: format!("naive/{n}"),
+            ops_per_iter: n,
+            median_ns_per_op: naive,
+            samples: SAMPLES,
+        });
+    }
+    let stats = node.engine_stats();
+    let out = Baseline {
+        bench: "syn_batch".into(),
+        cases,
+        engine: Some(CacheRates {
+            context_hit_rate: stats.context_hit_rate(),
+            window_hit_rate: stats.window_hit_rate(),
+            scratch_reuse_rate: stats.scratch_reuse_rate(),
+        }),
+    };
+    let path = baseline::default_path("syn_batch");
+    baseline::write(&path, &out);
+    eprintln!("baseline written to {path}");
+}
+
 criterion_group!(syn_batch, bench_syn_batch);
-criterion_main!(syn_batch);
+
+fn main() {
+    syn_batch();
+    write_baseline();
+}

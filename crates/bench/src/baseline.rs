@@ -1,0 +1,148 @@
+//! Machine-readable perf baselines, written next to the Criterion output.
+//!
+//! Criterion's `estimates.json` is per-run and buried under `target/`;
+//! regressions are easiest to catch from one small committed file per
+//! bench. Each bench that wants a baseline measures its own medians with
+//! [`measure_median_ns_per_op`] (same workload as its Criterion group)
+//! and writes a [`Baseline`] to `results/BENCH_<bench>.json` via
+//! [`write()`]. The format is documented in `EXPERIMENTS.md`.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One benchmarked case, e.g. `batched/8`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchCase {
+    /// Case identifier, `<function>/<input-size>`.
+    pub id: String,
+    /// Operations (elements) per iteration.
+    pub ops_per_iter: usize,
+    /// Median wall-clock nanoseconds per operation across samples.
+    pub median_ns_per_op: f64,
+    /// Samples the median was taken over.
+    pub samples: usize,
+}
+
+/// Cache effectiveness of the query engine during the batched cases,
+/// derived from the `rups_core_engine_*` counters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheRates {
+    /// Context-cache hits / (hits + rebuilds).
+    pub context_hit_rate: f64,
+    /// Window-memo hits / (hits + misses).
+    pub window_hit_rate: f64,
+    /// Scratch-arena reuses / (reuses + allocations).
+    pub scratch_reuse_rate: f64,
+}
+
+/// The whole baseline artefact of one bench.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Bench name, e.g. `syn_batch`.
+    pub bench: String,
+    /// The measured cases.
+    pub cases: Vec<BenchCase>,
+    /// Engine cache-hit rates observed while driving the batched cases.
+    pub engine: Option<CacheRates>,
+}
+
+/// Where `BENCH_<bench>.json` lives: the workspace `results/` directory,
+/// overridable with the `RUPS_BENCH_OUT_DIR` environment variable.
+pub fn default_path(bench: &str) -> String {
+    let dir = std::env::var("RUPS_BENCH_OUT_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../results").to_string());
+    format!("{dir}/BENCH_{bench}.json")
+}
+
+/// Serialises the baseline to `path`, creating parent directories.
+pub fn write(path: &str, baseline: &Baseline) {
+    let p = std::path::Path::new(path);
+    if let Some(parent) = p.parent() {
+        std::fs::create_dir_all(parent).expect("create baseline output dir");
+    }
+    let json = serde_json::to_string_pretty(baseline).expect("serialize baseline");
+    std::fs::write(p, json).expect("write baseline");
+}
+
+/// Reads a baseline back (for regression-checking tools and tests).
+pub fn read(path: &str) -> Baseline {
+    let raw = std::fs::read_to_string(path).expect("read baseline");
+    serde_json::from_str(&raw).expect("parse baseline")
+}
+
+/// Runs `op` for `samples` timed samples of `iters` iterations each and
+/// returns the median nanoseconds per operation, where one call to `op`
+/// counts as `ops_per_iter` operations (e.g. an 8-neighbour batch is 8).
+pub fn measure_median_ns_per_op(
+    samples: usize,
+    iters: usize,
+    ops_per_iter: usize,
+    mut op: impl FnMut(),
+) -> f64 {
+    assert!(samples > 0 && iters > 0 && ops_per_iter > 0);
+    // One untimed warmup pass populates caches and the branch predictor.
+    op();
+    let mut per_op: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                op();
+            }
+            t0.elapsed().as_nanos() as f64 / (iters * ops_per_iter) as f64
+        })
+        .collect();
+    per_op.sort_by(|a, b| a.total_cmp(b));
+    median_of_sorted(&per_op)
+}
+
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_measurement_counts_every_op() {
+        let mut calls = 0u64;
+        let ns = measure_median_ns_per_op(3, 4, 2, || calls += 1);
+        // 1 warmup + 3 samples × 4 iters.
+        assert_eq!(calls, 13);
+        assert!(ns >= 0.0);
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_json() {
+        let b = Baseline {
+            bench: "syn_batch".into(),
+            cases: vec![BenchCase {
+                id: "batched/8".into(),
+                ops_per_iter: 8,
+                median_ns_per_op: 1234.5,
+                samples: 15,
+            }],
+            engine: Some(CacheRates {
+                context_hit_rate: 0.99,
+                window_hit_rate: 0.97,
+                scratch_reuse_rate: 0.95,
+            }),
+        };
+        let json = serde_json::to_string(&b).unwrap();
+        let back: Baseline = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn default_path_honours_the_env_override() {
+        // Uses the compile-time fallback when the variable is unset; the
+        // name embeds the bench either way.
+        let p = default_path("syn_batch");
+        assert!(p.ends_with("/BENCH_syn_batch.json"), "{p}");
+    }
+}

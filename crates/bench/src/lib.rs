@@ -11,6 +11,8 @@ use rups_eval::figures::EvalScale;
 use rups_eval::tracegen::{generate, ScenarioTrace, TraceConfig};
 use urban_sim::road::RoadClass;
 
+pub mod baseline;
+
 /// A synthetic journey context of `len` metres over `n_channels` channels,
 /// starting at road metre `start` (fully covered, no missing cells).
 pub fn synthetic_context(seed: u64, start: usize, len: usize, n_channels: usize) -> GsmTrajectory {

@@ -41,6 +41,7 @@ use crate::syn::{self, SynPoint};
 use crate::syn_fast;
 use crate::window::CheckWindow;
 use rayon::prelude::*;
+use rups_obs::{Counter, Histogram, Registry, SpanRecorder};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -86,18 +87,97 @@ pub struct EngineStats {
     pub fft_fallbacks: u64,
 }
 
-#[derive(Default)]
-struct Counters {
-    queries: AtomicU64,
-    context_hits: AtomicU64,
-    context_rebuilds: AtomicU64,
-    window_hits: AtomicU64,
-    window_misses: AtomicU64,
-    scratch_reuses: AtomicU64,
-    scratch_allocs: AtomicU64,
-    reference_passes: AtomicU64,
-    fft_passes: AtomicU64,
-    fft_fallbacks: AtomicU64,
+impl EngineStats {
+    /// Field-wise `self − earlier` (saturating), for per-epoch deltas from
+    /// two cumulative snapshots.
+    pub fn delta(&self, earlier: &EngineStats) -> EngineStats {
+        EngineStats {
+            queries: self.queries.saturating_sub(earlier.queries),
+            context_hits: self.context_hits.saturating_sub(earlier.context_hits),
+            context_rebuilds: self
+                .context_rebuilds
+                .saturating_sub(earlier.context_rebuilds),
+            window_hits: self.window_hits.saturating_sub(earlier.window_hits),
+            window_misses: self.window_misses.saturating_sub(earlier.window_misses),
+            scratch_reuses: self.scratch_reuses.saturating_sub(earlier.scratch_reuses),
+            scratch_allocs: self.scratch_allocs.saturating_sub(earlier.scratch_allocs),
+            reference_passes: self
+                .reference_passes
+                .saturating_sub(earlier.reference_passes),
+            fft_passes: self.fft_passes.saturating_sub(earlier.fft_passes),
+            fft_fallbacks: self.fft_fallbacks.saturating_sub(earlier.fft_fallbacks),
+        }
+    }
+
+    /// Fraction of context lookups served from cache (`NaN`-free: 0.0 when
+    /// no lookups happened).
+    pub fn context_hit_rate(&self) -> f64 {
+        ratio(self.context_hits, self.context_hits + self.context_rebuilds)
+    }
+
+    /// Fraction of window lookups served from the `(len, end)` memo.
+    pub fn window_hit_rate(&self) -> f64 {
+        ratio(self.window_hits, self.window_hits + self.window_misses)
+    }
+
+    /// Fraction of scratch arenas reused rather than freshly allocated.
+    pub fn scratch_reuse_rate(&self) -> f64 {
+        ratio(
+            self.scratch_reuses,
+            self.scratch_reuses + self.scratch_allocs,
+        )
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Pre-registered registry handles for every engine metric: resolved once
+/// at engine construction so the record path is a relaxed atomic add, no
+/// name lookups and no allocation (naming per DESIGN.md § Observability).
+struct EngineMetrics {
+    queries: Counter,
+    context_hits: Counter,
+    context_rebuilds: Counter,
+    window_hits: Counter,
+    window_misses: Counter,
+    scratch_reuses: Counter,
+    scratch_allocs: Counter,
+    reference_passes: Counter,
+    fft_passes: Counter,
+    fft_fallbacks: Counter,
+    query_ns: Histogram,
+    context_rebuild_ns: Histogram,
+    window_build_ns: Histogram,
+    kernel_scan_ns: Histogram,
+    resolve_ns: Histogram,
+}
+
+impl EngineMetrics {
+    fn register(reg: &Registry) -> Self {
+        Self {
+            queries: reg.counter("rups_core_engine_queries"),
+            context_hits: reg.counter("rups_core_engine_context_hits"),
+            context_rebuilds: reg.counter("rups_core_engine_context_rebuilds"),
+            window_hits: reg.counter("rups_core_engine_window_hits"),
+            window_misses: reg.counter("rups_core_engine_window_misses"),
+            scratch_reuses: reg.counter("rups_core_engine_scratch_reuses"),
+            scratch_allocs: reg.counter("rups_core_engine_scratch_allocs"),
+            reference_passes: reg.counter("rups_core_engine_reference_passes"),
+            fft_passes: reg.counter("rups_core_engine_fft_passes"),
+            fft_fallbacks: reg.counter("rups_core_engine_fft_fallbacks"),
+            query_ns: reg.histogram("rups_core_engine_query_ns"),
+            context_rebuild_ns: reg.histogram("rups_core_engine_context_rebuild_ns"),
+            window_build_ns: reg.histogram("rups_core_engine_window_build_ns"),
+            kernel_scan_ns: reg.histogram("rups_core_engine_kernel_scan_ns"),
+            resolve_ns: reg.histogram("rups_core_engine_resolve_ns"),
+        }
+    }
 }
 
 /// The querying vehicle's context, fully preprocessed for matching.
@@ -197,7 +277,11 @@ pub struct SynQueryEngine {
     own_version: AtomicU64,
     windows: RwLock<WindowMemo>,
     scratch: Mutex<Vec<Scratch>>,
-    counters: Counters,
+    registry: Arc<Registry>,
+    metrics: EngineMetrics,
+    /// Span sink for the query stages, when attached (None costs one
+    /// branch per stage).
+    spans: Option<Arc<SpanRecorder>>,
 }
 
 impl fmt::Debug for SynQueryEngine {
@@ -218,23 +302,47 @@ impl Clone for SynQueryEngine {
 }
 
 impl SynQueryEngine {
-    /// Creates an engine for the given configuration. The configuration is
-    /// assumed valid (callers embedding the engine in a
-    /// [`crate::pipeline::RupsNode`] have already validated it).
+    /// Creates an engine for the given configuration with a private
+    /// metrics registry. The configuration is assumed valid (callers
+    /// embedding the engine in a [`crate::pipeline::RupsNode`] have already
+    /// validated it).
     pub fn new(cfg: RupsConfig) -> Self {
+        Self::with_registry(cfg, Arc::new(Registry::new()))
+    }
+
+    /// Creates an engine whose metrics land in the given shared registry
+    /// (under `rups_core_engine_*`), so a node, link, and inbox can export
+    /// one merged snapshot.
+    pub fn with_registry(cfg: RupsConfig, registry: Arc<Registry>) -> Self {
+        let metrics = EngineMetrics::register(&registry);
         Self {
             cfg,
             ctx: RwLock::new(None),
             own_version: AtomicU64::new(0),
             windows: RwLock::new(HashMap::new()),
             scratch: Mutex::new(Vec::new()),
-            counters: Counters::default(),
+            registry,
+            metrics,
+            spans: None,
         }
+    }
+
+    /// Records the query stages into `spans` from this call on:
+    /// `engine.query` / `engine.context_rebuild` / `engine.window_build` /
+    /// `engine.kernel_scan` / `engine.resolve` spans plus
+    /// `engine.context_hit` / `engine.window_hit` cache events.
+    pub fn attach_spans(&mut self, spans: Arc<SpanRecorder>) {
+        self.spans = Some(spans);
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &RupsConfig {
         &self.cfg
+    }
+
+    /// The metrics registry this engine records into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Metres of preprocessed context currently cached (0 when none is
@@ -264,7 +372,10 @@ impl SynQueryEngine {
             let guard = self.ctx.read().expect("engine context lock poisoned");
             if let Some(ctx) = guard.as_ref() {
                 if ctx.version == version {
-                    self.counters.context_hits.fetch_add(1, Relaxed);
+                    self.metrics.context_hits.inc();
+                    if let Some(s) = &self.spans {
+                        s.event("engine.context_hit");
+                    }
                     return Arc::clone(ctx);
                 }
             }
@@ -273,11 +384,19 @@ impl SynQueryEngine {
         // Double-check: another thread may have rebuilt while we waited.
         if let Some(ctx) = guard.as_ref() {
             if ctx.version == version {
-                self.counters.context_hits.fetch_add(1, Relaxed);
+                self.metrics.context_hits.inc();
+                if let Some(s) = &self.spans {
+                    s.event("engine.context_hit");
+                }
                 return Arc::clone(ctx);
             }
         }
-        self.counters.context_rebuilds.fetch_add(1, Relaxed);
+        self.metrics.context_rebuilds.inc();
+        let _t = self.metrics.context_rebuild_ns.start_timer();
+        let _s = self
+            .spans
+            .as_ref()
+            .map(|s| s.span("engine.context_rebuild"));
         let ctx = Arc::new(OwnContext::build(version, raw, &self.cfg));
         *guard = Some(Arc::clone(&ctx));
         self.windows
@@ -294,39 +413,43 @@ impl SynQueryEngine {
             .clone()
     }
 
-    /// Snapshot of the cache/scratch/kernel counters.
+    /// Snapshot of the cache/scratch/kernel counters, read straight off the
+    /// registry atomics (a cheap view — the registry owns the live state,
+    /// so two snapshots bracket a workload without drift).
     pub fn stats(&self) -> EngineStats {
-        let c = &self.counters;
+        let m = &self.metrics;
         EngineStats {
-            queries: c.queries.load(Relaxed),
-            context_hits: c.context_hits.load(Relaxed),
-            context_rebuilds: c.context_rebuilds.load(Relaxed),
-            window_hits: c.window_hits.load(Relaxed),
-            window_misses: c.window_misses.load(Relaxed),
-            scratch_reuses: c.scratch_reuses.load(Relaxed),
-            scratch_allocs: c.scratch_allocs.load(Relaxed),
-            reference_passes: c.reference_passes.load(Relaxed),
-            fft_passes: c.fft_passes.load(Relaxed),
-            fft_fallbacks: c.fft_fallbacks.load(Relaxed),
+            queries: m.queries.get(),
+            context_hits: m.context_hits.get(),
+            context_rebuilds: m.context_rebuilds.get(),
+            window_hits: m.window_hits.get(),
+            window_misses: m.window_misses.get(),
+            scratch_reuses: m.scratch_reuses.get(),
+            scratch_allocs: m.scratch_allocs.get(),
+            reference_passes: m.reference_passes.get(),
+            fft_passes: m.fft_passes.get(),
+            fft_fallbacks: m.fft_fallbacks.get(),
         }
     }
 
-    /// Zeroes every counter reported by [`stats`](Self::stats).
+    /// Zeroes every counter reported by [`stats`](Self::stats). Latency
+    /// histograms are cumulative by design; bracket workloads with
+    /// [`rups_obs::MetricsSnapshot::delta`] instead.
     pub fn reset_stats(&self) {
-        let c = &self.counters;
-        for a in [
-            &c.queries,
-            &c.context_hits,
-            &c.context_rebuilds,
-            &c.window_hits,
-            &c.window_misses,
-            &c.scratch_reuses,
-            &c.scratch_allocs,
-            &c.reference_passes,
-            &c.fft_passes,
-            &c.fft_fallbacks,
+        let m = &self.metrics;
+        for c in [
+            &m.queries,
+            &m.context_hits,
+            &m.context_rebuilds,
+            &m.window_hits,
+            &m.window_misses,
+            &m.scratch_reuses,
+            &m.scratch_allocs,
+            &m.reference_passes,
+            &m.fft_passes,
+            &m.fft_fallbacks,
         ] {
-            a.store(0, Relaxed);
+            c.reset();
         }
     }
 
@@ -366,11 +489,11 @@ impl SynQueryEngine {
             .pop();
         let mut s = match popped {
             Some(s) => {
-                self.counters.scratch_reuses.fetch_add(1, Relaxed);
+                self.metrics.scratch_reuses.inc();
                 s
             }
             None => {
-                self.counters.scratch_allocs.fetch_add(1, Relaxed);
+                self.metrics.scratch_allocs.inc();
                 Scratch::default()
             }
         };
@@ -392,10 +515,15 @@ impl SynQueryEngine {
             .expect("engine window lock poisoned")
             .get(&key)
         {
-            self.counters.window_hits.fetch_add(1, Relaxed);
+            self.metrics.window_hits.inc();
+            if let Some(s) = &self.spans {
+                s.event("engine.window_hit");
+            }
             return e.clone();
         }
-        self.counters.window_misses.fetch_add(1, Relaxed);
+        self.metrics.window_misses.inc();
+        let _t = self.metrics.window_build_ns.start_timer();
+        let _s = self.spans.as_ref().map(|s| s.span("engine.window_build"));
         let entry = CheckWindow::with_len(&ctx.gsm, &self.cfg, len, end).map(|window| {
             let fixed_sums = if ctx.dense {
                 window
@@ -464,10 +592,7 @@ impl SynQueryEngine {
     /// work-stealing pass, preserving input order. The kernel is chosen
     /// once per batch from the own-context density and the median
     /// neighbour length; scratch arenas are pooled across the tasks.
-    pub fn fix_batch(
-        &self,
-        neighbours: &[ContextSnapshot],
-    ) -> Vec<Result<DistanceFix, RupsError>> {
+    pub fn fix_batch(&self, neighbours: &[ContextSnapshot]) -> Vec<Result<DistanceFix, RupsError>> {
         match self.current_ctx() {
             Some(ctx) => self.fix_batch_ctx(&ctx, neighbours),
             None => neighbours
@@ -512,6 +637,8 @@ impl SynQueryEngine {
         theirs_len: usize,
         points: Vec<SynPoint>,
     ) -> Result<DistanceFix, RupsError> {
+        let _t = self.metrics.resolve_ns.start_timer();
+        let _s = self.spans.as_ref().map(|s| s.span("engine.resolve"));
         let (distance_m, estimates_m) =
             resolve::aggregate_distance(&points, ours_len, theirs_len, self.cfg.aggregation)?;
         let best_score = points
@@ -553,7 +680,9 @@ impl SynQueryEngine {
         kernel: Kernel,
         parallel: bool,
     ) -> Result<Vec<SynPoint>, RupsError> {
-        self.counters.queries.fetch_add(1, Relaxed);
+        self.metrics.queries.inc();
+        let _t = self.metrics.query_ns.start_timer();
+        let _s = self.spans.as_ref().map(|s| s.span("engine.query"));
         let ours = &ctx.gsm;
         if ours.n_channels() != theirs.n_channels() {
             return Err(RupsError::ChannelMismatch {
@@ -572,7 +701,9 @@ impl SynQueryEngine {
         }
         self.with_scratch(|scratch| {
             // Most recent segment: the full double-sliding check.
-            let entry = self.window_entry(ctx, w, ours.len()).ok_or_else(too_short)?;
+            let entry = self
+                .window_entry(ctx, w, ours.len())
+                .ok_or_else(too_short)?;
             let fwd = self.directed_fwd(ctx, &entry, ours.len(), theirs, kernel, parallel, scratch);
             let rev = CheckWindow::with_len(theirs, &self.cfg, w, theirs.len())
                 .and_then(|wnd| {
@@ -655,23 +786,33 @@ impl SynQueryEngine {
         if end < w || theirs.len() < w {
             return None;
         }
+        let scan_t = self.metrics.kernel_scan_ns.start_timer();
+        let scan_s = self.spans.as_ref().map(|s| s.span("engine.kernel_scan"));
         let used_fft = kernel == Kernel::Fft
             && ctx.dense
             && self.fft_scores_own_fixed(ctx, entry, end, theirs, scratch);
         if used_fft {
-            self.counters.fft_passes.fetch_add(1, Relaxed);
+            self.metrics.fft_passes.inc();
         } else {
             if kernel == Kernel::Fft {
-                self.counters.fft_fallbacks.fetch_add(1, Relaxed);
+                self.metrics.fft_fallbacks.inc();
             }
-            self.counters.reference_passes.fetch_add(1, Relaxed);
+            self.metrics.reference_passes.inc();
             if parallel {
                 scratch.scores =
                     syn::slide_scores_parallel(&ctx.gsm, end - w, theirs, &entry.window);
             } else {
-                syn::slide_scores_into(&ctx.gsm, end - w, theirs, &entry.window, &mut scratch.scores);
+                syn::slide_scores_into(
+                    &ctx.gsm,
+                    end - w,
+                    theirs,
+                    &entry.window,
+                    &mut scratch.scores,
+                );
             }
         }
+        drop(scan_t);
+        drop(scan_s);
         let (j, score, refine) = syn::peak(&scratch.scores)?;
         Some(SynPoint {
             self_end: end,
@@ -700,22 +841,26 @@ impl SynQueryEngine {
         if end < w || ctx.gsm.len() < w {
             return None;
         }
+        let scan_t = self.metrics.kernel_scan_ns.start_timer();
+        let scan_s = self.spans.as_ref().map(|s| s.span("engine.kernel_scan"));
         let used_fft = kernel == Kernel::Fft
             && ctx.dense
             && self.fft_scores_their_fixed(ctx, window, end, theirs, scratch);
         if used_fft {
-            self.counters.fft_passes.fetch_add(1, Relaxed);
+            self.metrics.fft_passes.inc();
         } else {
             if kernel == Kernel::Fft {
-                self.counters.fft_fallbacks.fetch_add(1, Relaxed);
+                self.metrics.fft_fallbacks.inc();
             }
-            self.counters.reference_passes.fetch_add(1, Relaxed);
+            self.metrics.reference_passes.inc();
             if parallel {
                 scratch.scores = syn::slide_scores_parallel(theirs, end - w, &ctx.gsm, window);
             } else {
                 syn::slide_scores_into(theirs, end - w, &ctx.gsm, window, &mut scratch.scores);
             }
         }
+        drop(scan_t);
+        drop(scan_s);
         let (j, score, refine) = syn::peak(&scratch.scores)?;
         Some(SynPoint {
             self_end: end,
@@ -980,6 +1125,44 @@ mod tests {
             engine.stats().fft_fallbacks > 0,
             "NaN neighbour rows must trigger the reference fallback"
         );
+    }
+
+    #[test]
+    fn shared_registry_sees_engine_counters_and_stage_latencies() {
+        let reg = Arc::new(Registry::new());
+        let ours = traj(17, 0, 300, 16);
+        let engine = SynQueryEngine::with_registry(cfg(16), Arc::clone(&reg));
+        engine.set_context(&ours);
+        let before = engine.stats();
+        engine.find_syn_points(&traj(17, 30, 300, 16)).unwrap();
+        engine.find_syn_points(&traj(17, 45, 300, 16)).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("rups_core_engine_queries"), Some(2));
+        assert_eq!(
+            snap.counter("rups_core_engine_context_rebuilds"),
+            Some(1),
+            "registry and EngineStats must agree: {:?}",
+            engine.stats()
+        );
+        let d = engine.stats().delta(&before);
+        assert_eq!(d.queries, 2);
+        assert_eq!(
+            d.context_rebuilds, 0,
+            "delta must exclude the set_context rebuild"
+        );
+        assert!(d.window_hit_rate() > 0.0);
+        if cfg!(feature = "obs") {
+            let q = snap
+                .histogram("rups_core_engine_query_ns")
+                .expect("query latency histogram registered");
+            assert_eq!(q.count, 2, "one timer sample per query");
+            assert!(
+                snap.histogram("rups_core_engine_kernel_scan_ns")
+                    .map_or(0, |h| h.count)
+                    > 0,
+                "directed passes must record scan latency"
+            );
+        }
     }
 
     #[test]

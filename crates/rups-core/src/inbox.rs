@@ -19,7 +19,9 @@
 use crate::config::RupsConfig;
 use crate::error::RupsError;
 use crate::pipeline::ContextSnapshot;
+use rups_obs::{Counter, Histogram, Registry, SpanRecorder};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Validation thresholds of a [`SnapshotInbox`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -102,6 +104,34 @@ struct Held {
     newest_s: f64,
 }
 
+/// Registry mirrors of [`InboxStats`] (`rups_core_inbox_*`) plus the
+/// validation latency histogram, pre-registered so the intake path does no
+/// name lookups.
+#[derive(Debug, Clone)]
+struct InboxMetrics {
+    accepted: Counter,
+    ignored_outdated: Counter,
+    rejected_malformed: Counter,
+    rejected_channel_mismatch: Counter,
+    rejected_undersized: Counter,
+    rejected_stale: Counter,
+    validate_ns: Histogram,
+}
+
+impl InboxMetrics {
+    fn register(reg: &Registry) -> Self {
+        Self {
+            accepted: reg.counter("rups_core_inbox_accepted"),
+            ignored_outdated: reg.counter("rups_core_inbox_ignored_outdated"),
+            rejected_malformed: reg.counter("rups_core_inbox_rejected_malformed"),
+            rejected_channel_mismatch: reg.counter("rups_core_inbox_rejected_channel_mismatch"),
+            rejected_undersized: reg.counter("rups_core_inbox_rejected_undersized"),
+            rejected_stale: reg.counter("rups_core_inbox_rejected_stale"),
+            validate_ns: reg.histogram("rups_core_inbox_validate_ns"),
+        }
+    }
+}
+
 /// Per-node intake buffer holding the freshest vetted context per
 /// neighbour.
 ///
@@ -133,6 +163,10 @@ pub struct SnapshotInbox {
     /// One slot for anonymous snapshots (no vehicle id on the wire).
     anon: Option<Held>,
     stats: InboxStats,
+    /// Registry mirrors of `stats`, present when observability is attached.
+    metrics: Option<InboxMetrics>,
+    /// Span sink for the validation/rejection path, when attached.
+    spans: Option<Arc<SpanRecorder>>,
 }
 
 impl SnapshotInbox {
@@ -147,7 +181,26 @@ impl SnapshotInbox {
             named: HashMap::new(),
             anon: None,
             stats: InboxStats::default(),
+            metrics: None,
+            spans: None,
         }
+    }
+
+    /// Mirrors the intake counters into `registry` (under
+    /// `rups_core_inbox_*`, including the `rups_core_inbox_validate_ns`
+    /// latency histogram) from this call on. [`InboxStats`] keeps working
+    /// either way.
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        self.metrics = Some(InboxMetrics::register(registry));
+        self
+    }
+
+    /// Records the validation/rejection path into `spans` from this call
+    /// on: an `inbox.validate` span per offer plus an `inbox.reject.*` /
+    /// `inbox.ignore_outdated` event per refused snapshot.
+    pub fn with_spans(mut self, spans: Arc<SpanRecorder>) -> Self {
+        self.spans = Some(spans);
+        self
     }
 
     /// The active thresholds.
@@ -202,15 +255,47 @@ impl SnapshotInbox {
     /// `Ok(false)` when a duplicate or out-of-order straggler was ignored,
     /// and a typed error when it failed validation.
     pub fn accept(&mut self, snap: ContextSnapshot, now_s: f64) -> Result<bool, RupsError> {
-        let newest = match self.validate(&snap, now_s) {
+        let verdict = {
+            let _t = self.metrics.as_ref().map(|m| m.validate_ns.start_timer());
+            let _s = self.spans.as_ref().map(|s| s.span("inbox.validate"));
+            self.validate(&snap, now_s)
+        };
+        let newest = match verdict {
             Ok(t) => t,
             Err(e) => {
-                match &e {
-                    RupsError::MalformedSnapshot(_) => self.stats.rejected_malformed += 1,
-                    RupsError::ChannelMismatch { .. } => self.stats.rejected_channel_mismatch += 1,
-                    RupsError::InsufficientContext { .. } => self.stats.rejected_undersized += 1,
-                    RupsError::StaleSnapshot { .. } => self.stats.rejected_stale += 1,
-                    _ => {}
+                let event = match &e {
+                    RupsError::MalformedSnapshot(_) => {
+                        self.stats.rejected_malformed += 1;
+                        if let Some(m) = &self.metrics {
+                            m.rejected_malformed.inc();
+                        }
+                        Some("inbox.reject.malformed")
+                    }
+                    RupsError::ChannelMismatch { .. } => {
+                        self.stats.rejected_channel_mismatch += 1;
+                        if let Some(m) = &self.metrics {
+                            m.rejected_channel_mismatch.inc();
+                        }
+                        Some("inbox.reject.channel_mismatch")
+                    }
+                    RupsError::InsufficientContext { .. } => {
+                        self.stats.rejected_undersized += 1;
+                        if let Some(m) = &self.metrics {
+                            m.rejected_undersized.inc();
+                        }
+                        Some("inbox.reject.undersized")
+                    }
+                    RupsError::StaleSnapshot { .. } => {
+                        self.stats.rejected_stale += 1;
+                        if let Some(m) = &self.metrics {
+                            m.rejected_stale.inc();
+                        }
+                        Some("inbox.reject.stale")
+                    }
+                    _ => None,
+                };
+                if let (Some(event), Some(s)) = (event, &self.spans) {
+                    s.event(event);
                 }
                 return Err(e);
             }
@@ -227,11 +312,20 @@ impl SnapshotInbox {
         };
         if newest <= slot.newest_s {
             self.stats.ignored_outdated += 1;
+            if let Some(m) = &self.metrics {
+                m.ignored_outdated.inc();
+            }
+            if let Some(s) = &self.spans {
+                s.event("inbox.ignore_outdated");
+            }
             return Ok(false);
         }
         slot.snap = snap;
         slot.newest_s = newest;
         self.stats.accepted += 1;
+        if let Some(m) = &self.metrics {
+            m.accepted.inc();
+        }
         Ok(true)
     }
 
@@ -420,6 +514,49 @@ mod tests {
         assert_eq!(ib.fresh(112.0).len(), 1);
         ib.clear();
         assert!(ib.is_empty());
+    }
+
+    #[test]
+    fn registry_mirror_and_spans_track_the_intake_path() {
+        let reg = Registry::new();
+        let spans = Arc::new(SpanRecorder::new(16));
+        let mut ib = SnapshotInbox::new(InboxConfig {
+            n_channels: 8,
+            min_context_m: 10,
+            staleness_horizon_s: 30.0,
+        })
+        .with_registry(&reg)
+        .with_spans(Arc::clone(&spans));
+
+        assert!(ib.accept(snap(Some(1), 50, 8, 100.0), 101.0).unwrap());
+        assert!(!ib.accept(snap(Some(1), 50, 8, 100.0), 101.0).unwrap());
+        assert!(ib.accept(snap(Some(1), 5, 8, 100.0), 101.0).is_err());
+        assert!(ib.accept(snap(Some(1), 50, 5, 100.0), 101.0).is_err());
+
+        let s = reg.snapshot();
+        assert_eq!(s.counter("rups_core_inbox_accepted"), Some(1));
+        assert_eq!(s.counter("rups_core_inbox_ignored_outdated"), Some(1));
+        assert_eq!(s.counter("rups_core_inbox_rejected_undersized"), Some(1));
+        assert_eq!(
+            s.counter("rups_core_inbox_rejected_channel_mismatch"),
+            Some(1)
+        );
+        // The registry mirror agrees with the plain stats struct.
+        let plain = ib.stats();
+        assert_eq!(plain.accepted, 1);
+        assert_eq!(plain.rejected(), 2);
+        if cfg!(feature = "obs") {
+            assert_eq!(
+                s.histogram("rups_core_inbox_validate_ns").map(|h| h.count),
+                Some(4),
+                "every offer times its validation"
+            );
+            let names: Vec<&str> = spans.recent().iter().map(|r| r.name).collect();
+            assert!(names.contains(&"inbox.validate"));
+            assert!(names.contains(&"inbox.ignore_outdated"));
+            assert!(names.contains(&"inbox.reject.undersized"));
+            assert!(names.contains(&"inbox.reject.channel_mismatch"));
+        }
     }
 
     #[test]

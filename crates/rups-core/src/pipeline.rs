@@ -17,8 +17,10 @@ use crate::inbox::SnapshotInbox;
 use crate::quality::{assess, QualityConfig, QualityReport};
 use crate::syn::SynPoint;
 use crate::tracker::{NeighbourTracker, TrackedFix};
+use rups_obs::{Counter, Registry, SpanRecorder};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// An exchangeable copy of a vehicle's recent journey context — what a RUPS
 /// vehicle broadcasts to its neighbours (serialized by the `v2v-sim` crate).
@@ -68,9 +70,31 @@ pub struct DistanceFix {
     pub best_score: f64,
 }
 
+/// Pre-registered per-grade quality counters (`rups_core_quality_*`): how
+/// many graded fixes landed at each [`crate::quality::FixQuality`] grade
+/// and how many inbox-fed queries errored out entirely.
+#[derive(Debug, Clone)]
+struct QualityCounters {
+    grade_high: Counter,
+    grade_medium: Counter,
+    grade_low: Counter,
+    rejected: Counter,
+}
+
+impl QualityCounters {
+    fn register(reg: &Registry) -> Self {
+        Self {
+            grade_high: reg.counter("rups_core_quality_grade_high"),
+            grade_medium: reg.counter("rups_core_quality_grade_medium"),
+            grade_low: reg.counter("rups_core_quality_grade_low"),
+            rejected: reg.counter("rups_core_quality_rejected"),
+        }
+    }
+}
+
 /// A RUPS vehicle node (Fig. 5): perceives its GSM-aware trajectory and
 /// fixes relative distances to neighbours.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct RupsNode {
     cfg: RupsConfig,
     vehicle_id: Option<u64>,
@@ -84,6 +108,33 @@ pub struct RupsNode {
     engine: SynQueryEngine,
     /// Bumped on every context append; gates the engine's context cache.
     context_version: u64,
+    /// The registry shared with `engine` (and anything attached via
+    /// [`RupsNode::with_observability`]).
+    registry: Arc<Registry>,
+    quality_counters: QualityCounters,
+}
+
+impl Clone for RupsNode {
+    /// Cloning keeps the journey context and tracker state but gives the
+    /// clone a fresh registry and cold engine caches, mirroring
+    /// [`SynQueryEngine`]'s per-instance cache semantics — two nodes never
+    /// share live metric handles unless wired together explicitly via
+    /// [`RupsNode::with_observability`].
+    fn clone(&self) -> Self {
+        let registry = Arc::new(Registry::new());
+        Self {
+            cfg: self.cfg.clone(),
+            vehicle_id: self.vehicle_id,
+            geo: self.geo.clone(),
+            gsm: self.gsm.clone(),
+            binder: self.binder.clone(),
+            trackers: self.trackers.clone(),
+            engine: SynQueryEngine::with_registry(self.cfg.clone(), Arc::clone(&registry)),
+            context_version: self.context_version,
+            quality_counters: QualityCounters::register(&registry),
+            registry,
+        }
+    }
 }
 
 impl RupsNode {
@@ -100,7 +151,8 @@ impl RupsNode {
     pub fn try_new(cfg: RupsConfig) -> Result<Self, RupsError> {
         cfg.validate().map_err(RupsError::InvalidConfig)?;
         let n = cfg.n_channels;
-        let engine = SynQueryEngine::new(cfg.clone());
+        let registry = Arc::new(Registry::new());
+        let engine = SynQueryEngine::with_registry(cfg.clone(), Arc::clone(&registry));
         Ok(Self {
             cfg,
             vehicle_id: None,
@@ -110,6 +162,8 @@ impl RupsNode {
             trackers: HashMap::new(),
             engine,
             context_version: 0,
+            quality_counters: QualityCounters::register(&registry),
+            registry,
         })
     }
 
@@ -117,6 +171,31 @@ impl RupsNode {
     pub fn with_vehicle_id(mut self, id: u64) -> Self {
         self.vehicle_id = Some(id);
         self
+    }
+
+    /// Rebinds this node's metrics onto the given shared registry (its
+    /// engine counters under `rups_core_engine_*`, quality grades under
+    /// `rups_core_quality_*`), so one registry can aggregate a node plus
+    /// its V2V link and inbox into a single exported snapshot. Call before
+    /// driving queries: the engine is re-created, so its caches start cold.
+    pub fn with_observability(mut self, registry: Arc<Registry>) -> Self {
+        self.engine = SynQueryEngine::with_registry(self.cfg.clone(), Arc::clone(&registry));
+        self.quality_counters = QualityCounters::register(&registry);
+        self.registry = registry;
+        self
+    }
+
+    /// Attaches a span recorder to the node's query engine, so SYN query
+    /// stages (`engine.query`, `engine.kernel_scan`, …) land in the shared
+    /// trace ring alongside whatever else records into `spans`.
+    pub fn with_span_recorder(mut self, spans: Arc<SpanRecorder>) -> Self {
+        self.engine.attach_spans(spans);
+        self
+    }
+
+    /// The metrics registry this node records into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// The active configuration.
@@ -379,8 +458,18 @@ impl RupsNode {
             .map(|(snap, fix)| {
                 let graded = fix.map(|fix| {
                     let report = assess(&fix, quality);
+                    match report.quality {
+                        crate::quality::FixQuality::High => self.quality_counters.grade_high.inc(),
+                        crate::quality::FixQuality::Medium => {
+                            self.quality_counters.grade_medium.inc()
+                        }
+                        crate::quality::FixQuality::Low => self.quality_counters.grade_low.inc(),
+                    }
                     GradedFix { fix, report }
                 });
+                if graded.is_err() {
+                    self.quality_counters.rejected.inc();
+                }
                 (snap.vehicle_id, graded)
             })
             .collect()
@@ -773,5 +862,47 @@ mod tests {
         // Once everything went stale, the query path sees nothing at all.
         let out = a.fix_inbox_parallel(&inbox, now + 100.0, &QualityConfig::default());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn quality_grades_land_in_the_shared_registry() {
+        use crate::inbox::{InboxConfig, SnapshotInbox};
+        use crate::quality::QualityConfig;
+        use rups_obs::Registry;
+        use std::sync::Arc;
+
+        let reg = Arc::new(Registry::new());
+        let mut a = RupsNode::new(cfg()).with_observability(Arc::clone(&reg));
+        assert!(Arc::ptr_eq(a.registry(), &reg));
+        let mut b = RupsNode::new(cfg()).with_vehicle_id(2);
+        drive(&mut a, 0, 400);
+        drive(&mut b, 70, 400);
+
+        let mut inbox = SnapshotInbox::new(InboxConfig::for_rups(&cfg(), 60.0));
+        let now = 471.0;
+        assert!(inbox.accept(b.snapshot(None), now).unwrap());
+        let out = a.fix_inbox_parallel(&inbox, now, &QualityConfig::default());
+        let ok = out.iter().filter(|(_, g)| g.is_ok()).count() as u64;
+        assert_eq!(ok, 1);
+
+        let snap = reg.snapshot();
+        let graded: u64 = [
+            "rups_core_quality_grade_high",
+            "rups_core_quality_grade_medium",
+            "rups_core_quality_grade_low",
+        ]
+        .iter()
+        .map(|n| snap.counter(n).unwrap_or(0))
+        .sum();
+        assert_eq!(
+            graded, ok,
+            "every graded fix must bump exactly one grade counter"
+        );
+        assert_eq!(snap.counter("rups_core_quality_rejected"), Some(0));
+        // The node's engine records into the same registry.
+        assert!(snap.counter("rups_core_engine_queries").unwrap_or(0) > 0);
+        // A clone never shares these handles.
+        let cloned = a.clone();
+        assert!(!Arc::ptr_eq(cloned.registry(), a.registry()));
     }
 }

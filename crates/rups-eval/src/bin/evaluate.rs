@@ -4,7 +4,9 @@
 //! evaluate [--quick] [--json DIR] [FIGURE ...]
 //!
 //!   FIGURE   any of: fig1 fig2 fig3 fig4 sec5a sec5b fig9 fig10 fig11 fig12
-//!            ext-faults ext-fpr ext-multiband ext-pedestrian   (default: all)
+//!            ext-faults ext-fpr ext-multiband ext-observability
+//!            ext-pedestrian ext-scalability abl-window abl-channels
+//!            abl-interp   (default: all)
 //!   --quick  reduced scale (fast; for smoke runs and debug builds)
 //!   --json DIR  also write each figure as DIR/<id>.json
 //! ```
@@ -42,7 +44,8 @@ fn parse_args() -> Args {
                 println!(
                     "usage: evaluate [--quick] [--json DIR] [FIGURE ...]\n\
                      figures: fig1 fig2 fig3 fig4 sec5a sec5b fig9 fig10 fig11 fig12 \
-                              ext-faults ext-fpr ext-multiband ext-pedestrian \
+                              ext-faults ext-fpr ext-multiband ext-observability \
+                              ext-pedestrian ext-scalability \
                               abl-window abl-channels abl-interp"
                 );
                 std::process::exit(0);
@@ -132,6 +135,14 @@ fn run_figure(id: &str, quick: bool, scale: EvalScale) -> Figure {
             };
             figures::ext_fpr::run(&p)
         }
+        "ext-observability" => {
+            let p = if quick {
+                figures::ext_observability::quick_params()
+            } else {
+                figures::ext_observability::Params::default()
+            };
+            figures::ext_observability::run(&p)
+        }
         "ext-multiband" => figures::ext_multiband::run(&figures::ext_multiband::Params {
             scale,
             ..figures::ext_multiband::Params::default()
@@ -163,7 +174,7 @@ fn run_figure(id: &str, quick: bool, scale: EvalScale) -> Figure {
     }
 }
 
-const ALL_FIGURES: [&str; 18] = [
+const ALL_FIGURES: [&str; 19] = [
     "fig1",
     "fig2",
     "fig3",
@@ -177,6 +188,7 @@ const ALL_FIGURES: [&str; 18] = [
     "ext-faults",
     "ext-fpr",
     "ext-multiband",
+    "ext-observability",
     "ext-pedestrian",
     "ext-scalability",
     "abl-window",

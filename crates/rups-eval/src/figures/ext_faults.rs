@@ -29,7 +29,7 @@ use rups_core::geo::GeoSample;
 use rups_core::gsm::PowerVector;
 use rups_core::inbox::{InboxConfig, SnapshotInbox};
 use rups_core::pipeline::RupsNode;
-use rups_core::quality::{FixQuality, QualityConfig};
+use rups_core::quality::QualityConfig;
 use rups_core::testfield;
 use serde::{Deserialize, Serialize};
 use v2v_sim::codec::{decode_snapshot, try_encode_snapshot};
@@ -136,7 +136,10 @@ struct CellOutcome {
     worst_abs_err_m: f64,
     codec_rejects: u64,
     inbox_rejects: u64,
-    quality: [usize; 3], // low, medium, high
+    /// Low/medium/high fix grades, read off the node's metrics registry
+    /// (`rups_core_quality_grade_*`) rather than re-counted by hand.
+    quality: [u64; 3],
+    graded_rejects: u64,
 }
 
 /// Replays the two-vehicle scenario through one faulty link.
@@ -162,7 +165,6 @@ fn run_cell(p: &Params, faults: &FaultConfig, link_seed: u64) -> CellOutcome {
     let mut epochs = 0usize;
     let mut abs_errs = Vec::new();
     let mut worst: f64 = 0.0;
-    let mut quality = [0usize; 3];
 
     // Both vehicles drive 1 m/s; simulated time equals the rear vehicle's
     // road metre, and the front vehicle stays exactly `gap_m` ahead.
@@ -210,14 +212,21 @@ fn run_cell(p: &Params, faults: &FaultConfig, link_seed: u64) -> CellOutcome {
                 let err = (graded.fix.distance_m - p.gap_m).abs();
                 abs_errs.push(err);
                 worst = worst.max(err);
-                quality[match graded.report.quality {
-                    FixQuality::Low => 0,
-                    FixQuality::Medium => 1,
-                    FixQuality::High => 2,
-                }] += 1;
             }
         }
     }
+
+    // The per-grade quality counters accumulate in the node's registry as
+    // `fix_inbox_parallel` grades each fix; read them back instead of
+    // tallying grades by hand.
+    let metrics = rear.registry().snapshot();
+    let quality = [
+        metrics.counter("rups_core_quality_grade_low").unwrap_or(0),
+        metrics
+            .counter("rups_core_quality_grade_medium")
+            .unwrap_or(0),
+        metrics.counter("rups_core_quality_grade_high").unwrap_or(0),
+    ];
 
     CellOutcome {
         epochs,
@@ -227,6 +236,7 @@ fn run_cell(p: &Params, faults: &FaultConfig, link_seed: u64) -> CellOutcome {
         codec_rejects,
         inbox_rejects: inbox.stats().rejected(),
         quality,
+        graded_rejects: metrics.counter("rups_core_quality_rejected").unwrap_or(0),
     }
 }
 
@@ -244,7 +254,7 @@ pub fn run(p: &Params) -> Figure {
         err_y.push(out.mean_abs_err_m);
         notes.push(format!(
             "{}: availability {:.2} ({}/{} epochs), mean |err| {:.2} m (worst {:.2} m), \
-             quality H/M/L {}/{}/{}, rejects codec {} inbox {}",
+             quality H/M/L {}/{}/{}, rejects codec {} inbox {} graded {}",
             cell.label,
             avail,
             out.fixes,
@@ -256,6 +266,7 @@ pub fn run(p: &Params) -> Figure {
             out.quality[0],
             out.codec_rejects,
             out.inbox_rejects,
+            out.graded_rejects,
         ));
     }
     notes.push(

@@ -1,0 +1,407 @@
+//! Extension experiment: the unified telemetry layer under fault injection.
+//!
+//! Re-runs the two-vehicle faulted exchange of [`ext_faults`] with every
+//! stage wired onto **one shared metrics registry** — the rear node's SYN
+//! engine and quality grading, the [`V2vLink`] fault model, the codec
+//! validator and the [`SnapshotInbox`] — plus one shared span ring
+//! recording the hot-path trace events. While the scenario replays, the
+//! harness samples the registry every `epoch_stride` query epochs and
+//! emits the per-window [`MetricsSnapshot::delta`]s as a machine-readable
+//! timeline (`results/ext-observability-metrics.json` by default).
+//!
+//! The timeline is the observability acceptance artefact: it carries the
+//! engine context/window cache hit and miss counters, the SYN-stage
+//! latency histograms (p50/p95/p99 of `rups_core_engine_query_ns` and
+//! friends), the link fault counters (`rups_v2v_link_dropped`, …) and the
+//! per-grade fix-quality counters, per window and cumulatively.
+//!
+//! [`ext_faults`]: crate::figures::ext_faults
+//! [`V2vLink`]: v2v_sim::link::V2vLink
+//! [`SnapshotInbox`]: rups_core::inbox::SnapshotInbox
+//! [`MetricsSnapshot::delta`]: rups_obs::MetricsSnapshot::delta
+
+use crate::figures::EvalScale;
+use crate::series::{Figure, Series};
+use rups_core::geo::GeoSample;
+use rups_core::gsm::PowerVector;
+use rups_core::inbox::{InboxConfig, SnapshotInbox};
+use rups_core::pipeline::RupsNode;
+use rups_core::quality::QualityConfig;
+use rups_core::testfield;
+use rups_obs::{MetricsSnapshot, Registry, SpanRecorder};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use v2v_sim::codec::{try_encode_snapshot, CodecMetrics};
+use v2v_sim::fault::FaultConfig;
+use v2v_sim::link::V2vLink;
+
+/// Parameters of the telemetry-under-faults run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Params {
+    /// Scale knobs (duration, band width, master seed).
+    pub scale: EvalScale,
+    /// True front–rear gap, metres.
+    pub gap_m: f64,
+    /// Journey context the front vehicle beacons, metres.
+    pub context_m: usize,
+    /// Metres driven before the first beacon (context build-up).
+    pub warmup_m: usize,
+    /// Staleness horizon of the receiver's inbox, seconds.
+    pub horizon_s: f64,
+    /// Channel impairments (default: the ext-faults acceptance cell,
+    /// ~30 % expected burst loss plus 1 % corruption).
+    pub faults: FaultConfig,
+    /// Query epochs aggregated into one timeline window.
+    pub epoch_stride: usize,
+    /// Capacity of the shared span ring.
+    pub span_capacity: usize,
+    /// Where to write the metrics timeline JSON; `None` skips the write.
+    pub out_path: Option<String>,
+}
+
+/// The default on-disk home of the timeline, resolved against the
+/// workspace so the artefact lands in `results/` regardless of the
+/// invocation directory.
+pub fn default_out_path() -> String {
+    concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/ext-observability-metrics.json"
+    )
+    .to_string()
+}
+
+/// The fault cell the timeline is recorded under: ~30 % expected burst
+/// loss with duplication, reordering, corruption and jitter on top.
+pub fn default_faults() -> FaultConfig {
+    FaultConfig {
+        duplicate: 0.05,
+        reorder: 0.05,
+        corrupt: 0.01,
+        jitter_s: 0.02,
+        ..FaultConfig::bursty(0.15, 0.35, 1.0)
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            scale: EvalScale::paper(),
+            gap_m: 60.0,
+            context_m: 250,
+            warmup_m: 260,
+            horizon_s: 10.0,
+            faults: default_faults(),
+            epoch_stride: 60,
+            span_capacity: 4096,
+            out_path: Some(default_out_path()),
+        }
+    }
+}
+
+/// Smaller run for tests and `--quick` smoke passes.
+pub fn quick_params() -> Params {
+    Params {
+        scale: EvalScale::quick(),
+        epoch_stride: 30,
+        ..Params::default()
+    }
+}
+
+/// One aggregation window of the timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelineEntry {
+    /// Query epoch index at the end of this window (1-based, inclusive).
+    pub epoch_end: usize,
+    /// Simulated time at the end of this window, seconds.
+    pub t_s: f64,
+    /// Metrics recorded during this window only (counters and histogram
+    /// buckets are deltas; gauges are last-value).
+    pub delta: MetricsSnapshot,
+}
+
+/// The machine-readable artefact of the run: per-window metric deltas
+/// plus the cumulative snapshot they sum to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsTimeline {
+    /// Always `"ext-observability"`.
+    pub figure_id: String,
+    /// Query epochs per timeline window.
+    pub epoch_stride: usize,
+    /// The channel impairments the run was recorded under.
+    pub faults: FaultConfig,
+    /// The per-window deltas, oldest first.
+    pub entries: Vec<TimelineEntry>,
+    /// The registry at the end of the run; window deltas of any counter
+    /// sum to its cumulative value here.
+    pub cumulative: MetricsSnapshot,
+    /// Spans recorded into the shared ring over the whole run (may exceed
+    /// the ring capacity; the ring keeps the newest).
+    pub spans_recorded: u64,
+}
+
+/// The counter-derived hit/delivery ratio `num / (num + miss)`; 0 when
+/// the window saw no events.
+fn ratio(snap: &MetricsSnapshot, num: &str, miss: &str) -> f64 {
+    let n = snap.counter(num).unwrap_or(0);
+    let m = snap.counter(miss).unwrap_or(0);
+    if n + m == 0 {
+        0.0
+    } else {
+        n as f64 / (n + m) as f64
+    }
+}
+
+/// Runs the experiment, writing the timeline to `p.out_path` when set.
+pub fn run(p: &Params) -> Figure {
+    let s = &p.scale;
+    let mut cfg = s.rups_config();
+    cfg.max_context_m = p.context_m + 150;
+    let field_seed = s.seed ^ 0xFA17;
+    let field = |metre: f64, ch: usize| testfield::rssi(field_seed, metre, ch);
+
+    // The unified wiring: one registry, one span ring, every stage.
+    let registry = Arc::new(Registry::new());
+    let spans = Arc::new(SpanRecorder::new(p.span_capacity));
+    let mut rear = RupsNode::new(cfg.clone())
+        .with_vehicle_id(1)
+        .with_observability(Arc::clone(&registry))
+        .with_span_recorder(Arc::clone(&spans));
+    let mut front = RupsNode::new(cfg.clone()).with_vehicle_id(2);
+    let link = V2vLink::with_faults_in(p.faults, s.seed ^ 0x0B5E, Arc::clone(&registry))
+        .with_spans(Arc::clone(&spans));
+    let ep_rear = link.join(1);
+    let ep_front = link.join(2);
+    let mut inbox = SnapshotInbox::new(InboxConfig::for_rups(&cfg, p.horizon_s))
+        .with_registry(&registry)
+        .with_spans(Arc::clone(&spans));
+    let codec = CodecMetrics::register(&registry);
+    let quality_cfg = QualityConfig::default();
+
+    let stride = p.epoch_stride.max(1);
+    let mut entries = Vec::new();
+    let mut prev = registry.snapshot();
+    let mut epochs = 0usize;
+
+    let total_m = p.warmup_m + s.duration_s as usize;
+    for metre in 0..total_m {
+        let t = metre as f64;
+        for (node, offset) in [(&mut rear, 0.0), (&mut front, p.gap_m)] {
+            let road_m = t + offset;
+            node.append_metre(
+                GeoSample {
+                    heading_rad: 0.0,
+                    timestamp_s: t,
+                },
+                &PowerVector::from_fn(cfg.n_channels, |ch| Some(field(road_m, ch))),
+            )
+            .expect("synthetic drive never mismatches");
+        }
+        if metre < p.warmup_m {
+            continue;
+        }
+
+        let snap = front.snapshot(Some(p.context_m));
+        if let Ok(wire) = try_encode_snapshot(&snap) {
+            ep_front.broadcast(t, wire);
+        }
+        for delivery in ep_rear.poll_until(t) {
+            if let Ok(snap) = codec.decode(&delivery.payload) {
+                let _ = inbox.accept(snap, t);
+            }
+        }
+        epochs += 1;
+        for _ in rear.fix_inbox_parallel(&inbox, t, &quality_cfg) {}
+
+        if epochs.is_multiple_of(stride) {
+            let now = registry.snapshot();
+            entries.push(TimelineEntry {
+                epoch_end: epochs,
+                t_s: t,
+                delta: now.delta(&prev),
+            });
+            prev = now;
+        }
+    }
+
+    let cumulative = registry.snapshot();
+    if !epochs.is_multiple_of(stride) {
+        entries.push(TimelineEntry {
+            epoch_end: epochs,
+            t_s: (total_m - 1) as f64,
+            delta: cumulative.delta(&prev),
+        });
+    }
+
+    let timeline = MetricsTimeline {
+        figure_id: "ext-observability".into(),
+        epoch_stride: stride,
+        faults: p.faults,
+        entries,
+        cumulative,
+        spans_recorded: spans.recorded_total(),
+    };
+    let mut notes = Vec::new();
+    if let Some(path) = &p.out_path {
+        write_timeline(path, &timeline);
+        notes.push(format!("metrics timeline written to {path}"));
+    }
+
+    // The figure view of the timeline: cache/delivery health per window.
+    let x: Vec<f64> = timeline.entries.iter().map(|e| e.t_s).collect();
+    let series_of = |label: &str, f: &dyn Fn(&MetricsSnapshot) -> f64| {
+        Series::new(
+            label,
+            x.clone(),
+            timeline.entries.iter().map(|e| f(&e.delta)).collect(),
+        )
+    };
+    let series = vec![
+        series_of("engine context hit rate per window", &|d| {
+            ratio(
+                d,
+                "rups_core_engine_context_hits",
+                "rups_core_engine_context_rebuilds",
+            )
+        }),
+        series_of("engine window-memo hit rate per window", &|d| {
+            ratio(
+                d,
+                "rups_core_engine_window_hits",
+                "rups_core_engine_window_misses",
+            )
+        }),
+        series_of("link delivery rate per window", &|d| {
+            let offered = d.counter("rups_v2v_link_offered").unwrap_or(0);
+            let delivered = d.counter("rups_v2v_link_delivered").unwrap_or(0);
+            if offered == 0 {
+                0.0
+            } else {
+                delivered as f64 / offered as f64
+            }
+        }),
+        series_of("engine query p95 per window (µs)", &|d| {
+            d.histogram("rups_core_engine_query_ns")
+                .map_or(0.0, |h| h.p95 / 1_000.0)
+        }),
+    ];
+
+    let cum = &timeline.cumulative;
+    notes.push(format!(
+        "engine: {} queries, context hit rate {:.2}, window hit rate {:.2}",
+        cum.counter("rups_core_engine_queries").unwrap_or(0),
+        ratio(
+            cum,
+            "rups_core_engine_context_hits",
+            "rups_core_engine_context_rebuilds"
+        ),
+        ratio(
+            cum,
+            "rups_core_engine_window_hits",
+            "rups_core_engine_window_misses"
+        ),
+    ));
+    if let Some(h) = cum.histogram("rups_core_engine_query_ns") {
+        notes.push(format!(
+            "query latency: p50 {:.1} µs, p95 {:.1} µs, p99 {:.1} µs over {} queries",
+            h.p50 / 1_000.0,
+            h.p95 / 1_000.0,
+            h.p99 / 1_000.0,
+            h.count,
+        ));
+    }
+    notes.push(format!(
+        "link: {} offered, {} delivered, {} dropped, {} duplicated, {} corrupted",
+        cum.counter("rups_v2v_link_offered").unwrap_or(0),
+        cum.counter("rups_v2v_link_delivered").unwrap_or(0),
+        cum.counter("rups_v2v_link_dropped").unwrap_or(0),
+        cum.counter("rups_v2v_link_duplicated").unwrap_or(0),
+        cum.counter("rups_v2v_link_corrupted").unwrap_or(0),
+    ));
+    notes.push(format!(
+        "intake: {} codec ok, {} inbox accepted; quality H/M/L {}/{}/{}, {} rejected",
+        cum.counter("rups_v2v_codec_decode_ok").unwrap_or(0),
+        cum.counter("rups_core_inbox_accepted").unwrap_or(0),
+        cum.counter("rups_core_quality_grade_high").unwrap_or(0),
+        cum.counter("rups_core_quality_grade_medium").unwrap_or(0),
+        cum.counter("rups_core_quality_grade_low").unwrap_or(0),
+        cum.counter("rups_core_quality_rejected").unwrap_or(0),
+    ));
+    notes.push(format!(
+        "{} spans recorded into a {}-slot ring ({} timeline windows of {} epochs)",
+        timeline.spans_recorded,
+        p.span_capacity,
+        timeline.entries.len(),
+        stride,
+    ));
+
+    Figure {
+        id: "ext-observability".into(),
+        title: "Unified telemetry under V2V channel faults".into(),
+        notes,
+        series,
+    }
+}
+
+/// Serialises the timeline to `path`, creating parent directories.
+fn write_timeline(path: &str, timeline: &MetricsTimeline) {
+    let p = std::path::Path::new(path);
+    if let Some(parent) = p.parent() {
+        std::fs::create_dir_all(parent).expect("create metrics output dir");
+    }
+    let json = serde_json::to_string_pretty(timeline).expect("serialize metrics timeline");
+    std::fs::write(p, json).expect("write metrics timeline");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_lands_on_disk_with_live_counters() {
+        let mut p = quick_params();
+        let path = std::env::temp_dir().join("rups-ext-observability-test-metrics.json");
+        p.out_path = Some(path.to_string_lossy().into_owned());
+        let fig = run(&p);
+
+        // The artefact parses back into the typed timeline.
+        let raw = std::fs::read_to_string(&path).expect("timeline written");
+        std::fs::remove_file(&path).ok();
+        let tl: MetricsTimeline = serde_json::from_str(&raw).expect("timeline parses");
+        assert_eq!(tl.figure_id, "ext-observability");
+        assert!(!tl.entries.is_empty());
+
+        // Key counters are live: the engine queried, the link faulted.
+        let cum = &tl.cumulative;
+        let queries = cum.counter("rups_core_engine_queries").unwrap();
+        assert!(queries > 0);
+        assert!(cum.counter("rups_v2v_link_offered").unwrap() > 0);
+        assert!(
+            cum.counter("rups_v2v_link_dropped").unwrap() > 0,
+            "a 30% burst-loss channel must drop frames"
+        );
+        assert!(cum.counter("rups_core_inbox_accepted").unwrap() > 0);
+        let grades = cum.counter("rups_core_quality_grade_high").unwrap()
+            + cum.counter("rups_core_quality_grade_medium").unwrap()
+            + cum.counter("rups_core_quality_grade_low").unwrap();
+        assert!(grades > 0, "faulted run still grades fixes");
+
+        // SYN-stage latency histograms carry quantiles (obs is on by
+        // default throughout the eval stack).
+        let h = cum.histogram("rups_core_engine_query_ns").unwrap();
+        assert!(h.count > 0);
+        assert!(h.p99 >= h.p50);
+        assert!(tl.spans_recorded > 0);
+
+        // Window deltas of a counter sum exactly to its cumulative value.
+        let windowed: u64 = tl
+            .entries
+            .iter()
+            .map(|e| e.delta.counter("rups_core_engine_queries").unwrap_or(0))
+            .sum();
+        assert_eq!(windowed, queries);
+
+        // The figure view mirrors the timeline shape.
+        assert_eq!(fig.series.len(), 4);
+        assert_eq!(fig.series[0].x.len(), tl.entries.len());
+    }
+}

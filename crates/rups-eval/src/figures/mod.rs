@@ -20,6 +20,8 @@
 //! * [`ext_fpr`] — detection vs false-positive rate of the adaptive short
 //!   window (quantifies the §V-C claim)
 //! * [`ext_multiband`] — FM-band fingerprint fusion (§VII future work)
+//! * [`ext_observability`] — unified telemetry under fault injection:
+//!   per-epoch metric timelines from one shared registry
 //! * [`ext_pedestrian`] — RUPS at walking/cycling speeds (§VII future work)
 //! * [`ext_scalability`] — all-neighbour query sweeps in an n-vehicle convoy (§V-B)
 //! * [`ablations`] — accuracy ablations of the design knobs (DESIGN.md §5)
@@ -33,6 +35,7 @@ pub mod cost;
 pub mod ext_faults;
 pub mod ext_fpr;
 pub mod ext_multiband;
+pub mod ext_observability;
 pub mod ext_pedestrian;
 pub mod ext_scalability;
 pub mod fig01;

@@ -78,7 +78,11 @@ fn golden_trace_queries_are_stable() {
         ..RupsConfig::default()
     };
     let times = sample_query_times(&trace, 4, 9);
-    assert_eq!(times, vec![23.0, 25.0, 34.5, 42.5], "query sampling drifted");
+    assert_eq!(
+        times,
+        vec![23.0, 25.0, 34.5, 42.5],
+        "query sampling drifted"
+    );
     let outcomes = run_queries(&trace, &cfg, &times);
 
     // Pinned expectations (from the committed fixture): the two early
@@ -88,8 +92,14 @@ fn golden_trace_queries_are_stable() {
     let pinned: [(f64, Option<(f64, f64)>); 4] = [
         (37.672_860, None),
         (37.141_994, None),
-        (35.634_873, Some((35.908_729_816_337_4, 1.265_010_946_055_015_9))),
-        (35.085_075, Some((34.993_877_208_027_776, 1.334_553_783_657_208_1))),
+        (
+            35.634_873,
+            Some((35.908_729_816_337_4, 1.265_010_946_055_015_9)),
+        ),
+        (
+            35.085_075,
+            Some((34.993_877_208_027_776, 1.334_553_783_657_208_1)),
+        ),
     ];
     for (o, (truth, fix)) in outcomes.iter().zip(pinned) {
         assert!(

@@ -1,0 +1,398 @@
+//! Fixed-bucket log₂-scale histograms for latency (and other positive
+//! integer) samples.
+//!
+//! The record path is allocation-free and lock-free: a sample lands in one
+//! of [`N_BUCKETS`] power-of-two buckets with three relaxed atomic
+//! increments (bucket, count, sum). Bucket `i` covers `[2^i, 2^(i+1))`
+//! nanoseconds (bucket 0 additionally absorbs 0 and 1); the top bucket
+//! saturates, absorbing every sample at or above [`TOP_BUCKET_LO`]. With 44
+//! buckets the range spans 1 ns to ≈4.9 hours — comfortably wider than any
+//! latency this workspace measures.
+//!
+//! Quantiles (p50/p95/p99) are extracted from a [`HistogramSample`]
+//! snapshot by walking the cumulative bucket counts and interpolating
+//! linearly inside the target bucket, so they are deterministic functions
+//! of the bucket contents.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// Number of log₂ buckets per histogram.
+pub const N_BUCKETS: usize = 44;
+
+/// Lower bound of the saturating top bucket (`2^(N_BUCKETS-1)` ns ≈ 2.4 h).
+pub const TOP_BUCKET_LO: u64 = 1 << (N_BUCKETS - 1);
+
+/// The bucket a value lands in: `floor(log₂ v)` clamped to the bucket
+/// range; 0 and 1 share bucket 0, anything ≥ [`TOP_BUCKET_LO`] saturates
+/// into the top bucket.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        return 0;
+    }
+    ((63 - v.leading_zeros()) as usize).min(N_BUCKETS - 1)
+}
+
+/// Inclusive lower bound of bucket `i` (0 for bucket 0).
+#[inline]
+pub fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1 << i
+    }
+}
+
+/// Exclusive upper bound of bucket `i`. The top bucket reports `2^N_BUCKETS`
+/// so interpolation stays finite even though it absorbs every larger value.
+#[inline]
+pub fn bucket_hi(i: usize) -> u64 {
+    1 << (i + 1)
+}
+
+pub(crate) struct HistInner {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistInner {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A cheap-to-clone handle to one histogram. Cloning shares the underlying
+/// buckets; recording through any clone is visible to all.
+#[derive(Clone)]
+pub struct Histogram(pub(crate) Arc<HistInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.0.count.load(Relaxed))
+            .field("sum", &self.0.sum.load(Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    /// A standalone (unregistered) histogram. Registered ones come from
+    /// [`crate::registry::Registry::histogram`].
+    pub fn new() -> Self {
+        Histogram(Arc::new(HistInner::new()))
+    }
+
+    /// Records one sample. Allocation-free: three relaxed atomic adds.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        self.0.count.fetch_add(1, Relaxed);
+        self.0.sum.fetch_add(v, Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Relaxed)
+    }
+
+    /// Starts a wall-clock timer that records the elapsed nanoseconds into
+    /// this histogram when dropped. With the `obs` feature disabled this is
+    /// a no-op that never reads the clock.
+    #[inline]
+    pub fn start_timer(&self) -> Timer {
+        Timer::start(self)
+    }
+
+    /// An immutable snapshot of the bucket contents (quantiles included),
+    /// tagged with `name`.
+    pub fn sample(&self, name: &str) -> HistogramSample {
+        let buckets: Vec<u64> = self.0.buckets.iter().map(|b| b.load(Relaxed)).collect();
+        HistogramSample::from_buckets(
+            name.to_string(),
+            self.0.count.load(Relaxed),
+            self.0.sum.load(Relaxed),
+            buckets,
+        )
+    }
+}
+
+/// Guard recording elapsed wall-clock nanoseconds into a [`Histogram`] on
+/// drop. Zero-sized and inert when the `obs` feature is disabled.
+#[must_use = "a dropped timer records immediately; bind it to a variable"]
+pub struct Timer {
+    #[cfg(feature = "obs")]
+    hist: Histogram,
+    #[cfg(feature = "obs")]
+    start: std::time::Instant,
+}
+
+impl Timer {
+    #[inline]
+    fn start(hist: &Histogram) -> Self {
+        #[cfg(feature = "obs")]
+        {
+            Timer {
+                hist: hist.clone(),
+                start: std::time::Instant::now(),
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = hist;
+            Timer {}
+        }
+    }
+}
+
+#[cfg(feature = "obs")]
+impl Drop for Timer {
+    #[inline]
+    fn drop(&mut self) {
+        self.hist.record(self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+/// A named point-in-time copy of one histogram: raw bucket counts plus the
+/// quantiles extracted from them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// Registered metric name.
+    pub name: String,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all recorded values (ns for latency histograms).
+    pub sum: u64,
+    /// Median, interpolated (0 when empty).
+    pub p50: f64,
+    /// 95th percentile, interpolated (0 when empty).
+    pub p95: f64,
+    /// 99th percentile, interpolated (0 when empty).
+    pub p99: f64,
+    /// Per-bucket counts, [`N_BUCKETS`] entries; bucket `i` covers
+    /// `[bucket_lo(i), bucket_hi(i))`.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSample {
+    /// Builds a sample from raw bucket counts, extracting the standard
+    /// quantiles.
+    pub fn from_buckets(name: String, count: u64, sum: u64, buckets: Vec<u64>) -> Self {
+        debug_assert_eq!(buckets.len(), N_BUCKETS);
+        let q = |p| quantile_of(&buckets, count, p).unwrap_or(0.0);
+        HistogramSample {
+            p50: q(0.50),
+            p95: q(0.95),
+            p99: q(0.99),
+            name,
+            count,
+            sum,
+            buckets,
+        }
+    }
+
+    /// Interpolated quantile (`q` in `(0, 1]`); `None` on an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile_of(&self.buckets, self.count, q)
+    }
+
+    /// Mean of the recorded values (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The change since an `earlier` sample of the same histogram:
+    /// bucket-wise saturating difference with quantiles recomputed over the
+    /// difference, i.e. the distribution of only the samples recorded in
+    /// between.
+    pub fn delta(&self, earlier: &HistogramSample) -> HistogramSample {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .zip(earlier.buckets.iter().chain(std::iter::repeat(&0)))
+            .map(|(now, then)| now.saturating_sub(*then))
+            .collect();
+        HistogramSample::from_buckets(
+            self.name.clone(),
+            self.count.saturating_sub(earlier.count),
+            self.sum.saturating_sub(earlier.sum),
+            buckets,
+        )
+    }
+}
+
+/// Shared quantile walk: find the bucket holding the `ceil(q·count)`-th
+/// sample and interpolate linearly within it.
+fn quantile_of(buckets: &[u64], count: u64, q: f64) -> Option<f64> {
+    if count == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if cum + c >= target {
+            let lo = bucket_lo(i) as f64;
+            let hi = bucket_hi(i) as f64;
+            let frac = (target - cum) as f64 / c as f64;
+            return Some(lo + (hi - lo) * frac);
+        }
+        cum += c;
+    }
+    // Unreachable when bucket counts are consistent with `count`; fall back
+    // to the top bucket's upper bound.
+    Some(bucket_hi(N_BUCKETS - 1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        // 0 and 1 share bucket 0; powers of two open a new bucket.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(7), 2);
+        assert_eq!(bucket_index(8), 3);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(1025), 10);
+        // Every bucket's bounds contain exactly its own values.
+        for i in 1..N_BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_lo(i)), i, "lo of bucket {i}");
+            assert_eq!(bucket_index(bucket_hi(i) - 1), i, "hi-1 of bucket {i}");
+            assert_eq!(bucket_index(bucket_hi(i)), i + 1, "hi of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn top_bucket_saturates() {
+        let h = Histogram::new();
+        h.record(TOP_BUCKET_LO); // exactly at the top bucket's lower bound
+        h.record(u64::MAX); // astronomically beyond the range
+        let s = h.sample("t");
+        assert_eq!(s.count, 2);
+        assert_eq!(s.buckets[N_BUCKETS - 1], 2, "both saturate into the top");
+        assert_eq!(s.buckets.iter().sum::<u64>(), 2);
+        // Quantiles stay finite despite the saturated samples.
+        let p99 = s.quantile(0.99).unwrap();
+        assert!(p99.is_finite());
+        assert!(p99 <= bucket_hi(N_BUCKETS - 1) as f64);
+    }
+
+    #[test]
+    fn quantiles_on_empty_histogram_are_none() {
+        let s = Histogram::new().sample("empty");
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.mean(), None);
+        // The convenience fields degrade to 0 rather than NaN.
+        assert_eq!(s.p50, 0.0);
+        assert_eq!(s.p95, 0.0);
+        assert_eq!(s.p99, 0.0);
+    }
+
+    #[test]
+    fn quantiles_on_single_sample_land_in_its_bucket() {
+        let h = Histogram::new();
+        h.record(1000); // bucket 9: [512, 1024)
+        let s = h.sample("one");
+        for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+            let v = s.quantile(q).unwrap();
+            assert!(
+                (512.0..=1024.0).contains(&v),
+                "q{q} escaped the sample's bucket: {v}"
+            );
+        }
+        assert_eq!(s.mean(), Some(1000.0));
+    }
+
+    #[test]
+    fn quantiles_interpolate_monotonically() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 40, 80, 160, 320, 640, 1280, 2560, 5120] {
+            h.record(v);
+        }
+        let s = h.sample("spread");
+        let p50 = s.quantile(0.50).unwrap();
+        let p95 = s.quantile(0.95).unwrap();
+        let p99 = s.quantile(0.99).unwrap();
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // The median of 10 log-spaced samples sits around the 5th value.
+        assert!((64.0..=256.0).contains(&p50), "p50 {p50}");
+        assert!(p99 >= 4096.0, "p99 {p99}");
+    }
+
+    #[test]
+    fn delta_isolates_the_new_samples() {
+        let h = Histogram::new();
+        h.record(100);
+        h.record(100);
+        let before = h.sample("d");
+        for _ in 0..98 {
+            h.record(1_000_000);
+        }
+        let after = h.sample("d");
+        let d = after.delta(&before);
+        assert_eq!(d.count, 98);
+        assert_eq!(d.sum, 98 * 1_000_000);
+        // All delta samples live in one bucket; the old ones vanished.
+        assert_eq!(d.buckets[bucket_index(100)], 0);
+        assert_eq!(d.buckets[bucket_index(1_000_000)], 98);
+        let p50 = d.quantile(0.5).unwrap();
+        assert!((bucket_lo(bucket_index(1_000_000)) as f64
+            ..=bucket_hi(bucket_index(1_000_000)) as f64)
+            .contains(&p50));
+    }
+
+    #[test]
+    fn timer_records_when_obs_enabled() {
+        let h = Histogram::new();
+        {
+            let _t = h.start_timer();
+            std::hint::black_box((0..100).sum::<u64>());
+        }
+        #[cfg(feature = "obs")]
+        assert_eq!(h.count(), 1);
+        #[cfg(not(feature = "obs"))]
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let s = h.sample("mt");
+        assert_eq!(s.count, 4000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 4000);
+    }
+}

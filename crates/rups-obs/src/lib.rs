@@ -1,0 +1,48 @@
+//! Workspace-wide observability for the RUPS pipeline.
+//!
+//! Three pieces, deliberately small and dependency-free:
+//!
+//! - [`Registry`] — a lock-light metrics registry of named [`Counter`]s,
+//!   [`Gauge`]s and log-scale latency [`Histogram`]s. Handles are
+//!   pre-registered once (the only place a lock is taken) and recording is
+//!   a relaxed atomic add: allocation-free and wait-free on the hot path.
+//! - [`SpanRecorder`] — a span/tracing facade with a fixed ring buffer of
+//!   completed spans. Gated on the `obs` cargo feature; with the feature
+//!   off it compiles to no-ops (no clock reads, no storage).
+//! - Exporters — [`Registry::snapshot`] yields a serializable
+//!   [`MetricsSnapshot`] (JSON via serde, Prometheus text via
+//!   [`MetricsSnapshot::to_prometheus`]) and supports
+//!   [`MetricsSnapshot::delta`] for per-epoch timelines.
+//!
+//! Metric names follow the convention `rups_<crate>_<subsystem>_<metric>`,
+//! with latency histograms suffixed `_ns` (see DESIGN.md § Observability).
+//!
+//! # Example
+//!
+//! ```
+//! use rups_obs::Registry;
+//! use std::sync::Arc;
+//!
+//! let reg = Arc::new(Registry::new());
+//! let queries = reg.counter("rups_core_engine_queries");
+//! let latency = reg.histogram("rups_core_engine_query_ns");
+//!
+//! queries.inc();
+//! latency.record(1_250);
+//!
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("rups_core_engine_queries"), Some(1));
+//! assert!(snap.to_prometheus().contains("rups_core_engine_query_ns_bucket"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod registry;
+pub mod span;
+
+pub use hist::{
+    bucket_hi, bucket_index, bucket_lo, Histogram, HistogramSample, Timer, N_BUCKETS, TOP_BUCKET_LO,
+};
+pub use registry::{Counter, CounterSample, Gauge, GaugeSample, MetricsSnapshot, Registry};
+pub use span::{SpanGuard, SpanRecord, SpanRecorder};

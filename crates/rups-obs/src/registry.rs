@@ -1,0 +1,377 @@
+//! The lock-light metrics registry: named counters, gauges and histograms.
+//!
+//! Registration (`counter`/`gauge`/`histogram`) takes a mutex and may
+//! allocate — do it once at construction time and keep the returned handle.
+//! The handles themselves are `Arc`-backed and record with relaxed atomics:
+//! the hot path never locks, never allocates and never touches the
+//! registry again.
+//!
+//! Naming convention (enforced only by review): `rups_<crate>_<subsystem>_
+//! <metric>`, e.g. `rups_core_engine_context_hits` or
+//! `rups_v2v_link_dropped`. Latency histograms end in `_ns`.
+
+use crate::hist::{bucket_hi, Histogram, HistogramSample};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter handle. Cloning shares the value.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A standalone (unregistered) counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+
+    /// Resets to zero (for harness `reset_stats` paths; exporters should
+    /// prefer [`MetricsSnapshot::delta`]).
+    pub fn reset(&self) {
+        self.0.store(0, Relaxed);
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`. Cloning shares the value.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A standalone (unregistered) gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Relaxed))
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Vec<(String, Counter)>,
+    gauges: Vec<(String, Gauge)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+/// A named collection of metrics.
+///
+/// ```
+/// use rups_obs::Registry;
+///
+/// let reg = Registry::new();
+/// let hits = reg.counter("rups_core_engine_context_hits");
+/// hits.inc();
+/// hits.inc();
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.counter("rups_core_engine_context_hits"), Some(2));
+/// assert!(snap.to_prometheus().contains("rups_core_engine_context_hits 2"));
+/// ```
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("registry lock poisoned");
+        f.debug_struct("Registry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, registering a fresh one
+    /// on first use. Handles are shared: every caller asking for the same
+    /// name increments the same value.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        if let Some((_, c)) = inner.counters.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let c = Counter::new();
+        inner.counters.push((name.to_string(), c.clone()));
+        c
+    }
+
+    /// Returns the gauge registered under `name`, registering on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        if let Some((_, g)) = inner.gauges.iter().find(|(n, _)| n == name) {
+            return g.clone();
+        }
+        let g = Gauge::new();
+        inner.gauges.push((name.to_string(), g.clone()));
+        g
+    }
+
+    /// Returns the histogram registered under `name`, registering on first
+    /// use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        if let Some((_, h)) = inner.histograms.iter().find(|(n, _)| n == name) {
+            return h.clone();
+        }
+        let h = Histogram::new();
+        inner.histograms.push((name.to_string(), h.clone()));
+        h
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("registry lock poisoned");
+        let mut counters: Vec<CounterSample> = inner
+            .counters
+            .iter()
+            .map(|(n, c)| CounterSample {
+                name: n.clone(),
+                value: c.get(),
+            })
+            .collect();
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut gauges: Vec<GaugeSample> = inner
+            .gauges
+            .iter()
+            .map(|(n, g)| GaugeSample {
+                name: n.clone(),
+                value: g.get(),
+            })
+            .collect();
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut histograms: Vec<HistogramSample> =
+            inner.histograms.iter().map(|(n, h)| h.sample(n)).collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// One counter in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Registered name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// One gauge in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSample {
+    /// Registered name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: f64,
+}
+
+/// A point-in-time copy of a whole [`Registry`]: the unit every exporter
+/// works on. (The serde representation uses sorted vectors of named
+/// entries, not maps, so the JSON is stable and diff-friendly.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterSample>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<GaugeSample>,
+    /// Histograms, sorted by name, with quantiles pre-extracted.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl MetricsSnapshot {
+    /// The value of one counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The value of one gauge, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// One histogram sample, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSample> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// The change since an `earlier` snapshot of the same registry:
+    /// counters and histogram buckets subtract (saturating, so a counter
+    /// reset in between degrades to 0 rather than wrapping), gauges keep
+    /// their current value, and histogram quantiles are recomputed over
+    /// only the in-between samples. Metrics registered after `earlier`
+    /// appear with their full value.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|c| CounterSample {
+                    name: c.name.clone(),
+                    value: c
+                        .value
+                        .saturating_sub(earlier.counter(&c.name).unwrap_or(0)),
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|h| match earlier.histogram(&h.name) {
+                    Some(prev) => h.delta(prev),
+                    None => h.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Prometheus text exposition (version 0.0.4): counters and gauges as
+    /// single samples, histograms as cumulative `_bucket{le="…"}` series
+    /// plus `_sum`/`_count`.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for c in &self.counters {
+            let _ = writeln!(out, "# TYPE {} counter", c.name);
+            let _ = writeln!(out, "{} {}", c.name, c.value);
+        }
+        for g in &self.gauges {
+            let _ = writeln!(out, "# TYPE {} gauge", g.name);
+            let _ = writeln!(out, "{} {}", g.name, g.value);
+        }
+        for h in &self.histograms {
+            let _ = writeln!(out, "# TYPE {} histogram", h.name);
+            let mut cum = 0u64;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                cum += c;
+                let _ = writeln!(out, "{}_bucket{{le=\"{}\"}} {}", h.name, bucket_hi(i), cum);
+            }
+            let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", h.name, h.count);
+            let _ = writeln!(out, "{}_sum {}", h.name, h.sum);
+            let _ = writeln!(out, "{}_count {}", h.name, h.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_get_or_create() {
+        let reg = Registry::new();
+        let a = reg.counter("c");
+        let b = reg.counter("c");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "same name must share one value");
+        assert_eq!(reg.snapshot().counter("c"), Some(3));
+        assert_eq!(reg.snapshot().counter("missing"), None);
+    }
+
+    #[test]
+    fn gauges_hold_last_value() {
+        let reg = Registry::new();
+        let g = reg.gauge("rups_test_gauge");
+        g.set(2.5);
+        g.set(-1.25);
+        assert_eq!(reg.snapshot().gauge("rups_test_gauge"), Some(-1.25));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = Registry::new();
+        reg.counter("z_last").inc();
+        reg.counter("a_first").inc();
+        reg.histogram("m_hist").record(10);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters[0].name, "a_first");
+        assert_eq!(snap.counters[1].name, "z_last");
+        assert_eq!(snap.histogram("m_hist").unwrap().count, 1);
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_keeps_new_metrics() {
+        let reg = Registry::new();
+        let c = reg.counter("c");
+        c.add(5);
+        let before = reg.snapshot();
+        c.add(7);
+        reg.counter("late").add(3); // registered after `before`
+        let d = reg.snapshot().delta(&before);
+        assert_eq!(d.counter("c"), Some(7));
+        assert_eq!(d.counter("late"), Some(3));
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let reg = Registry::new();
+        reg.counter("rups_x_total").add(4);
+        reg.gauge("rups_g").set(1.5);
+        let h = reg.histogram("rups_h_ns");
+        h.record(100);
+        h.record(1000);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE rups_x_total counter"));
+        assert!(text.contains("rups_x_total 4"));
+        assert!(text.contains("rups_g 1.5"));
+        assert!(text.contains("rups_h_ns_count 2"));
+        assert!(text.contains("rups_h_ns_sum 1100"));
+        assert!(text.contains("_bucket{le=\"+Inf\"} 2"));
+        // Cumulative buckets: the last finite bucket equals the count.
+        assert!(text.contains("rups_h_ns_bucket{le=\"1024\"} 2"));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let reg = Registry::new();
+        reg.counter("c").add(2);
+        reg.histogram("h").record(64);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+}

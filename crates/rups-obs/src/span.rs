@@ -1,0 +1,272 @@
+//! A lightweight span/tracing facade with a ring-buffer recorder.
+//!
+//! A *span* is a named interval of wall-clock time; an *event* is a
+//! zero-duration span. Completed records land in a fixed-capacity ring
+//! buffer (newest overwrite oldest), cheap enough to leave enabled in
+//! experiments while staying bounded. The whole facade is gated on the
+//! `obs` feature: with it disabled, [`SpanRecorder::span`] returns an inert
+//! guard, no clock is read, nothing is stored, and the types compile down
+//! to nothing.
+//!
+//! ```
+//! use rups_obs::SpanRecorder;
+//!
+//! let rec = SpanRecorder::new(64);
+//! {
+//!     let _s = rec.span("engine.query");
+//!     // ... work ...
+//! }
+//! rec.event("link.drop");
+//! # #[cfg(feature = "obs")]
+//! assert_eq!(rec.recorded_total(), 2);
+//! ```
+
+use std::sync::Mutex;
+
+/// One completed span (or event, when `dur_ns == 0` by construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name, e.g. `"engine.context_rebuild"`.
+    pub name: &'static str,
+    /// Start offset in nanoseconds since the recorder was created.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (0 for point events).
+    pub dur_ns: u64,
+}
+
+#[cfg(feature = "obs")]
+struct Ring {
+    slots: Vec<SpanRecord>,
+    /// Next write position.
+    next: usize,
+    /// Records ever written (so readers can tell wraparound from fill).
+    total: u64,
+}
+
+/// Fixed-capacity recorder of completed spans.
+pub struct SpanRecorder {
+    capacity: usize,
+    #[cfg(feature = "obs")]
+    origin: std::time::Instant,
+    #[cfg(feature = "obs")]
+    ring: Mutex<Ring>,
+    #[cfg(not(feature = "obs"))]
+    _inert: Mutex<()>,
+}
+
+impl std::fmt::Debug for SpanRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRecorder")
+            .field("capacity", &self.capacity)
+            .field("recorded_total", &self.recorded_total())
+            .finish()
+    }
+}
+
+impl SpanRecorder {
+    /// A recorder keeping the most recent `capacity` records.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "span ring needs at least one slot");
+        SpanRecorder {
+            capacity,
+            #[cfg(feature = "obs")]
+            origin: std::time::Instant::now(),
+            #[cfg(feature = "obs")]
+            ring: Mutex::new(Ring {
+                slots: Vec::with_capacity(capacity),
+                next: 0,
+                total: 0,
+            }),
+            #[cfg(not(feature = "obs"))]
+            _inert: Mutex::new(()),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Opens a span; it records itself when the guard drops. Inert (no
+    /// clock read, nothing stored) without the `obs` feature.
+    #[inline]
+    pub fn span<'a>(&'a self, name: &'static str) -> SpanGuard<'a> {
+        #[cfg(feature = "obs")]
+        {
+            SpanGuard {
+                rec: self,
+                name,
+                start: std::time::Instant::now(),
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = name;
+            SpanGuard {
+                _rec: std::marker::PhantomData,
+            }
+        }
+    }
+
+    /// Records a zero-duration event.
+    #[inline]
+    pub fn event(&self, name: &'static str) {
+        #[cfg(feature = "obs")]
+        self.push(SpanRecord {
+            name,
+            start_ns: self.origin.elapsed().as_nanos() as u64,
+            dur_ns: 0,
+        });
+        #[cfg(not(feature = "obs"))]
+        let _ = name;
+    }
+
+    /// Records ever written (including ones already overwritten). Always 0
+    /// without the `obs` feature.
+    pub fn recorded_total(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.ring.lock().expect("span ring poisoned").total
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            0
+        }
+    }
+
+    /// The retained records, oldest first. Empty without the `obs`
+    /// feature.
+    pub fn recent(&self) -> Vec<SpanRecord> {
+        #[cfg(feature = "obs")]
+        {
+            let ring = self.ring.lock().expect("span ring poisoned");
+            if ring.slots.len() < self.capacity {
+                ring.slots.clone()
+            } else {
+                let mut out = Vec::with_capacity(self.capacity);
+                out.extend_from_slice(&ring.slots[ring.next..]);
+                out.extend_from_slice(&ring.slots[..ring.next]);
+                out
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            Vec::new()
+        }
+    }
+
+    #[cfg(feature = "obs")]
+    fn push(&self, record: SpanRecord) {
+        let mut ring = self.ring.lock().expect("span ring poisoned");
+        ring.total += 1;
+        if ring.slots.len() < self.capacity {
+            ring.slots.push(record);
+            return;
+        }
+        let at = ring.next;
+        ring.slots[at] = record;
+        ring.next = (at + 1) % self.capacity;
+    }
+}
+
+/// Guard for an open span; records it into the recorder on drop.
+#[must_use = "a dropped guard closes the span immediately; bind it to a variable"]
+pub struct SpanGuard<'a> {
+    #[cfg(feature = "obs")]
+    rec: &'a SpanRecorder,
+    #[cfg(feature = "obs")]
+    name: &'static str,
+    #[cfg(feature = "obs")]
+    start: std::time::Instant,
+    #[cfg(not(feature = "obs"))]
+    _rec: std::marker::PhantomData<&'a SpanRecorder>,
+}
+
+#[cfg(feature = "obs")]
+impl Drop for SpanGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        let dur_ns = self.start.elapsed().as_nanos() as u64;
+        let start_ns = self.start.duration_since(self.rec.origin).as_nanos() as u64;
+        self.rec.push(SpanRecord {
+            name: self.name,
+            start_ns,
+            dur_ns,
+        });
+    }
+}
+
+#[cfg(all(test, feature = "obs"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop_in_order() {
+        let rec = SpanRecorder::new(8);
+        {
+            let _a = rec.span("a");
+        }
+        rec.event("b");
+        let got = rec.recent();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].name, "a");
+        assert_eq!(got[1].name, "b");
+        assert_eq!(got[1].dur_ns, 0, "events are zero-duration");
+        assert!(got[0].start_ns <= got[1].start_ns);
+        assert_eq!(rec.recorded_total(), 2);
+    }
+
+    #[test]
+    fn ring_wraps_around_keeping_the_newest() {
+        let rec = SpanRecorder::new(4);
+        let names: [&'static str; 10] =
+            ["e0", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
+        for name in names {
+            rec.event(name);
+        }
+        assert_eq!(rec.recorded_total(), 10);
+        let got = rec.recent();
+        assert_eq!(got.len(), 4, "capacity bounds retention");
+        let kept: Vec<&str> = got.iter().map(|r| r.name).collect();
+        assert_eq!(kept, ["e6", "e7", "e8", "e9"], "oldest first, newest kept");
+        // Timestamps stay monotone across the wrap.
+        assert!(got.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+    }
+
+    #[test]
+    fn wraparound_is_exact_at_capacity_boundaries() {
+        let rec = SpanRecorder::new(3);
+        rec.event("a");
+        rec.event("b");
+        rec.event("c"); // exactly full, no wrap yet
+        assert_eq!(
+            rec.recent().iter().map(|r| r.name).collect::<Vec<_>>(),
+            ["a", "b", "c"]
+        );
+        rec.event("d"); // first overwrite
+        assert_eq!(
+            rec.recent().iter().map(|r| r.name).collect::<Vec<_>>(),
+            ["b", "c", "d"]
+        );
+    }
+
+    #[test]
+    fn single_slot_ring() {
+        let rec = SpanRecorder::new(1);
+        rec.event("x");
+        rec.event("y");
+        let got = rec.recent();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].name, "y");
+        assert_eq!(rec.recorded_total(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_rejected() {
+        let _ = SpanRecorder::new(0);
+    }
+}

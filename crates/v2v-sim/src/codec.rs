@@ -25,6 +25,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rups_core::geo::{GeoSample, GeoTrajectory};
 use rups_core::gsm::{GsmTrajectory, PowerVector};
 use rups_core::pipeline::ContextSnapshot;
+use rups_obs::{Counter, Registry};
 
 /// Codec magic number ("RUPS" in LE bytes).
 pub const MAGIC: u32 = 0x5350_5552;
@@ -221,6 +222,46 @@ pub fn encoded_size(len_m: usize, n_channels: usize) -> usize {
     4 + 1 + 1 + 2 + 4 + 8 + 8 + len_m * (6 + n_channels)
 }
 
+/// Counted decode front-end: pre-registered `rups_v2v_codec_*` counters
+/// recording how incoming payloads fared against [`decode_snapshot`], so a
+/// fault-injected run can report *why* the wire path rejected frames.
+#[derive(Debug, Clone)]
+pub struct CodecMetrics {
+    decode_ok: Counter,
+    rejected_truncated: Counter,
+    rejected_bad_magic: Counter,
+    rejected_bad_version: Counter,
+    rejected_corrupt: Counter,
+}
+
+impl CodecMetrics {
+    /// Registers the codec counters in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            decode_ok: registry.counter("rups_v2v_codec_decode_ok"),
+            rejected_truncated: registry.counter("rups_v2v_codec_rejected_truncated"),
+            rejected_bad_magic: registry.counter("rups_v2v_codec_rejected_bad_magic"),
+            rejected_bad_version: registry.counter("rups_v2v_codec_rejected_bad_version"),
+            rejected_corrupt: registry.counter("rups_v2v_codec_rejected_corrupt"),
+        }
+    }
+
+    /// [`decode_snapshot`] plus outcome accounting.
+    pub fn decode(&self, data: &[u8]) -> Result<ContextSnapshot, CodecError> {
+        let out = decode_snapshot(data);
+        match &out {
+            Ok(_) => self.decode_ok.inc(),
+            Err(CodecError::Truncated) => self.rejected_truncated.inc(),
+            Err(CodecError::BadMagic) => self.rejected_bad_magic.inc(),
+            Err(CodecError::BadVersion(_)) => self.rejected_bad_version.inc(),
+            Err(CodecError::Corrupt(_)) => self.rejected_corrupt.inc(),
+            // decode never reports Misaligned (an encode-side error).
+            Err(CodecError::Misaligned { .. }) => {}
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,6 +417,27 @@ mod tests {
         };
         let back = decode_snapshot(&encode_snapshot(&empty)).unwrap();
         assert!(back.is_empty());
+    }
+
+    #[test]
+    fn counted_decode_attributes_every_outcome() {
+        let reg = Registry::new();
+        let m = CodecMetrics::register(&reg);
+        let good = encode_snapshot(&snapshot(5, 4, true));
+        assert!(m.decode(&good).is_ok());
+        assert!(m.decode(&good[..good.len() - 3]).is_err());
+        let mut bad_magic = good.to_vec();
+        bad_magic[0] ^= 0xFF;
+        assert!(m.decode(&bad_magic).is_err());
+        let mut bad_version = good.to_vec();
+        bad_version[4] = 99;
+        assert!(m.decode(&bad_version).is_err());
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("rups_v2v_codec_decode_ok"), Some(1));
+        assert_eq!(snap.counter("rups_v2v_codec_rejected_truncated"), Some(1));
+        assert_eq!(snap.counter("rups_v2v_codec_rejected_bad_magic"), Some(1));
+        assert_eq!(snap.counter("rups_v2v_codec_rejected_bad_version"), Some(1));
+        assert_eq!(snap.counter("rups_v2v_codec_rejected_corrupt"), Some(0));
     }
 
     #[test]

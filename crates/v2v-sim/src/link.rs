@@ -18,6 +18,7 @@ use crate::wsm::{exchange_time_s, WsmConfig};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use rups_obs::{Counter, Histogram, Registry, SpanRecorder};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -56,15 +57,58 @@ pub struct LinkStats {
     pub corrupted: u64,
 }
 
-#[derive(Default)]
-struct StatCounters {
-    offered: AtomicU64,
-    delivered: AtomicU64,
-    dropped: AtomicU64,
-    duplicated: AtomicU64,
-    reordered: AtomicU64,
-    truncated: AtomicU64,
-    corrupted: AtomicU64,
+impl LinkStats {
+    /// Field-wise `self − earlier` (saturating), for per-epoch deltas from
+    /// two cumulative snapshots.
+    pub fn delta(&self, earlier: &LinkStats) -> LinkStats {
+        LinkStats {
+            offered: self.offered.saturating_sub(earlier.offered),
+            delivered: self.delivered.saturating_sub(earlier.delivered),
+            dropped: self.dropped.saturating_sub(earlier.dropped),
+            duplicated: self.duplicated.saturating_sub(earlier.duplicated),
+            reordered: self.reordered.saturating_sub(earlier.reordered),
+            truncated: self.truncated.saturating_sub(earlier.truncated),
+            corrupted: self.corrupted.saturating_sub(earlier.corrupted),
+        }
+    }
+
+    /// Fraction of offered `(message, receiver)` pairs actually delivered
+    /// (0.0 when nothing was offered; can exceed 1.0 under duplication).
+    pub fn delivery_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Pre-registered registry handles for the fault-layer counters
+/// (`rups_v2v_link_*`) plus the broadcast payload-size histogram.
+struct LinkMetrics {
+    offered: Counter,
+    delivered: Counter,
+    dropped: Counter,
+    duplicated: Counter,
+    reordered: Counter,
+    truncated: Counter,
+    corrupted: Counter,
+    payload_bytes: Histogram,
+}
+
+impl LinkMetrics {
+    fn register(reg: &Registry) -> Self {
+        Self {
+            offered: reg.counter("rups_v2v_link_offered"),
+            delivered: reg.counter("rups_v2v_link_delivered"),
+            dropped: reg.counter("rups_v2v_link_dropped"),
+            duplicated: reg.counter("rups_v2v_link_duplicated"),
+            reordered: reg.counter("rups_v2v_link_reordered"),
+            truncated: reg.counter("rups_v2v_link_truncated"),
+            corrupted: reg.counter("rups_v2v_link_corrupted"),
+            payload_bytes: reg.histogram("rups_v2v_link_payload_bytes"),
+        }
+    }
 }
 
 struct Inner {
@@ -75,7 +119,10 @@ struct Inner {
     faults: FaultConfig,
     seq: AtomicU64,
     seed: u64,
-    stats: StatCounters,
+    registry: Arc<Registry>,
+    stats: LinkMetrics,
+    /// Span sink for fault events, when attached.
+    spans: Option<Arc<SpanRecorder>>,
 }
 
 /// Handle to the shared broadcast medium.
@@ -129,7 +176,18 @@ impl V2vLink {
     /// Panics when the fault configuration is invalid (probabilities
     /// outside `[0, 1]`, negative delays).
     pub fn with_faults(faults: FaultConfig, seed: u64) -> Self {
+        Self::with_faults_in(faults, seed, Arc::new(Registry::new()))
+    }
+
+    /// A link recording its fault-layer counters into the given shared
+    /// registry (under `rups_v2v_link_*`), so node and link metrics can be
+    /// exported as one snapshot.
+    ///
+    /// # Panics
+    /// Panics when the fault configuration is invalid.
+    pub fn with_faults_in(faults: FaultConfig, seed: u64, registry: Arc<Registry>) -> Self {
         faults.validate().expect("invalid fault configuration");
+        let stats = LinkMetrics::register(&registry);
         V2vLink {
             inner: Arc::new(Inner {
                 peers: Mutex::new(HashMap::new()),
@@ -138,9 +196,24 @@ impl V2vLink {
                 faults,
                 seq: AtomicU64::new(0),
                 seed,
-                stats: StatCounters::default(),
+                registry,
+                stats,
+                spans: None,
             }),
         }
+    }
+
+    /// Records fault events (`link.drop` / `link.duplicate` /
+    /// `link.reorder` / `link.truncate` / `link.corrupt`) into `spans`.
+    /// Only callable before the link handle is shared (cloned or joined).
+    ///
+    /// # Panics
+    /// Panics when the link is already shared.
+    pub fn with_spans(mut self, spans: Arc<SpanRecorder>) -> Self {
+        Arc::get_mut(&mut self.inner)
+            .expect("attach spans before sharing the link")
+            .spans = Some(spans);
+        self
     }
 
     /// The active fault configuration.
@@ -148,17 +221,23 @@ impl V2vLink {
         &self.inner.faults
     }
 
-    /// Snapshot of the fault-layer counters.
+    /// The metrics registry this link records into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.inner.registry
+    }
+
+    /// Snapshot of the fault-layer counters, read straight off the
+    /// registry atomics.
     pub fn stats(&self) -> LinkStats {
         let s = &self.inner.stats;
         LinkStats {
-            offered: s.offered.load(Ordering::Relaxed),
-            delivered: s.delivered.load(Ordering::Relaxed),
-            dropped: s.dropped.load(Ordering::Relaxed),
-            duplicated: s.duplicated.load(Ordering::Relaxed),
-            reordered: s.reordered.load(Ordering::Relaxed),
-            truncated: s.truncated.load(Ordering::Relaxed),
-            corrupted: s.corrupted.load(Ordering::Relaxed),
+            offered: s.offered.get(),
+            delivered: s.delivered.get(),
+            dropped: s.dropped.get(),
+            duplicated: s.duplicated.get(),
+            reordered: s.reordered.get(),
+            truncated: s.truncated.get(),
+            corrupted: s.corrupted.get(),
         }
     }
 
@@ -194,7 +273,10 @@ impl V2vLink {
             let keep =
                 (draw(self.inner.seed, msg_seq, id, 0x72 ^ copy) * payload.len() as f64) as usize;
             damaged = Some(payload[..keep.min(payload.len() - 1)].to_vec());
-            stats.truncated.fetch_add(1, Ordering::Relaxed);
+            stats.truncated.inc();
+            if let Some(s) = &self.inner.spans {
+                s.event("link.truncate");
+            }
         }
         let corrupt_len = damaged.as_ref().map_or(payload.len(), Vec::len);
         if corrupt_len > 0 && draw(self.inner.seed, msg_seq, id, 0x73 ^ copy) < f.corrupt {
@@ -205,7 +287,10 @@ impl V2vLink {
                 let byte = (pos / 8).min(buf.len() - 1);
                 buf[byte] ^= 1 << (pos % 8);
             }
-            stats.corrupted.fetch_add(1, Ordering::Relaxed);
+            stats.corrupted.inc();
+            if let Some(s) = &self.inner.spans {
+                s.event("link.corrupt");
+            }
         }
         match damaged {
             Some(v) => Bytes::from(v),
@@ -219,12 +304,13 @@ impl V2vLink {
         let msg_seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
         let f = &self.inner.faults;
         let stats = &self.inner.stats;
+        stats.payload_bytes.record(payload.len() as u64);
         let peers = self.inner.peers.lock();
         for (&id, tx) in peers.iter() {
             if id == from {
                 continue;
             }
-            stats.offered.fetch_add(1, Ordering::Relaxed);
+            stats.offered.inc();
 
             // Advance this receiver's Gilbert–Elliott chain one step, then
             // draw the per-state loss decision.
@@ -246,7 +332,10 @@ impl V2vLink {
                 }
             };
             if draw(self.inner.seed, msg_seq, id, 0x02) < loss {
-                stats.dropped.fetch_add(1, Ordering::Relaxed);
+                stats.dropped.inc();
+                if let Some(s) = &self.inner.spans {
+                    s.event("link.drop");
+                }
                 continue;
             }
 
@@ -259,13 +348,19 @@ impl V2vLink {
                     arrival_s + draw(self.inner.seed, msg_seq, id, 0x04 ^ copy) * f.jitter_s;
                 if draw(self.inner.seed, msg_seq, id, 0x05 ^ copy) < f.reorder {
                     when += f.reorder_delay_s;
-                    stats.reordered.fetch_add(1, Ordering::Relaxed);
+                    stats.reordered.inc();
+                    if let Some(s) = &self.inner.spans {
+                        s.event("link.reorder");
+                    }
                 }
                 let body = self.damage_payload(&payload, msg_seq, id, copy);
                 if copy > 0 {
-                    stats.duplicated.fetch_add(1, Ordering::Relaxed);
+                    stats.duplicated.inc();
+                    if let Some(s) = &self.inner.spans {
+                        s.event("link.duplicate");
+                    }
                 }
-                stats.delivered.fetch_add(1, Ordering::Relaxed);
+                stats.delivered.inc();
                 let _ = tx.send(Delivery {
                     from,
                     arrival_s: when,
@@ -523,6 +618,53 @@ mod tests {
         // Truncation only ever shortens; nothing grows past the original.
         assert!(got.iter().all(|d| d.payload.len() <= 64));
         assert!(got.iter().any(|d| d.payload.len() < 64));
+    }
+
+    #[test]
+    fn shared_registry_and_spans_see_fault_events() {
+        let reg = Arc::new(Registry::new());
+        let spans = Arc::new(SpanRecorder::new(256));
+        let faults = FaultConfig {
+            duplicate: 0.4,
+            truncate: 0.2,
+            reorder: 0.2,
+            reorder_delay_s: 0.05,
+            ..FaultConfig::iid_loss(0.3)
+        };
+        let link =
+            V2vLink::with_faults_in(faults, 42, Arc::clone(&reg)).with_spans(Arc::clone(&spans));
+        assert!(Arc::ptr_eq(link.registry(), &reg));
+        let a = link.join(1);
+        let b = link.join(2);
+        let before = link.stats();
+        for i in 0..150 {
+            a.broadcast(i as f64, Bytes::from(vec![0x5Au8; 96]));
+        }
+        let _ = b.poll_until(1e9);
+        let snap = reg.snapshot();
+        let stats = link.stats();
+        assert_eq!(snap.counter("rups_v2v_link_offered"), Some(stats.offered));
+        assert_eq!(snap.counter("rups_v2v_link_dropped"), Some(stats.dropped));
+        assert_eq!(
+            snap.counter("rups_v2v_link_delivered"),
+            Some(stats.delivered)
+        );
+        assert!(stats.dropped > 0 && stats.duplicated > 0 && stats.truncated > 0);
+        // Every broadcast records its payload size.
+        let h = snap
+            .histogram("rups_v2v_link_payload_bytes")
+            .expect("payload histogram registered");
+        assert_eq!(h.count, 150);
+        // Delta brackets the burst exactly.
+        let d = stats.delta(&before);
+        assert_eq!(d.offered, 150);
+        assert!(d.delivery_rate() > 0.0);
+        if cfg!(feature = "obs") {
+            let names: Vec<&str> = spans.recent().iter().map(|r| r.name).collect();
+            assert!(names.contains(&"link.drop"));
+            assert!(names.contains(&"link.duplicate"));
+            assert!(names.contains(&"link.truncate"));
+        }
     }
 
     #[test]

@@ -209,7 +209,9 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     let n = bencher.samples_ns.len();
     let mean_ns = bencher.samples_ns.iter().sum::<f64>() / n as f64;
     let rate = throughput.map(|t| match t {
-        Throughput::Bytes(b) => format!(", {:.1} MiB/s", b as f64 / mean_ns * 1e9 / (1 << 20) as f64),
+        Throughput::Bytes(b) => {
+            format!(", {:.1} MiB/s", b as f64 / mean_ns * 1e9 / (1 << 20) as f64)
+        }
         Throughput::Elements(e) => format!(", {:.1} elem/s", e as f64 / mean_ns * 1e9),
     });
     println!(
@@ -278,7 +280,13 @@ fn target_dir() -> PathBuf {
 
 fn sanitize(part: &str) -> String {
     part.chars()
-        .map(|c| if c == '/' || c.is_whitespace() { '_' } else { c })
+        .map(|c| {
+            if c == '/' || c.is_whitespace() {
+                '_'
+            } else {
+                c
+            }
+        })
         .collect()
 }
 

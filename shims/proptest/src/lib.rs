@@ -87,11 +87,9 @@ pub fn run_proptest<F>(config: ProptestConfig, name: &str, mut run_one: F)
 where
     F: FnMut(&mut TestRng) -> (Result<(), TestCaseError>, String),
 {
-    let base = name
-        .bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
-        });
+    let base = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    });
     for case in 0..config.cases as u64 {
         let mut rng = TestRng::from_seed(base ^ case.wrapping_mul(0x2545_F491_4F6C_DD1D));
         let (result, inputs) = run_one(&mut rng);
@@ -528,11 +526,9 @@ mod tests {
     }
 
     fn run_proptest_failing() {
-        crate::run_proptest(
-            ProptestConfig::with_cases(1),
-            "always_fails",
-            |_rng| (Err(TestCaseError::fail("boom")), String::from("x = 1")),
-        );
+        crate::run_proptest(ProptestConfig::with_cases(1), "always_fails", |_rng| {
+            (Err(TestCaseError::fail("boom")), String::from("x = 1"))
+        });
     }
 
     #[test]

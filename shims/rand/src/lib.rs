@@ -177,10 +177,7 @@ pub mod rngs {
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -258,11 +255,7 @@ pub mod seq {
 
         /// Samples `amount` distinct indices from `0..length` (partial
         /// Fisher–Yates over an index table).
-        pub fn sample<R: RngCore + ?Sized>(
-            rng: &mut R,
-            length: usize,
-            amount: usize,
-        ) -> IndexVec {
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
             assert!(amount <= length, "cannot sample {amount} of {length}");
             let mut indices: Vec<usize> = (0..length).collect();
             for i in 0..amount {

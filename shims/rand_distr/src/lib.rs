@@ -82,8 +82,7 @@ mod tests {
         let n = Normal::new(5.0, 2.0).unwrap();
         let samples: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "sigma {}", var.sqrt());
     }

@@ -281,11 +281,7 @@ macro_rules! ser_tuple {
     )+};
 }
 
-ser_tuple!(
-    (A.0, B.1),
-    (A.0, B.1, C.2),
-    (A.0, B.1, C.2, D.3)
-);
+ser_tuple!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
 
 // ---- Deserialize impls for std types --------------------------------------
 

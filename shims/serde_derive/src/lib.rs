@@ -145,9 +145,9 @@ fn parse_unit_variants(stream: TokenStream) -> Vec<String> {
             }
             Some(TokenTree::Ident(id)) => {
                 let v = id.to_string();
-                if let Some(TokenTree::Group(_)) = it.peek() { panic!(
-                    "serde_derive shim: variant `{v}` carries data, which is unsupported"
-                ) }
+                if let Some(TokenTree::Group(_)) = it.peek() {
+                    panic!("serde_derive shim: variant `{v}` carries data, which is unsupported")
+                }
                 variants.push(v);
                 // Consume up to and including the separating comma
                 // (covers explicit discriminants like `V = 3`).
@@ -223,7 +223,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    out.parse().expect("serde_derive: generated impl must parse")
+    out.parse()
+        .expect("serde_derive: generated impl must parse")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]

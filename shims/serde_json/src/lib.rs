@@ -393,7 +393,11 @@ impl<'a> Parser<'a> {
                 .map_err(|_| self.err("invalid number"))
                 .and_then(|_| s.parse::<i64>().map_err(|_| self.err("integer overflow")))
                 .map(Value::Int)
-                .or_else(|_| s.parse::<f64>().map(Value::Float).map_err(|_| self.err("invalid number")))
+                .or_else(|_| {
+                    s.parse::<f64>()
+                        .map(Value::Float)
+                        .map_err(|_| self.err("invalid number"))
+                })
         } else {
             s.parse::<u64>()
                 .map(Value::UInt)

@@ -36,7 +36,12 @@ fn fft_agrees_with_reference_on_trace_contexts() {
             (Ok(a), Ok(b)) => {
                 assert_eq!(a.self_end, b.self_end, "t={t}");
                 assert_eq!(a.other_end, b.other_end, "t={t}");
-                assert!((a.score - b.score).abs() < 1e-6, "t={t}: {} vs {}", a.score, b.score);
+                assert!(
+                    (a.score - b.score).abs() < 1e-6,
+                    "t={t}: {} vs {}",
+                    a.score,
+                    b.score
+                );
                 compared += 1;
             }
             (Err(_), Err(_)) => {}
@@ -50,9 +55,17 @@ fn fft_agrees_with_reference_on_trace_contexts() {
 fn multi_syn_fft_agrees_with_reference() {
     let trace = generate(&TraceConfig::quick(32, RoadClass::Urban8Lane));
     let c = cfg();
-    let t = *sample_query_times(&trace, 3, 5).last().expect("query times");
-    let (ours, _) = trace.follower.context_at(t, c.max_context_m, true, None).unwrap();
-    let (theirs, _) = trace.leader.context_at(t, c.max_context_m, true, None).unwrap();
+    let t = *sample_query_times(&trace, 3, 5)
+        .last()
+        .expect("query times");
+    let (ours, _) = trace
+        .follower
+        .context_at(t, c.max_context_m, true, None)
+        .unwrap();
+    let (theirs, _) = trace
+        .leader
+        .context_at(t, c.max_context_m, true, None)
+        .unwrap();
     let reference = find_syn_points(&ours.gsm, &theirs.gsm, &c);
     let fft = find_syn_points_fft(&ours.gsm, &theirs.gsm, &c);
     match (reference, fft) {
