@@ -7,76 +7,18 @@
 //! `naive` replays what every query used to cost before the engine: clone +
 //! interpolate the own context, re-select every window and run the reference
 //! multi-SYN search, once per neighbour, sequentially.
+//!
+//! The workload lives in `rups_bench::syn_batch` so the `bench_gate` CI
+//! binary measures exactly the same cases against the committed baseline.
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
-use rups_bench::baseline::{self, Baseline, BenchCase, CacheRates};
-use rups_bench::{bench_config, synthetic_context};
-use rups_core::gsm::GsmTrajectory;
-use rups_core::pipeline::{ContextSnapshot, RupsNode};
-use rups_core::resolve;
-use rups_core::syn;
-use rups_core::{GeoSample, GeoTrajectory, PowerVector};
-
-const CONTEXT_M: usize = 400;
-const N_CHANNELS: usize = 24;
-
-fn build_node(seed: u64) -> RupsNode {
-    let cfg = bench_config(N_CHANNELS, 85, 24);
-    let mut node = RupsNode::new(cfg);
-    let ctx = synthetic_context(seed, 0, CONTEXT_M, N_CHANNELS);
-    for i in 0..ctx.len() {
-        let pv = PowerVector::from_fn(N_CHANNELS, |ch| ctx.get(ch, i));
-        node.append_metre(
-            GeoSample {
-                heading_rad: 0.0,
-                timestamp_s: i as f64,
-            },
-            &pv,
-        )
-        .unwrap();
-    }
-    node
-}
-
-fn neighbour_snapshots(seed: u64, n: usize) -> Vec<ContextSnapshot> {
-    (0..n)
-        .map(|i| {
-            // Snapshot validation requires aligned geo/gsm halves.
-            let mut geo = GeoTrajectory::new();
-            for m in 0..CONTEXT_M {
-                geo.push(GeoSample {
-                    heading_rad: 0.0,
-                    timestamp_s: m as f64,
-                });
-            }
-            ContextSnapshot {
-                vehicle_id: Some(i as u64),
-                geo,
-                gsm: synthetic_context(seed, 20 + 7 * i, CONTEXT_M, N_CHANNELS),
-            }
-        })
-        .collect()
-}
-
-/// The pre-engine query path: per-neighbour context interpolation plus the
-/// reference multi-SYN search, no caching of any querying-side quantity.
-fn naive_fix(node: &RupsNode, neighbour: &GsmTrajectory) -> f64 {
-    let ours = node.gsm_trajectory().interpolated();
-    let points = syn::find_syn_points(&ours, neighbour, node.config()).unwrap();
-    let (distance_m, _) = resolve::aggregate_distance(
-        &points,
-        ours.len(),
-        neighbour.len(),
-        node.config().aggregation,
-    )
-    .unwrap();
-    distance_m
-}
+use rups_bench::baseline;
+use rups_bench::syn_batch::{build_node, measure, naive_fix, neighbour_snapshots, BATCH_SIZES};
 
 fn bench_syn_batch(c: &mut Criterion) {
     let node = build_node(21);
     let mut group = c.benchmark_group("syn_batch");
-    for &n in &[1usize, 8, 32] {
+    for &n in &BATCH_SIZES {
         let snaps = neighbour_snapshots(21, n);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("batched", n), &snaps, |b, snaps| {
@@ -111,45 +53,7 @@ fn bench_syn_batch(c: &mut Criterion) {
 /// format in EXPERIMENTS.md): median ns per fix per case, plus the
 /// engine's cache-hit rates while driving the batched path.
 fn write_baseline() {
-    let node = build_node(21);
-    let mut cases = Vec::new();
-    const SAMPLES: usize = 15;
-    for &n in &[1usize, 8, 32] {
-        let snaps = neighbour_snapshots(21, n);
-        // Keep per-sample wall time roughly flat across input sizes.
-        let iters = (32 / n).max(1);
-        let batched = baseline::measure_median_ns_per_op(SAMPLES, iters, n, || {
-            let fixes = node.fix_distances_parallel(&snaps);
-            assert!(fixes.iter().all(|f| f.is_ok()));
-        });
-        cases.push(BenchCase {
-            id: format!("batched/{n}"),
-            ops_per_iter: n,
-            median_ns_per_op: batched,
-            samples: SAMPLES,
-        });
-        let naive = baseline::measure_median_ns_per_op(SAMPLES, iters, n, || {
-            for s in &snaps {
-                naive_fix(&node, &s.gsm);
-            }
-        });
-        cases.push(BenchCase {
-            id: format!("naive/{n}"),
-            ops_per_iter: n,
-            median_ns_per_op: naive,
-            samples: SAMPLES,
-        });
-    }
-    let stats = node.engine_stats();
-    let out = Baseline {
-        bench: "syn_batch".into(),
-        cases,
-        engine: Some(CacheRates {
-            context_hit_rate: stats.context_hit_rate(),
-            window_hit_rate: stats.window_hit_rate(),
-            scratch_reuse_rate: stats.scratch_reuse_rate(),
-        }),
-    };
+    let out = measure(15);
     let path = baseline::default_path("syn_batch");
     baseline::write(&path, &out);
     eprintln!("baseline written to {path}");

@@ -104,6 +104,184 @@ fn median_of_sorted(sorted: &[f64]) -> f64 {
     }
 }
 
+/// Verdict on one case of a baseline comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CaseStatus {
+    /// Within tolerance of the baseline.
+    Ok,
+    /// Slower than baseline by more than the tolerance — fails the gate.
+    Regressed,
+    /// Faster than baseline by more than the improvement margin (a hint
+    /// that the committed baseline is stale, not a failure).
+    Improved,
+    /// Present in the baseline but missing from the current run — fails
+    /// the gate (a silently dropped case would hide regressions forever).
+    Missing,
+    /// Present in the current run but not in the baseline (informational).
+    New,
+}
+
+/// One case's comparison outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseVerdict {
+    /// Case identifier, `<function>/<input-size>`.
+    pub id: String,
+    /// Baseline median ns/op (0 for [`CaseStatus::New`] cases).
+    pub baseline_ns_per_op: f64,
+    /// Current median ns/op (0 for [`CaseStatus::Missing`] cases).
+    pub current_ns_per_op: f64,
+    /// `current / baseline` (1.0 when either side is absent).
+    pub ratio: f64,
+    /// The verdict.
+    pub status: CaseStatus,
+}
+
+/// Thresholds of a baseline comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompareConfig {
+    /// Maximum tolerated slowdown fraction: a case regresses when
+    /// `current > baseline × (1 + tolerance)`. Wall-clock ns are not
+    /// comparable across machines, so CI overrides the default with a
+    /// generous value (`RUPS_BENCH_TOLERANCE`) — the gate is meant to
+    /// catch algorithmic cliffs, not scheduler noise.
+    pub tolerance: f64,
+    /// Improvements beyond this fraction are flagged [`CaseStatus::Improved`]
+    /// so a stale baseline gets noticed.
+    pub improvement_margin: f64,
+    /// Maximum tolerated absolute drop in any engine cache-hit rate.
+    /// Cache rates are machine-independent, so this check is tight even
+    /// where the ns tolerance is loose.
+    pub max_cache_rate_drop: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        Self {
+            tolerance: 0.35,
+            improvement_margin: 0.35,
+            max_cache_rate_drop: 0.10,
+        }
+    }
+}
+
+/// The machine-readable outcome of comparing a fresh run against a
+/// committed baseline — the artifact the CI bench-gate job uploads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompareVerdict {
+    /// Bench name.
+    pub bench: String,
+    /// Tolerance the comparison ran with.
+    pub tolerance: f64,
+    /// Overall verdict: no regressed/missing case and the cache check
+    /// passed.
+    pub pass: bool,
+    /// Whether the engine cache rates stayed within
+    /// [`CompareConfig::max_cache_rate_drop`].
+    pub cache_pass: bool,
+    /// Per-case outcomes, baseline order first, then new cases.
+    pub cases: Vec<CaseVerdict>,
+    /// Human-oriented notes (cache-rate drops, stale-baseline hints).
+    pub notes: Vec<String>,
+}
+
+/// Compares a fresh measurement against the committed baseline.
+pub fn compare(baseline: &Baseline, current: &Baseline, cfg: &CompareConfig) -> CompareVerdict {
+    let mut cases = Vec::new();
+    let mut notes = Vec::new();
+    for b in &baseline.cases {
+        let verdict = match current.cases.iter().find(|c| c.id == b.id) {
+            None => CaseVerdict {
+                id: b.id.clone(),
+                baseline_ns_per_op: b.median_ns_per_op,
+                current_ns_per_op: 0.0,
+                ratio: 1.0,
+                status: CaseStatus::Missing,
+            },
+            Some(c) => {
+                let ratio = if b.median_ns_per_op > 0.0 {
+                    c.median_ns_per_op / b.median_ns_per_op
+                } else {
+                    1.0
+                };
+                let status = if ratio > 1.0 + cfg.tolerance {
+                    CaseStatus::Regressed
+                } else if ratio < 1.0 - cfg.improvement_margin {
+                    CaseStatus::Improved
+                } else {
+                    CaseStatus::Ok
+                };
+                CaseVerdict {
+                    id: b.id.clone(),
+                    baseline_ns_per_op: b.median_ns_per_op,
+                    current_ns_per_op: c.median_ns_per_op,
+                    ratio,
+                    status,
+                }
+            }
+        };
+        cases.push(verdict);
+    }
+    for c in &current.cases {
+        if !baseline.cases.iter().any(|b| b.id == c.id) {
+            cases.push(CaseVerdict {
+                id: c.id.clone(),
+                baseline_ns_per_op: 0.0,
+                current_ns_per_op: c.median_ns_per_op,
+                ratio: 1.0,
+                status: CaseStatus::New,
+            });
+        }
+    }
+    if cases.iter().any(|c| c.status == CaseStatus::Improved) {
+        notes.push(format!(
+            "some cases improved beyond {:.0}% — consider refreshing the committed baseline",
+            cfg.improvement_margin * 100.0
+        ));
+    }
+    let mut cache_pass = true;
+    if let (Some(b), Some(c)) = (&baseline.engine, &current.engine) {
+        for (name, was, now) in [
+            ("context_hit_rate", b.context_hit_rate, c.context_hit_rate),
+            ("window_hit_rate", b.window_hit_rate, c.window_hit_rate),
+            (
+                "scratch_reuse_rate",
+                b.scratch_reuse_rate,
+                c.scratch_reuse_rate,
+            ),
+        ] {
+            if was - now > cfg.max_cache_rate_drop {
+                cache_pass = false;
+                notes.push(format!(
+                    "engine {name} collapsed: {was:.3} -> {now:.3} (max drop {:.2})",
+                    cfg.max_cache_rate_drop
+                ));
+            }
+        }
+    }
+    let pass = cache_pass
+        && !cases
+            .iter()
+            .any(|c| matches!(c.status, CaseStatus::Regressed | CaseStatus::Missing));
+    CompareVerdict {
+        bench: baseline.bench.clone(),
+        tolerance: cfg.tolerance,
+        pass,
+        cache_pass,
+        cases,
+        notes,
+    }
+}
+
+/// Serialises a verdict to `path`, creating parent directories.
+pub fn write_verdict(path: &str, verdict: &CompareVerdict) {
+    let p = std::path::Path::new(path);
+    if let Some(parent) = p.parent() {
+        std::fs::create_dir_all(parent).expect("create verdict output dir");
+    }
+    let json = serde_json::to_string_pretty(verdict).expect("serialize verdict");
+    std::fs::write(p, json).expect("write verdict");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +314,130 @@ mod tests {
         let json = serde_json::to_string(&b).unwrap();
         let back: Baseline = serde_json::from_str(&json).unwrap();
         assert_eq!(b, back);
+    }
+
+    fn baseline_with(medians: &[(&str, f64)], engine: Option<CacheRates>) -> Baseline {
+        Baseline {
+            bench: "syn_batch".into(),
+            cases: medians
+                .iter()
+                .map(|(id, ns)| BenchCase {
+                    id: id.to_string(),
+                    ops_per_iter: 8,
+                    median_ns_per_op: *ns,
+                    samples: 15,
+                })
+                .collect(),
+            engine,
+        }
+    }
+
+    const HEALTHY_RATES: CacheRates = CacheRates {
+        context_hit_rate: 0.998,
+        window_hit_rate: 0.999,
+        scratch_reuse_rate: 0.999,
+    };
+
+    #[test]
+    fn identical_runs_pass_the_gate() {
+        let b = baseline_with(
+            &[("batched/8", 10_000.0), ("naive/8", 90_000.0)],
+            Some(HEALTHY_RATES),
+        );
+        let v = compare(&b, &b, &CompareConfig::default());
+        assert!(v.pass && v.cache_pass);
+        assert!(v.cases.iter().all(|c| c.status == CaseStatus::Ok));
+        assert!(v.cases.iter().all(|c| (c.ratio - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn injected_25_percent_slowdown_fails_the_gate() {
+        // The acceptance-criteria proof: doctor the committed medians up by
+        // ≥ 25% and the gate must fail at a 20% tolerance.
+        let committed = baseline_with(
+            &[
+                ("batched/1", 12_000.0),
+                ("batched/8", 10_000.0),
+                ("batched/32", 9_000.0),
+            ],
+            Some(HEALTHY_RATES),
+        );
+        let doctored = baseline_with(
+            &[
+                ("batched/1", 12_000.0 * 1.25),
+                ("batched/8", 10_000.0 * 1.30),
+                ("batched/32", 9_000.0 * 1.27),
+            ],
+            Some(HEALTHY_RATES),
+        );
+        let cfg = CompareConfig {
+            tolerance: 0.20,
+            ..CompareConfig::default()
+        };
+        let v = compare(&committed, &doctored, &cfg);
+        assert!(!v.pass, "a >=25% slowdown must fail a 20% gate: {v:?}");
+        assert!(
+            v.cases.iter().all(|c| c.status == CaseStatus::Regressed),
+            "{v:?}"
+        );
+        // The same slowdown passes a looser 35% gate — tolerance is real.
+        let v = compare(&committed, &doctored, &CompareConfig::default());
+        assert!(v.pass, "{v:?}");
+    }
+
+    #[test]
+    fn missing_case_fails_and_new_case_informs() {
+        let committed = baseline_with(&[("batched/8", 10_000.0), ("naive/8", 90_000.0)], None);
+        let current = baseline_with(&[("batched/8", 10_000.0), ("batched/64", 8_000.0)], None);
+        let v = compare(&committed, &current, &CompareConfig::default());
+        assert!(!v.pass, "a dropped case must fail the gate");
+        let status_of = |id: &str| v.cases.iter().find(|c| c.id == id).unwrap().status;
+        assert_eq!(status_of("naive/8"), CaseStatus::Missing);
+        assert_eq!(status_of("batched/64"), CaseStatus::New);
+        assert_eq!(status_of("batched/8"), CaseStatus::Ok);
+    }
+
+    #[test]
+    fn cache_rate_collapse_fails_even_when_timings_pass() {
+        let committed = baseline_with(&[("batched/8", 10_000.0)], Some(HEALTHY_RATES));
+        let busted = baseline_with(
+            &[("batched/8", 10_000.0)],
+            Some(CacheRates {
+                context_hit_rate: 0.998,
+                window_hit_rate: 0.45, // memo effectively disabled
+                scratch_reuse_rate: 0.999,
+            }),
+        );
+        let v = compare(&committed, &busted, &CompareConfig::default());
+        assert!(!v.cache_pass && !v.pass);
+        assert!(v.notes.iter().any(|n| n.contains("window_hit_rate")));
+        // Timing-wise everything was fine.
+        assert!(v.cases.iter().all(|c| c.status == CaseStatus::Ok));
+    }
+
+    #[test]
+    fn big_improvement_passes_but_flags_a_stale_baseline() {
+        let committed = baseline_with(&[("batched/8", 10_000.0)], None);
+        let faster = baseline_with(&[("batched/8", 4_000.0)], None);
+        let v = compare(&committed, &faster, &CompareConfig::default());
+        assert!(v.pass);
+        assert_eq!(v.cases[0].status, CaseStatus::Improved);
+        assert!(v.notes.iter().any(|n| n.contains("baseline")));
+    }
+
+    #[test]
+    fn verdict_roundtrips_through_json() {
+        let committed = baseline_with(&[("batched/8", 10_000.0)], Some(HEALTHY_RATES));
+        let doctored = baseline_with(&[("batched/8", 14_000.0)], Some(HEALTHY_RATES));
+        let cfg = CompareConfig {
+            tolerance: 0.20,
+            ..CompareConfig::default()
+        };
+        let v = compare(&committed, &doctored, &cfg);
+        let json = serde_json::to_string(&v).unwrap();
+        let back: CompareVerdict = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v);
+        assert!(!back.pass);
     }
 
     #[test]

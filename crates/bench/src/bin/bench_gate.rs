@@ -1,0 +1,85 @@
+//! The CI perf-regression gate: re-measures the `syn_batch` workload and
+//! compares it against the committed baseline.
+//!
+//! ```text
+//! bench_gate [--baseline <path>] [--out <path>] [--tolerance <frac>] [--samples <n>]
+//! ```
+//!
+//! Defaults: baseline `results/BENCH_syn_batch.json` (the committed
+//! artefact), verdict to `results/BENCH_syn_batch.verdict.json`, tolerance
+//! from `RUPS_BENCH_TOLERANCE` (falling back to the library default of
+//! 0.35 — wall-clock ns differ across machines; the engine cache rates are
+//! checked tightly regardless), 9 samples per case.
+//!
+//! Exit code 0 when the gate passes, 1 when it fails (regressed or missing
+//! case, or a cache-rate collapse). The verdict JSON is written either
+//! way, so CI can upload it as an artifact.
+
+use rups_bench::baseline::{self, CompareConfig};
+use rups_bench::syn_batch;
+use std::process::ExitCode;
+
+fn parse_args() -> (String, String, CompareConfig, usize) {
+    let mut baseline_path = baseline::default_path("syn_batch");
+    let mut out_path = baseline_path.replace(".json", ".verdict.json");
+    let mut cfg = CompareConfig::default();
+    if let Ok(tol) = std::env::var("RUPS_BENCH_TOLERANCE") {
+        cfg.tolerance = tol
+            .parse()
+            .expect("RUPS_BENCH_TOLERANCE must be a fraction like 0.35");
+    }
+    let mut samples = 9usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--baseline" => baseline_path = val("--baseline"),
+            "--out" => out_path = val("--out"),
+            "--tolerance" => {
+                cfg.tolerance = val("--tolerance")
+                    .parse()
+                    .expect("--tolerance must be a fraction like 0.35")
+            }
+            "--samples" => {
+                samples = val("--samples")
+                    .parse()
+                    .expect("--samples must be a positive integer")
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    (baseline_path, out_path, cfg, samples)
+}
+
+fn main() -> ExitCode {
+    let (baseline_path, out_path, cfg, samples) = parse_args();
+    eprintln!(
+        "bench_gate: baseline {baseline_path}, tolerance {:.0}%",
+        cfg.tolerance * 100.0
+    );
+    let committed = baseline::read(&baseline_path);
+    let current = syn_batch::measure(samples);
+    let verdict = baseline::compare(&committed, &current, &cfg);
+    baseline::write_verdict(&out_path, &verdict);
+    for c in &verdict.cases {
+        eprintln!(
+            "  {:<12} {:>12.0} -> {:>12.0} ns/op  x{:.3}  {:?}",
+            c.id, c.baseline_ns_per_op, c.current_ns_per_op, c.ratio, c.status
+        );
+    }
+    for n in &verdict.notes {
+        eprintln!("  note: {n}");
+    }
+    eprintln!(
+        "bench_gate: {} (verdict written to {out_path})",
+        if verdict.pass { "PASS" } else { "FAIL" }
+    );
+    if verdict.pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

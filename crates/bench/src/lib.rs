@@ -12,6 +12,7 @@ use rups_eval::tracegen::{generate, ScenarioTrace, TraceConfig};
 use urban_sim::road::RoadClass;
 
 pub mod baseline;
+pub mod syn_batch;
 
 /// A synthetic journey context of `len` metres over `n_channels` channels,
 /// starting at road metre `start` (fully covered, no missing cells).

@@ -41,7 +41,7 @@ use crate::syn::{self, SynPoint};
 use crate::syn_fast;
 use crate::window::CheckWindow;
 use rayon::prelude::*;
-use rups_obs::{Counter, Histogram, Registry, SpanRecorder};
+use rups_obs::{Counter, Histogram, Registry, SpanArgs, SpanRecorder};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -56,6 +56,28 @@ pub enum Kernel {
     /// falling back to the reference scan per directed pass whenever a
     /// selected channel carries missing values.
     Fft,
+}
+
+impl Kernel {
+    /// Stable lower-case name, for reports and artefacts.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Kernel::Reference => "reference",
+            Kernel::Fft => "fft",
+        }
+    }
+}
+
+/// Per-query diagnostics surfaced alongside a fix result, so a miss can be
+/// explained (which kernel ran, how many directed window passes were
+/// actually scanned before giving up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryDiag {
+    /// The kernel chosen for the batch this query ran in.
+    pub kernel: Kernel,
+    /// Directed sliding passes (forward + reverse, across all SYN
+    /// segments) that actually executed for this query.
+    pub windows_scanned: u32,
 }
 
 /// Counters describing how much work the engine's caches saved.
@@ -612,12 +634,34 @@ impl SynQueryEngine {
         ctx: &Arc<OwnContext>,
         neighbours: &[ContextSnapshot],
     ) -> Vec<Result<DistanceFix, RupsError>> {
+        self.fix_batch_ctx_diag(ctx, neighbours)
+            .into_iter()
+            .map(|(res, _)| res)
+            .collect()
+    }
+
+    /// [`fix_batch_ctx`](Self::fix_batch_ctx) that also returns per-query
+    /// [`QueryDiag`]s, feeding fix explainability in the pipeline.
+    pub(crate) fn fix_batch_ctx_diag(
+        &self,
+        ctx: &Arc<OwnContext>,
+        neighbours: &[ContextSnapshot],
+    ) -> Vec<(Result<DistanceFix, RupsError>, QueryDiag)> {
         let kernel = self.batch_kernel(ctx, neighbours);
         neighbours
             .par_iter()
             .map(|nb| {
-                let points = self.query_ctx(ctx, &nb.gsm, kernel, false)?;
-                self.build_fix(ctx.gsm.len(), nb.gsm.len(), points)
+                let mut scanned = 0u32;
+                let res = self
+                    .query_ctx_counted(ctx, &nb.gsm, kernel, false, &mut scanned)
+                    .and_then(|points| self.build_fix(ctx.gsm.len(), nb.gsm.len(), points));
+                (
+                    res,
+                    QueryDiag {
+                        kernel,
+                        windows_scanned: scanned,
+                    },
+                )
             })
             .collect()
     }
@@ -680,9 +724,23 @@ impl SynQueryEngine {
         kernel: Kernel,
         parallel: bool,
     ) -> Result<Vec<SynPoint>, RupsError> {
+        let mut scanned = 0u32;
+        self.query_ctx_counted(ctx, theirs, kernel, parallel, &mut scanned)
+    }
+
+    /// [`query_ctx`](Self::query_ctx) that counts the directed sliding
+    /// passes it actually ran into `scanned`.
+    pub(crate) fn query_ctx_counted(
+        &self,
+        ctx: &OwnContext,
+        theirs: &GsmTrajectory,
+        kernel: Kernel,
+        parallel: bool,
+        scanned: &mut u32,
+    ) -> Result<Vec<SynPoint>, RupsError> {
         self.metrics.queries.inc();
         let _t = self.metrics.query_ns.start_timer();
-        let _s = self.spans.as_ref().map(|s| s.span("engine.query"));
+        let mut _s = self.spans.as_ref().map(|s| s.span("engine.query"));
         let ours = &ctx.gsm;
         if ours.n_channels() != theirs.n_channels() {
             return Err(RupsError::ChannelMismatch {
@@ -692,6 +750,13 @@ impl SynQueryEngine {
         }
         let shorter = ours.len().min(theirs.len());
         let w = syn::adaptive_window_len(shorter, &self.cfg);
+        if let Some(g) = _s.as_mut() {
+            g.set_args(
+                SpanArgs::new()
+                    .with("window_len_m", w as i64)
+                    .with("neighbour_len_m", theirs.len() as i64),
+            );
+        }
         let too_short = || RupsError::InsufficientContext {
             available_m: shorter,
             required_m: self.cfg.min_window_len_m.max(2),
@@ -704,9 +769,11 @@ impl SynQueryEngine {
             let entry = self
                 .window_entry(ctx, w, ours.len())
                 .ok_or_else(too_short)?;
+            *scanned += 1;
             let fwd = self.directed_fwd(ctx, &entry, ours.len(), theirs, kernel, parallel, scratch);
             let rev = CheckWindow::with_len(theirs, &self.cfg, w, theirs.len())
                 .and_then(|wnd| {
+                    *scanned += 1;
                     self.directed_rev(ctx, &wnd, theirs.len(), theirs, kernel, parallel, scratch)
                 })
                 .map(syn::swap_perspective);
@@ -742,6 +809,7 @@ impl SynQueryEngine {
                     .filter(|&end| end >= w)
                     .and_then(|end| self.window_entry(ctx, w, end).map(|e| (end, e)))
                     .and_then(|(end, e)| {
+                        *scanned += 1;
                         self.directed_fwd(ctx, &e, end, theirs, kernel, parallel, scratch)
                             .filter(|p| p.score >= e.window.threshold)
                     });
@@ -753,6 +821,7 @@ impl SynQueryEngine {
                         CheckWindow::with_len(theirs, &self.cfg, w, end).map(|wnd| (end, wnd))
                     })
                     .and_then(|(end, wnd)| {
+                        *scanned += 1;
                         self.directed_rev(ctx, &wnd, end, theirs, kernel, parallel, scratch)
                             .filter(|p| p.score >= wnd.threshold)
                     })

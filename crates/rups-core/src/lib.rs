@@ -78,6 +78,7 @@ pub mod inbox;
 pub mod motion;
 pub mod pipeline;
 pub mod quality;
+pub mod report;
 pub mod resolve;
 pub mod stats;
 pub mod syn;
@@ -92,13 +93,14 @@ pub mod prelude {
     pub use crate::binding::{ScanSample, TrajectoryBinder};
     pub use crate::channel::{ChannelId, Rssi, RGSM_900_CHANNELS};
     pub use crate::config::{AggregationScheme, RupsConfig};
-    pub use crate::engine::{EngineStats, Kernel, SynQueryEngine};
+    pub use crate::engine::{EngineStats, Kernel, QueryDiag, SynQueryEngine};
     pub use crate::error::RupsError;
     pub use crate::geo::{GeoSample, GeoTrajectory};
     pub use crate::gsm::{GsmTrajectory, PowerVector};
     pub use crate::inbox::{InboxConfig, InboxStats, SnapshotInbox};
     pub use crate::pipeline::{ContextSnapshot, DistanceFix, GradedFix, RupsNode};
     pub use crate::quality::{assess, FixQuality, QualityConfig, QualityReport};
+    pub use crate::report::{default_flight_config, FixOutcome, FixReport};
     pub use crate::resolve::resolve_relative_distance;
     pub use crate::syn::{find_best_syn, find_syn_points, SynPoint};
     pub use crate::tracker::{NeighbourTracker, TrackMode, TrackedFix};
@@ -108,11 +110,12 @@ pub mod prelude {
 pub use binding::{ScanSample, TrajectoryBinder};
 pub use channel::{ChannelId, Rssi, RGSM_900_CHANNELS};
 pub use config::{AggregationScheme, RupsConfig};
-pub use engine::{EngineStats, Kernel, SynQueryEngine};
+pub use engine::{EngineStats, Kernel, QueryDiag, SynQueryEngine};
 pub use error::RupsError;
 pub use geo::{GeoSample, GeoTrajectory};
 pub use gsm::{GsmTrajectory, PowerVector};
 pub use inbox::{InboxConfig, InboxStats, SnapshotInbox};
 pub use pipeline::{ContextSnapshot, DistanceFix, GradedFix, RupsNode};
+pub use report::{default_flight_config, FixOutcome, FixReport};
 pub use syn::SynPoint;
 pub use window::CheckWindow;

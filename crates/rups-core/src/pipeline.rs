@@ -9,18 +9,22 @@
 
 use crate::binding::{ScanSample, TrajectoryBinder};
 use crate::config::RupsConfig;
-use crate::engine::{EngineStats, SynQueryEngine};
+use crate::engine::{EngineStats, QueryDiag, SynQueryEngine};
 use crate::error::RupsError;
 use crate::geo::{GeoSample, GeoTrajectory};
 use crate::gsm::{GsmTrajectory, PowerVector};
 use crate::inbox::SnapshotInbox;
-use crate::quality::{assess, QualityConfig, QualityReport};
+use crate::quality::{assess, FixQuality, QualityConfig, QualityReport};
+use crate::report::{FixOutcome, FixReport};
 use crate::syn::SynPoint;
 use crate::tracker::{NeighbourTracker, TrackedFix};
-use rups_obs::{Counter, Registry, SpanRecorder};
+use rups_obs::{Counter, FlightRecorder, Registry, SpanRecorder};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// One batch of per-neighbour fix results paired with their diagnostics.
+type DiagBatch = Vec<(Result<DistanceFix, RupsError>, QueryDiag)>;
 
 /// An exchangeable copy of a vehicle's recent journey context — what a RUPS
 /// vehicle broadcasts to its neighbours (serialized by the `v2v-sim` crate).
@@ -112,6 +116,10 @@ pub struct RupsNode {
     /// [`RupsNode::with_observability`]).
     registry: Arc<Registry>,
     quality_counters: QualityCounters,
+    /// Optional black-box recorder fed by [`RupsNode::fix_inbox_parallel`]:
+    /// degraded fixes become [`FixReport`]s and every inbox pass closes an
+    /// observation window.
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl Clone for RupsNode {
@@ -133,6 +141,9 @@ impl Clone for RupsNode {
             context_version: self.context_version,
             quality_counters: QualityCounters::register(&registry),
             registry,
+            // A flight recorder watches a specific registry; the clone has a
+            // fresh one, so it starts without a recorder.
+            flight: None,
         }
     }
 }
@@ -164,6 +175,7 @@ impl RupsNode {
             context_version: 0,
             quality_counters: QualityCounters::register(&registry),
             registry,
+            flight: None,
         })
     }
 
@@ -191,6 +203,24 @@ impl RupsNode {
     pub fn with_span_recorder(mut self, spans: Arc<SpanRecorder>) -> Self {
         self.engine.attach_spans(spans);
         self
+    }
+
+    /// Attaches a flight recorder. The recorder should watch the same
+    /// registry as the node (wire both via [`RupsNode::with_observability`]
+    /// first, then build the recorder over that registry): every
+    /// [`RupsNode::fix_inbox_parallel`] call closes one observation window
+    /// on it, and degraded fix attempts (a miss, or a fix graded
+    /// [`FixQuality::Low`]) are recorded as structured [`FixReport`]s in
+    /// its per-fix ring. See [`crate::report::default_flight_config`] for
+    /// the trigger rules matched to this crate's metric names.
+    pub fn with_flight_recorder(mut self, flight: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(flight);
+        self
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.as_ref()
     }
 
     /// The metrics registry this node records into.
@@ -423,16 +453,29 @@ impl RupsNode {
         &self,
         neighbours: &[ContextSnapshot],
     ) -> Vec<Result<DistanceFix, RupsError>> {
+        self.fix_distances_parallel_diag(neighbours)
+            .0
+            .into_iter()
+            .map(|(res, _)| res)
+            .collect()
+    }
+
+    /// The batch path with per-query [`QueryDiag`]s, plus whether the own
+    /// context was served from the engine cache (false when this batch
+    /// forced a rebuild).
+    fn fix_distances_parallel_diag(&self, neighbours: &[ContextSnapshot]) -> (DiagBatch, bool) {
+        let rebuilds_before = self.engine.stats().context_rebuilds;
         let ctx = self.engine.ensure_context(self.context_version, &self.gsm);
-        let mut out = self.engine.fix_batch_ctx(&ctx, neighbours);
+        let context_cached = self.engine.stats().context_rebuilds == rebuilds_before;
+        let mut out = self.engine.fix_batch_ctx_diag(&ctx, neighbours);
         // Surface structural problems as their typed errors, preserving
         // positions: the engine only reports what its kernels notice.
         for (nb, slot) in neighbours.iter().zip(out.iter_mut()) {
             if let Err(e) = self.validate_neighbour(nb) {
-                *slot = Err(e);
+                slot.0 = Err(e);
             }
         }
-        out
+        (out, context_cached)
     }
 
     /// Queries every vetted, fresh-enough neighbour context held by a
@@ -451,28 +494,97 @@ impl RupsNode {
     ) -> Vec<(Option<u64>, Result<GradedFix, RupsError>)> {
         let fresh = inbox.fresh(now_s);
         let snaps: Vec<ContextSnapshot> = fresh.iter().map(|s| (*s).clone()).collect();
-        let fixes = self.fix_distances_parallel(&snaps);
-        fresh
+        let (fixes, context_cached) = self.fix_distances_parallel_diag(&snaps);
+        let out: Vec<(Option<u64>, Result<GradedFix, RupsError>)> = fresh
             .iter()
             .zip(fixes)
-            .map(|(snap, fix)| {
+            .map(|(snap, (fix, diag))| {
                 let graded = fix.map(|fix| {
                     let report = assess(&fix, quality);
                     match report.quality {
-                        crate::quality::FixQuality::High => self.quality_counters.grade_high.inc(),
-                        crate::quality::FixQuality::Medium => {
-                            self.quality_counters.grade_medium.inc()
-                        }
-                        crate::quality::FixQuality::Low => self.quality_counters.grade_low.inc(),
+                        FixQuality::High => self.quality_counters.grade_high.inc(),
+                        FixQuality::Medium => self.quality_counters.grade_medium.inc(),
+                        FixQuality::Low => self.quality_counters.grade_low.inc(),
                     }
                     GradedFix { fix, report }
                 });
                 if graded.is_err() {
                     self.quality_counters.rejected.inc();
                 }
+                if let Some(flight) = &self.flight {
+                    if let Some(report) =
+                        self.explain_degraded(snap, &graded, diag, context_cached, now_s)
+                    {
+                        flight.record_fix(&report);
+                    }
+                }
                 (snap.vehicle_id, graded)
             })
-            .collect()
+            .collect();
+        if let Some(flight) = &self.flight {
+            flight.observe(now_s);
+        }
+        out
+    }
+
+    /// Builds the [`FixReport`] for a degraded outcome (an error, or a fix
+    /// graded low); healthy fixes return `None`.
+    fn explain_degraded(
+        &self,
+        snap: &ContextSnapshot,
+        graded: &Result<GradedFix, RupsError>,
+        diag: QueryDiag,
+        context_cached: bool,
+        now_s: f64,
+    ) -> Option<FixReport> {
+        let (outcome, error, best_score, threshold, grade) = match graded {
+            Err(e) => {
+                let (best, thr) = match e {
+                    RupsError::NoSynPoint {
+                        best_score,
+                        threshold,
+                    } => (
+                        if best_score.is_finite() {
+                            *best_score
+                        } else {
+                            0.0
+                        },
+                        *threshold,
+                    ),
+                    _ => (0.0, 0.0),
+                };
+                (FixOutcome::Miss, Some(e.to_string()), best, thr, None)
+            }
+            Ok(g) if g.report.quality == FixQuality::Low => (
+                FixOutcome::LowGrade,
+                None,
+                g.fix.best_score,
+                0.0,
+                Some("low".to_string()),
+            ),
+            Ok(_) => return None,
+        };
+        let snapshot_age_s = snap
+            .geo
+            .samples()
+            .last()
+            .map(|s| (now_s - s.timestamp_s).max(0.0))
+            .unwrap_or(0.0);
+        Some(FixReport {
+            t_s: now_s,
+            neighbour_id: snap.vehicle_id,
+            outcome,
+            error,
+            best_score,
+            threshold,
+            grade,
+            windows_scanned: diag.windows_scanned as u64,
+            kernel: diag.kernel.as_str().to_string(),
+            context_cached,
+            own_context_m: self.gsm.len(),
+            neighbour_context_m: snap.len(),
+            snapshot_age_s,
+        })
     }
 }
 
@@ -862,6 +974,77 @@ mod tests {
         // Once everything went stale, the query path sees nothing at all.
         let out = a.fix_inbox_parallel(&inbox, now + 100.0, &QualityConfig::default());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn flight_recorder_gets_fix_reports_and_fires_on_error_spike() {
+        use crate::inbox::{InboxConfig, SnapshotInbox};
+        use crate::quality::QualityConfig;
+        use crate::report::default_flight_config;
+        use rups_obs::Registry;
+        use serde::value::Value;
+        use std::sync::Arc;
+
+        let reg = Arc::new(Registry::new());
+        let flight = Arc::new(FlightRecorder::new(
+            default_flight_config(),
+            Arc::clone(&reg),
+        ));
+        let mut a = RupsNode::new(cfg())
+            .with_observability(Arc::clone(&reg))
+            .with_flight_recorder(Arc::clone(&flight));
+        assert!(a.flight_recorder().is_some());
+        drive(&mut a, 0, 400);
+
+        let mut inbox = SnapshotInbox::new(InboxConfig::for_rups(&cfg(), 60.0));
+        let now = 471.0;
+        // One genuine neighbour…
+        let mut b = RupsNode::new(cfg()).with_vehicle_id(2);
+        drive(&mut b, 70, 400);
+        assert!(inbox.accept(b.snapshot(None), now).unwrap());
+        // …and four structurally valid strangers whose GSM field is
+        // unrelated (different testfield seed, same metres/timestamps), so
+        // every SYN search against them misses.
+        for i in 0..4u64 {
+            let mut rogue = RupsNode::new(cfg()).with_vehicle_id(100 + i);
+            for j in 0..400usize {
+                let s = (70 + j) as f64;
+                let geo = GeoSample {
+                    heading_rad: 0.0,
+                    timestamp_s: s,
+                };
+                let pv = PowerVector::from_fn(32, |ch| Some(crate::testfield::rssi(40 + i, s, ch)));
+                rogue.append_metre(geo, &pv).unwrap();
+            }
+            assert!(inbox.accept(rogue.snapshot(None), now).unwrap());
+        }
+
+        // First pass opens the observation window; the second one is
+        // evaluated against it and carries a 4/5 error rate.
+        let out = a.fix_inbox_parallel(&inbox, now, &QualityConfig::default());
+        assert_eq!(out.iter().filter(|(_, g)| g.is_err()).count(), 4);
+        a.fix_inbox_parallel(&inbox, now, &QualityConfig::default());
+        assert!(flight.has_triggered(), "fix-error spike must fire");
+
+        let dump = flight.dump();
+        assert!(dump.triggered.iter().any(|t| t.rule == "fix_error_spike"));
+        assert!(!dump.windows.is_empty(), "registry deltas retained");
+        assert!(dump.fixes.len() >= 8, "one FixReport per miss per pass");
+        // The reports are structured: kernel, scan counts, context state.
+        let Value::Map(kv) = dump.fixes.last().unwrap() else {
+            panic!("fix reports must be JSON objects");
+        };
+        let get = |key: &str| kv.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        assert_eq!(get("outcome").and_then(|v| v.as_str()), Some("Miss"));
+        assert!(get("kernel").and_then(|v| v.as_str()).is_some());
+        assert!(get("windows_scanned").and_then(|v| v.as_u64()).unwrap() > 0);
+        assert_eq!(get("own_context_m").and_then(|v| v.as_u64()), Some(400));
+        assert!(get("snapshot_age_s").and_then(|v| v.as_f64()).unwrap() >= 0.0);
+        // Healthy fixes stay out of the ring: every report is a miss here.
+        assert!(dump.fixes.iter().all(|f| matches!(
+            f,
+            Value::Map(kv) if kv.iter().any(|(k, v)| k == "outcome" && v.as_str() == Some("Miss"))
+        )));
     }
 
     #[test]

@@ -13,7 +13,20 @@
 //! engine context/window cache hit and miss counters, the SYN-stage
 //! latency histograms (p50/p95/p99 of `rups_core_engine_query_ns` and
 //! friends), the link fault counters (`rups_v2v_link_dropped`, …) and the
-//! per-grade fix-quality counters, per window and cumulatively.
+//! per-grade fix-quality counters, per window and cumulatively. Window
+//! deltas are slimmed ([`MetricsSnapshot::compact`]) and capped at
+//! [`Params::max_windows`] so the committed artefact stays reviewable;
+//! the cumulative snapshot stays complete.
+//!
+//! Two forensic artefacts ride along: the span ring is exported as a
+//! Chrome trace-event JSON (`results/ext-observability-trace.json`,
+//! loadable in `chrome://tracing`/Perfetto), and a
+//! [`FlightRecorder`] wired into the rear node
+//! watches the run. Two thirds in, a burst of structurally valid but
+//! unrelated "rogue" snapshots is injected into the inbox; the resulting
+//! fix-error spike trips the recorder and its black box — registry
+//! deltas, recent spans, per-fix [`FixReport`](rups_core::report::FixReport)s
+//! — lands in `results/ext-observability-flight.json`.
 //!
 //! [`ext_faults`]: crate::figures::ext_faults
 //! [`V2vLink`]: v2v_sim::link::V2vLink
@@ -22,13 +35,17 @@
 
 use crate::figures::EvalScale;
 use crate::series::{Figure, Series};
+use rups_core::config::RupsConfig;
 use rups_core::geo::GeoSample;
 use rups_core::gsm::PowerVector;
 use rups_core::inbox::{InboxConfig, SnapshotInbox};
-use rups_core::pipeline::RupsNode;
+use rups_core::pipeline::{ContextSnapshot, RupsNode};
 use rups_core::quality::QualityConfig;
+use rups_core::report::default_flight_config;
 use rups_core::testfield;
-use rups_obs::{MetricsSnapshot, Registry, SpanRecorder};
+use rups_obs::{
+    chrome_trace_tail, write_chrome_trace, FlightRecorder, MetricsSnapshot, Registry, SpanRecorder,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use v2v_sim::codec::{try_encode_snapshot, CodecMetrics};
@@ -51,12 +68,27 @@ pub struct Params {
     /// Channel impairments (default: the ext-faults acceptance cell,
     /// ~30 % expected burst loss plus 1 % corruption).
     pub faults: FaultConfig,
-    /// Query epochs aggregated into one timeline window.
+    /// Query epochs aggregated into one timeline window. The effective
+    /// stride grows as needed to keep the timeline under `max_windows`.
     pub epoch_stride: usize,
+    /// Hard cap on timeline windows in the artefact (the committed file
+    /// must stay diff-reviewable; see EXPERIMENTS.md).
+    pub max_windows: usize,
     /// Capacity of the shared span ring.
     pub span_capacity: usize,
+    /// Newest span records exported into the Chrome trace.
+    pub trace_max_events: usize,
+    /// Rogue (structurally valid, unrelated-field) snapshots injected two
+    /// thirds into the run to demonstrate the flight recorder; 0 disables
+    /// the injection.
+    pub rogue_burst: usize,
     /// Where to write the metrics timeline JSON; `None` skips the write.
     pub out_path: Option<String>,
+    /// Where to write the Chrome trace-event JSON; `None` skips it.
+    pub trace_out_path: Option<String>,
+    /// Where to write the flight-recorder dump (written only when a
+    /// trigger fired); `None` skips it.
+    pub flight_out_path: Option<String>,
 }
 
 /// The default on-disk home of the timeline, resolved against the
@@ -66,6 +98,24 @@ pub fn default_out_path() -> String {
     concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../../results/ext-observability-metrics.json"
+    )
+    .to_string()
+}
+
+/// Default home of the Chrome trace-event export.
+pub fn default_trace_path() -> String {
+    concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/ext-observability-trace.json"
+    )
+    .to_string()
+}
+
+/// Default home of the flight-recorder dump.
+pub fn default_flight_path() -> String {
+    concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/ext-observability-flight.json"
     )
     .to_string()
 }
@@ -92,8 +142,13 @@ impl Default for Params {
             horizon_s: 10.0,
             faults: default_faults(),
             epoch_stride: 60,
+            max_windows: 24,
             span_capacity: 4096,
+            trace_max_events: 2048,
+            rogue_burst: 4,
             out_path: Some(default_out_path()),
+            trace_out_path: Some(default_trace_path()),
+            flight_out_path: Some(default_flight_path()),
         }
     }
 }
@@ -114,8 +169,11 @@ pub struct TimelineEntry {
     pub epoch_end: usize,
     /// Simulated time at the end of this window, seconds.
     pub t_s: f64,
-    /// Metrics recorded during this window only (counters and histogram
-    /// buckets are deltas; gauges are last-value).
+    /// Metrics recorded during this window only (counters and histograms
+    /// are deltas; gauges are last-value), slimmed via
+    /// [`MetricsSnapshot::compact`]: zero counters and empty histograms
+    /// are dropped and bucket arrays cleared — quantiles and counts
+    /// remain. The cumulative snapshot keeps everything.
     pub delta: MetricsSnapshot,
 }
 
@@ -159,13 +217,19 @@ pub fn run(p: &Params) -> Figure {
     let field_seed = s.seed ^ 0xFA17;
     let field = |metre: f64, ch: usize| testfield::rssi(field_seed, metre, ch);
 
-    // The unified wiring: one registry, one span ring, every stage.
+    // The unified wiring: one registry, one span ring, every stage, plus
+    // the flight recorder watching the rear node's fix pipeline.
     let registry = Arc::new(Registry::new());
     let spans = Arc::new(SpanRecorder::new(p.span_capacity));
+    let flight = Arc::new(
+        FlightRecorder::new(default_flight_config(), Arc::clone(&registry))
+            .with_spans(Arc::clone(&spans)),
+    );
     let mut rear = RupsNode::new(cfg.clone())
         .with_vehicle_id(1)
         .with_observability(Arc::clone(&registry))
-        .with_span_recorder(Arc::clone(&spans));
+        .with_span_recorder(Arc::clone(&spans))
+        .with_flight_recorder(Arc::clone(&flight));
     let mut front = RupsNode::new(cfg.clone()).with_vehicle_id(2);
     let link = V2vLink::with_faults_in(p.faults, s.seed ^ 0x0B5E, Arc::clone(&registry))
         .with_spans(Arc::clone(&spans));
@@ -177,12 +241,19 @@ pub fn run(p: &Params) -> Figure {
     let codec = CodecMetrics::register(&registry);
     let quality_cfg = QualityConfig::default();
 
-    let stride = p.epoch_stride.max(1);
+    // One query epoch per metre after warmup; the stride grows as needed
+    // so the committed timeline never exceeds `max_windows` entries.
+    let duration_epochs = s.duration_s as usize;
+    let stride = p
+        .epoch_stride
+        .max(1)
+        .max(duration_epochs.div_ceil(p.max_windows.max(1)));
+    let inject_epoch = duration_epochs * 2 / 3;
     let mut entries = Vec::new();
     let mut prev = registry.snapshot();
     let mut epochs = 0usize;
 
-    let total_m = p.warmup_m + s.duration_s as usize;
+    let total_m = p.warmup_m + duration_epochs;
     for metre in 0..total_m {
         let t = metre as f64;
         for (node, offset) in [(&mut rear, 0.0), (&mut front, p.gap_m)] {
@@ -210,6 +281,12 @@ pub fn run(p: &Params) -> Figure {
             }
         }
         epochs += 1;
+        if p.rogue_burst > 0 && epochs == inject_epoch {
+            for i in 0..p.rogue_burst as u64 {
+                let rogue = rogue_snapshot(&cfg, p.context_m, field_seed ^ (0x60D + i), 100 + i, t);
+                let _ = inbox.accept(rogue, t);
+            }
+        }
         for _ in rear.fix_inbox_parallel(&inbox, t, &quality_cfg) {}
 
         if epochs.is_multiple_of(stride) {
@@ -217,7 +294,7 @@ pub fn run(p: &Params) -> Figure {
             entries.push(TimelineEntry {
                 epoch_end: epochs,
                 t_s: t,
-                delta: now.delta(&prev),
+                delta: now.delta(&prev).compact(),
             });
             prev = now;
         }
@@ -228,7 +305,7 @@ pub fn run(p: &Params) -> Figure {
         entries.push(TimelineEntry {
             epoch_end: epochs,
             t_s: (total_m - 1) as f64,
-            delta: cumulative.delta(&prev),
+            delta: cumulative.delta(&prev).compact(),
         });
     }
 
@@ -244,6 +321,30 @@ pub fn run(p: &Params) -> Figure {
     if let Some(path) = &p.out_path {
         write_timeline(path, &timeline);
         notes.push(format!("metrics timeline written to {path}"));
+    }
+    if let Some(path) = &p.trace_out_path {
+        let trace = chrome_trace_tail(&spans, p.trace_max_events);
+        write_chrome_trace(path, &trace);
+        notes.push(format!(
+            "chrome trace ({} events) written to {path}",
+            trace.traceEvents.len()
+        ));
+    }
+    if p.rogue_burst > 0 {
+        notes.push(format!(
+            "{} rogue snapshots injected at epoch {inject_epoch} to trip the flight recorder",
+            p.rogue_burst
+        ));
+    }
+    if let Some(path) = &p.flight_out_path {
+        if flight.has_triggered() {
+            flight.dump_to(path);
+            notes.push(format!(
+                "flight recorder triggered; black box written to {path}"
+            ));
+        } else {
+            notes.push("flight recorder armed but never triggered; no black box written".into());
+        }
     }
 
     // The figure view of the timeline: cache/delivery health per window.
@@ -342,6 +443,34 @@ pub fn run(p: &Params) -> Figure {
     }
 }
 
+/// A structurally valid snapshot whose GSM field comes from an unrelated
+/// seed: the SYN search against it can only miss, so a burst of these in
+/// the inbox drives the fix-error rate up and trips the flight recorder's
+/// `fix_error_spike` rule.
+fn rogue_snapshot(
+    cfg: &RupsConfig,
+    context_m: usize,
+    seed: u64,
+    vehicle_id: u64,
+    t: f64,
+) -> ContextSnapshot {
+    let mut rogue = RupsNode::new(cfg.clone()).with_vehicle_id(vehicle_id);
+    for j in 0..context_m {
+        rogue
+            .append_metre(
+                GeoSample {
+                    heading_rad: 0.0,
+                    timestamp_s: t - (context_m - 1 - j) as f64,
+                },
+                &PowerVector::from_fn(cfg.n_channels, |ch| {
+                    Some(testfield::rssi(seed, j as f64, ch))
+                }),
+            )
+            .expect("rogue synthetic drive never mismatches");
+    }
+    rogue.snapshot(Some(context_m))
+}
+
 /// Serialises the timeline to `path`, creating parent directories.
 fn write_timeline(path: &str, timeline: &MetricsTimeline) {
     let p = std::path::Path::new(path);
@@ -359,8 +488,13 @@ mod tests {
     #[test]
     fn timeline_lands_on_disk_with_live_counters() {
         let mut p = quick_params();
-        let path = std::env::temp_dir().join("rups-ext-observability-test-metrics.json");
+        let dir = std::env::temp_dir();
+        let path = dir.join("rups-ext-observability-test-metrics.json");
+        let trace_path = dir.join("rups-ext-observability-test-trace.json");
+        let flight_path = dir.join("rups-ext-observability-test-flight.json");
         p.out_path = Some(path.to_string_lossy().into_owned());
+        p.trace_out_path = Some(trace_path.to_string_lossy().into_owned());
+        p.flight_out_path = Some(flight_path.to_string_lossy().into_owned());
         let fig = run(&p);
 
         // The artefact parses back into the typed timeline.
@@ -399,6 +533,32 @@ mod tests {
             .map(|e| e.delta.counter("rups_core_engine_queries").unwrap_or(0))
             .sum();
         assert_eq!(windowed, queries);
+
+        // The stride cap bounded the committed artefact.
+        assert!(tl.entries.len() <= p.max_windows);
+
+        // The Chrome trace parses back and carries both complete spans and
+        // the per-component thread-name metadata.
+        let raw = std::fs::read_to_string(&trace_path).expect("trace written");
+        std::fs::remove_file(&trace_path).ok();
+        let trace: rups_obs::ChromeTrace = serde_json::from_str(&raw).expect("trace parses");
+        assert!(!trace.traceEvents.is_empty());
+        assert!(trace.traceEvents.iter().any(|e| e.ph == "X"));
+        assert!(trace
+            .traceEvents
+            .iter()
+            .any(|e| e.ph == "M" && e.name == "thread_name"));
+        assert!(trace.traceEvents.len() <= p.trace_max_events + 16);
+
+        // The rogue burst tripped the flight recorder: the black box holds
+        // registry deltas, recent spans and per-fix reports.
+        let raw = std::fs::read_to_string(&flight_path).expect("flight dump written");
+        std::fs::remove_file(&flight_path).ok();
+        let dump: rups_obs::FlightDump = serde_json::from_str(&raw).expect("flight dump parses");
+        assert!(dump.triggered.iter().any(|t| t.rule == "fix_error_spike"));
+        assert!(!dump.windows.is_empty());
+        assert!(!dump.spans.is_empty());
+        assert!(!dump.fixes.is_empty());
 
         // The figure view mirrors the timeline shape.
         assert_eq!(fig.series.len(), 4);

@@ -37,12 +37,24 @@
 
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod hist;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
+pub use flight::{
+    FlightConfig, FlightDump, FlightRecorder, SpanDump, TriggerEvent, TriggerOp, TriggerRule,
+    WindowDelta,
+};
 pub use hist::{
     bucket_hi, bucket_index, bucket_lo, Histogram, HistogramSample, Timer, N_BUCKETS, TOP_BUCKET_LO,
 };
-pub use registry::{Counter, CounterSample, Gauge, GaugeSample, MetricsSnapshot, Registry};
-pub use span::{SpanGuard, SpanRecord, SpanRecorder};
+pub use registry::{
+    sanitize_metric_name, Counter, CounterSample, Gauge, GaugeSample, MetricsSnapshot, Registry,
+};
+pub use span::{SpanArgs, SpanGuard, SpanRecord, SpanRecorder};
+pub use trace::{
+    chrome_trace, chrome_trace_tail, component_of, write_chrome_trace, ChromeTrace,
+    ChromeTraceEvent,
+};

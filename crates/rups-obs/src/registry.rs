@@ -263,21 +263,75 @@ impl MetricsSnapshot {
         }
     }
 
+    /// A copy with the noise removed: zero-valued counters and
+    /// never-recorded histograms are dropped, and surviving histograms
+    /// clear their bucket vectors (count/sum/quantiles remain). Gauges are
+    /// kept as-is — a zero gauge is a reading, not an absence. Intended for
+    /// per-window deltas embedded in timelines and flight dumps, where the
+    /// full 44-bucket arrays dominate artefact size.
+    pub fn compact(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|c| c.value != 0)
+                .cloned()
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|h| h.count != 0)
+                .map(|h| {
+                    let mut h = h.clone();
+                    h.buckets = Vec::new();
+                    h
+                })
+                .collect(),
+        }
+    }
+
     /// Prometheus text exposition (version 0.0.4): counters and gauges as
     /// single samples, histograms as cumulative `_bucket{le="…"}` series
-    /// plus `_sum`/`_count`.
+    /// plus `_sum`/`_count`. Names are sanitised to the metric-name
+    /// alphabet (`[a-zA-Z0-9_:]`, invalid bytes become `_`) and a metric
+    /// name is emitted at most once — if sanitisation collides two names,
+    /// the first (in sorted snapshot order) wins, keeping the exposition
+    /// parseable.
     pub fn to_prometheus(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
+        let mut seen: Vec<String> = Vec::new();
+        let claim = |name: &str, seen: &mut Vec<String>| -> Option<String> {
+            let clean = sanitize_metric_name(name);
+            if seen.iter().any(|s| s == &clean) {
+                return None;
+            }
+            seen.push(clean.clone());
+            Some(clean)
+        };
         for c in &self.counters {
-            let _ = writeln!(out, "# TYPE {} counter", c.name);
-            let _ = writeln!(out, "{} {}", c.name, c.value);
+            let Some(name) = claim(&c.name, &mut seen) else {
+                continue;
+            };
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", c.value);
         }
         for g in &self.gauges {
-            let _ = writeln!(out, "# TYPE {} gauge", g.name);
-            let _ = writeln!(out, "{} {}", g.name, g.value);
+            let Some(name) = claim(&g.name, &mut seen) else {
+                continue;
+            };
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", g.value);
         }
         for h in &self.histograms {
+            let Some(name) = claim(&h.name, &mut seen) else {
+                continue;
+            };
+            let h = HistogramSample {
+                name: name.clone(),
+                ..h.clone()
+            };
             let _ = writeln!(out, "# TYPE {} histogram", h.name);
             let mut cum = 0u64;
             for (i, &c) in h.buckets.iter().enumerate() {
@@ -293,6 +347,24 @@ impl MetricsSnapshot {
         }
         out
     }
+}
+
+/// Maps an arbitrary name onto the Prometheus metric-name alphabet:
+/// `[a-zA-Z0-9_:]` pass through, everything else becomes `_`, and a
+/// leading digit gains a `_` prefix.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, ch) in name.chars().enumerate() {
+        let ok =
+            ch.is_ascii_alphabetic() || ch == '_' || ch == ':' || (ch.is_ascii_digit() && i > 0);
+        if ch.is_ascii_digit() && i == 0 {
+            out.push('_');
+            out.push(ch);
+        } else {
+            out.push(if ok { ch } else { '_' });
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -362,6 +434,55 @@ mod tests {
         assert!(text.contains("_bucket{le=\"+Inf\"} 2"));
         // Cumulative buckets: the last finite bucket equals the count.
         assert!(text.contains("rups_h_ns_bucket{le=\"1024\"} 2"));
+    }
+
+    #[test]
+    fn prometheus_names_are_escaped_and_types_deduped() {
+        let reg = Registry::new();
+        reg.counter("rups.weird-name").add(1); // '.' and '-' are invalid
+        reg.counter("rups_weird_name").add(2); // sanitises to the same name
+        reg.gauge("9starts_with_digit").set(0.5);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("rups_weird_name"));
+        assert!(!text.contains("rups.weird-name"), "raw name must not leak");
+        assert!(text.contains("_9starts_with_digit 0.5"));
+        // Exactly one TYPE line per emitted metric name.
+        let mut type_names: Vec<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("# TYPE "))
+            .filter_map(|l| l.split_whitespace().next())
+            .collect();
+        let total = type_names.len();
+        type_names.sort_unstable();
+        type_names.dedup();
+        assert_eq!(type_names.len(), total, "duplicate TYPE lines: {text}");
+        // Every emitted name stays within the exposition alphabet.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split([' ', '{']).next().unwrap();
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "unescaped name in line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn compact_drops_zeroes_and_bucket_arrays() {
+        let reg = Registry::new();
+        reg.counter("live").add(3);
+        reg.counter("dead"); // stays at zero
+        reg.gauge("g").set(0.0);
+        reg.histogram("used_ns").record(100);
+        reg.histogram("untouched_ns"); // no samples
+        let slim = reg.snapshot().compact();
+        assert_eq!(slim.counter("live"), Some(3));
+        assert_eq!(slim.counter("dead"), None, "zero counters dropped");
+        assert_eq!(slim.gauge("g"), Some(0.0), "gauges survive at zero");
+        let h = slim.histogram("used_ns").expect("recorded histogram kept");
+        assert_eq!(h.count, 1);
+        assert!(h.buckets.is_empty(), "bucket arrays cleared");
+        assert!(slim.histogram("untouched_ns").is_none());
     }
 
     #[test]

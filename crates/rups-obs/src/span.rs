@@ -23,6 +23,58 @@
 
 use std::sync::Mutex;
 
+/// A bounded bag of structured span arguments: up to [`SpanArgs::MAX`]
+/// `(key, value)` pairs of static keys and integer values (neighbour ids,
+/// epochs, window lengths, …). `Copy` and allocation-free so it rides along
+/// in the span ring without widening the hot path; pairs pushed past the
+/// cap are silently dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanArgs {
+    entries: [(&'static str, i64); Self::MAX],
+    len: u8,
+}
+
+impl SpanArgs {
+    /// Maximum number of `(key, value)` pairs one record can carry.
+    pub const MAX: usize = 4;
+
+    /// An empty argument bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the bag with `(key, value)` appended (dropped when already
+    /// at capacity), builder-style:
+    /// `SpanArgs::new().with("neighbour", 7).with("epoch", 42)`.
+    pub fn with(mut self, key: &'static str, value: i64) -> Self {
+        if (self.len as usize) < Self::MAX {
+            self.entries[self.len as usize] = (key, value);
+            self.len += 1;
+        }
+        self
+    }
+
+    /// Number of pairs held.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no pairs are held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The held pairs, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, i64)> + '_ {
+        self.entries[..self.len as usize].iter().copied()
+    }
+
+    /// The value stored under `key`, if any.
+    pub fn get(&self, key: &str) -> Option<i64> {
+        self.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
 /// One completed span (or event, when `dur_ns == 0` by construction).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpanRecord {
@@ -32,6 +84,8 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// Duration in nanoseconds (0 for point events).
     pub dur_ns: u64,
+    /// Structured arguments attached to the record (empty by default).
+    pub args: SpanArgs,
 }
 
 #[cfg(feature = "obs")]
@@ -94,17 +148,26 @@ impl SpanRecorder {
     /// clock read, nothing stored) without the `obs` feature.
     #[inline]
     pub fn span<'a>(&'a self, name: &'static str) -> SpanGuard<'a> {
+        self.span_args(name, SpanArgs::new())
+    }
+
+    /// Like [`span`](Self::span) but with structured arguments attached to
+    /// the eventual record (the guard can add more via
+    /// [`SpanGuard::set_args`] before it drops).
+    #[inline]
+    pub fn span_args<'a>(&'a self, name: &'static str, args: SpanArgs) -> SpanGuard<'a> {
         #[cfg(feature = "obs")]
         {
             SpanGuard {
                 rec: self,
                 name,
                 start: std::time::Instant::now(),
+                args,
             }
         }
         #[cfg(not(feature = "obs"))]
         {
-            let _ = name;
+            let _ = (name, args);
             SpanGuard {
                 _rec: std::marker::PhantomData,
             }
@@ -114,14 +177,21 @@ impl SpanRecorder {
     /// Records a zero-duration event.
     #[inline]
     pub fn event(&self, name: &'static str) {
+        self.event_args(name, SpanArgs::new());
+    }
+
+    /// Records a zero-duration event carrying structured arguments.
+    #[inline]
+    pub fn event_args(&self, name: &'static str, args: SpanArgs) {
         #[cfg(feature = "obs")]
         self.push(SpanRecord {
             name,
             start_ns: self.origin.elapsed().as_nanos() as u64,
             dur_ns: 0,
+            args,
         });
         #[cfg(not(feature = "obs"))]
-        let _ = name;
+        let _ = (name, args);
     }
 
     /// Records ever written (including ones already overwritten). Always 0
@@ -181,8 +251,24 @@ pub struct SpanGuard<'a> {
     name: &'static str,
     #[cfg(feature = "obs")]
     start: std::time::Instant,
+    #[cfg(feature = "obs")]
+    args: SpanArgs,
     #[cfg(not(feature = "obs"))]
     _rec: std::marker::PhantomData<&'a SpanRecorder>,
+}
+
+impl SpanGuard<'_> {
+    /// Replaces the arguments the record will carry when the guard drops
+    /// (for values only known mid-span, e.g. a chosen window length).
+    #[inline]
+    pub fn set_args(&mut self, args: SpanArgs) {
+        #[cfg(feature = "obs")]
+        {
+            self.args = args;
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = args;
+    }
 }
 
 #[cfg(feature = "obs")]
@@ -195,6 +281,7 @@ impl Drop for SpanGuard<'_> {
             name: self.name,
             start_ns,
             dur_ns,
+            args: self.args,
         });
     }
 }
@@ -268,5 +355,59 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_capacity_rejected() {
         let _ = SpanRecorder::new(0);
+    }
+
+    #[test]
+    fn guard_measures_across_its_whole_scope() {
+        // The `#[must_use]` on SpanGuard exists because `rec.span("x");`
+        // drops immediately and records ~0 ns. Held across a scope doing
+        // real work, the guard must measure that work.
+        let rec = SpanRecorder::new(8);
+        let sleep = std::time::Duration::from_millis(15);
+        {
+            let _g = rec.span("work");
+            std::thread::sleep(sleep);
+        }
+        let got = rec.recent();
+        assert_eq!(got.len(), 1);
+        assert!(
+            got[0].dur_ns >= sleep.as_nanos() as u64 / 2,
+            "span must cover the slept scope, got {} ns",
+            got[0].dur_ns
+        );
+    }
+
+    #[test]
+    fn args_ride_along_in_the_ring() {
+        let rec = SpanRecorder::new(8);
+        rec.event_args(
+            "inbox.accept",
+            SpanArgs::new().with("neighbour", 7).with("epoch", 42),
+        );
+        {
+            let mut g = rec.span_args("engine.query", SpanArgs::new().with("neighbour", 7));
+            g.set_args(
+                SpanArgs::new()
+                    .with("neighbour", 7)
+                    .with("window_len_m", 85),
+            );
+        }
+        let got = rec.recent();
+        assert_eq!(got[0].args.get("neighbour"), Some(7));
+        assert_eq!(got[0].args.get("epoch"), Some(42));
+        assert_eq!(got[0].args.len(), 2);
+        assert_eq!(got[1].args.get("window_len_m"), Some(85));
+        assert_eq!(got[1].args.get("missing"), None);
+    }
+
+    #[test]
+    fn args_cap_drops_excess_pairs() {
+        let mut a = SpanArgs::new();
+        for i in 0..10 {
+            a = a.with("k", i);
+        }
+        assert_eq!(a.len(), SpanArgs::MAX);
+        assert!(!a.is_empty());
+        assert_eq!(a.iter().count(), SpanArgs::MAX);
     }
 }

@@ -1,0 +1,247 @@
+//! Chrome trace-event JSON export of a [`SpanRecorder`] ring.
+//!
+//! [`chrome_trace`] renders recorded spans into the Trace Event Format
+//! that `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load
+//! directly: one JSON object with a `traceEvents` array. Spans become
+//! `ph: "X"` complete events (microsecond `ts`/`dur`), zero-duration
+//! events become `ph: "i"` thread-scoped instants, and every component is
+//! mapped onto its own named track (`ph: "M"` `thread_name` metadata)
+//! keyed by the span-name prefix before the first `.` — so `engine.*`,
+//! `inbox.*`, `link.*` and `codec.*` records land on separate rows of the
+//! timeline. [`SpanArgs`] pairs surface as the event's `args` object.
+
+use crate::span::{SpanArgs, SpanRecord, SpanRecorder};
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// One event of the Chrome Trace Event Format. Only the fields this
+/// exporter emits are modelled; viewers ignore whatever they don't need
+/// (`dur` on instants, `s` on complete events).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChromeTraceEvent {
+    /// Event name (the span name, or `thread_name` for metadata).
+    pub name: String,
+    /// Category: the component the event belongs to.
+    pub cat: String,
+    /// Phase: `"X"` complete, `"i"` instant, `"M"` metadata.
+    pub ph: String,
+    /// Start timestamp in microseconds since the recorder's origin.
+    pub ts: f64,
+    /// Duration in microseconds (0 for instants and metadata).
+    pub dur: f64,
+    /// Process id; this exporter uses a single process `1`.
+    pub pid: u64,
+    /// Thread id: one per component track.
+    pub tid: u64,
+    /// Instant scope (`"t"` thread-scoped for instants, empty otherwise).
+    pub s: String,
+    /// Structured arguments (`{}` when none).
+    pub args: Value,
+}
+
+/// A loadable trace: the object form of the format, `{"traceEvents": […]}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(non_snake_case)]
+pub struct ChromeTrace {
+    /// The events, metadata first, then records oldest-first.
+    pub traceEvents: Vec<ChromeTraceEvent>,
+}
+
+impl ChromeTrace {
+    /// Events that represent recorded spans/instants (phases `X` and `i`),
+    /// i.e. everything except per-track metadata.
+    pub fn span_events(&self) -> impl Iterator<Item = &ChromeTraceEvent> {
+        self.traceEvents.iter().filter(|e| e.ph != "M")
+    }
+}
+
+/// The track a span name belongs to: the prefix before the first `.`
+/// (`"engine.query"` → `"engine"`), or the whole name when undotted.
+pub fn component_of(name: &str) -> &str {
+    name.split('.').next().unwrap_or(name)
+}
+
+/// Renders one span argument as a JSON value. Non-negative values map to
+/// `UInt` — the variant the JSON parser produces for unsigned literals —
+/// so an exported trace compares equal after a parse round-trip.
+pub(crate) fn arg_value(v: i64) -> Value {
+    match u64::try_from(v) {
+        Ok(u) => Value::UInt(u),
+        Err(_) => Value::Int(v),
+    }
+}
+
+fn args_value(args: &SpanArgs) -> Value {
+    Value::Map(
+        args.iter()
+            .map(|(k, v)| (k.to_string(), arg_value(v)))
+            .collect(),
+    )
+}
+
+/// Renders span records (oldest first, as [`SpanRecorder::recent`]
+/// returns them) into a loadable [`ChromeTrace`].
+pub fn chrome_trace(records: &[SpanRecord]) -> ChromeTrace {
+    // Stable track order: components sorted by name, tid assigned 1-based.
+    let mut components: Vec<&str> = records.iter().map(|r| component_of(r.name)).collect();
+    components.sort_unstable();
+    components.dedup();
+    let tid_of = |name: &str| -> u64 {
+        let c = component_of(name);
+        components.iter().position(|&x| x == c).unwrap_or(0) as u64 + 1
+    };
+
+    let mut events = Vec::with_capacity(components.len() + records.len());
+    for (i, c) in components.iter().enumerate() {
+        events.push(ChromeTraceEvent {
+            name: "thread_name".into(),
+            cat: "__metadata".into(),
+            ph: "M".into(),
+            ts: 0.0,
+            dur: 0.0,
+            pid: 1,
+            tid: i as u64 + 1,
+            s: String::new(),
+            args: Value::Map(vec![("name".into(), Value::Str((*c).into()))]),
+        });
+    }
+    for r in records {
+        let instant = r.dur_ns == 0;
+        events.push(ChromeTraceEvent {
+            name: r.name.into(),
+            cat: component_of(r.name).into(),
+            ph: if instant { "i" } else { "X" }.into(),
+            ts: r.start_ns as f64 / 1_000.0,
+            dur: r.dur_ns as f64 / 1_000.0,
+            pid: 1,
+            tid: tid_of(r.name),
+            s: if instant { "t" } else { "" }.into(),
+            args: args_value(&r.args),
+        });
+    }
+    ChromeTrace {
+        traceEvents: events,
+    }
+}
+
+/// [`chrome_trace`] over the retained ring contents of a recorder,
+/// keeping only the newest `max_events` records.
+pub fn chrome_trace_tail(rec: &SpanRecorder, max_events: usize) -> ChromeTrace {
+    let recent = rec.recent();
+    let skip = recent.len().saturating_sub(max_events);
+    chrome_trace(&recent[skip..])
+}
+
+/// Serialises a trace to `path` (compact JSON — trace files are artefacts
+/// for viewers, not for human diffing), creating parent directories.
+pub fn write_chrome_trace(path: &str, trace: &ChromeTrace) {
+    let p = std::path::Path::new(path);
+    if let Some(parent) = p.parent() {
+        std::fs::create_dir_all(parent).expect("create trace output dir");
+    }
+    let json = serde_json::to_string(trace).expect("serialize chrome trace");
+    std::fs::write(p, json).expect("write chrome trace");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                name: "engine.query",
+                start_ns: 1_000,
+                dur_ns: 250_000,
+                args: SpanArgs::new().with("window_len_m", 85),
+            },
+            SpanRecord {
+                name: "engine.context_hit",
+                start_ns: 2_000,
+                dur_ns: 0,
+                args: SpanArgs::new(),
+            },
+            SpanRecord {
+                name: "inbox.validate",
+                start_ns: 5_000,
+                dur_ns: 3_000,
+                args: SpanArgs::new().with("neighbour", 7),
+            },
+            SpanRecord {
+                name: "link.drop",
+                start_ns: 9_500,
+                dur_ns: 0,
+                args: SpanArgs::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn trace_shape_tracks_and_phases() {
+        let trace = chrome_trace(&sample_records());
+        // One thread_name metadata event per component.
+        let meta: Vec<&ChromeTraceEvent> =
+            trace.traceEvents.iter().filter(|e| e.ph == "M").collect();
+        assert_eq!(meta.len(), 3, "engine, inbox, link tracks");
+        for m in &meta {
+            assert_eq!(m.name, "thread_name");
+            assert!(matches!(&m.args, Value::Map(kv) if kv.iter().any(|(k, _)| k == "name")));
+        }
+        // Spans are complete events, zero-duration records are instants.
+        let x: Vec<&ChromeTraceEvent> = trace.span_events().filter(|e| e.ph == "X").collect();
+        let i: Vec<&ChromeTraceEvent> = trace.span_events().filter(|e| e.ph == "i").collect();
+        assert_eq!(x.len(), 2);
+        assert_eq!(i.len(), 2);
+        assert!(i.iter().all(|e| e.s == "t" && e.dur == 0.0));
+        // Timestamps/durations are microseconds.
+        assert_eq!(x[0].ts, 1.0);
+        assert_eq!(x[0].dur, 250.0);
+        // Same component → same tid; different components differ.
+        assert_eq!(x[0].tid, i[0].tid, "engine events share a track");
+        assert_ne!(x[0].tid, x[1].tid, "engine and inbox tracks differ");
+    }
+
+    #[test]
+    fn trace_json_parses_and_roundtrips_span_counts() {
+        let records = sample_records();
+        let trace = chrome_trace(&records);
+        let json = serde_json::to_string(&trace).unwrap();
+        assert!(json.starts_with("{"), "object form, not bare array");
+        let back: ChromeTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(
+            back.span_events().count(),
+            records.len(),
+            "every record must survive the round-trip"
+        );
+        // Args survive too.
+        let q = back
+            .span_events()
+            .find(|e| e.name == "engine.query")
+            .unwrap();
+        assert!(matches!(
+            &q.args,
+            Value::Map(kv) if kv.iter().any(|(k, v)| k == "window_len_m" && v.as_i64() == Some(85))
+        ));
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn recorder_tail_export_bounds_events() {
+        let rec = SpanRecorder::new(64);
+        for _ in 0..10 {
+            rec.event("engine.context_hit");
+        }
+        let full = chrome_trace_tail(&rec, usize::MAX);
+        assert_eq!(full.span_events().count(), 10);
+        let tail = chrome_trace_tail(&rec, 4);
+        assert_eq!(tail.span_events().count(), 4);
+    }
+
+    #[test]
+    fn component_mapping() {
+        assert_eq!(component_of("engine.kernel_scan"), "engine");
+        assert_eq!(component_of("inbox.reject.stale"), "inbox");
+        assert_eq!(component_of("bare"), "bare");
+    }
+}

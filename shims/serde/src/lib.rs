@@ -58,6 +58,14 @@ pub mod value {
                 _ => None,
             }
         }
+
+        /// The value as a string slice, when it is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
     }
 }
 
@@ -256,6 +264,20 @@ impl<T: Serialize> Serialize for Option<T> {
 impl<T: Serialize> Serialize for [T] {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         serializer.serialize_value(Value::Seq(self.iter().map(to_value).collect()))
+    }
+}
+
+// `Value` is its own serde representation, so types can embed arbitrary
+// pre-rendered trees (real serde_json offers the same via `Value`).
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.take_value()
     }
 }
 
