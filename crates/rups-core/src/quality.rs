@@ -90,14 +90,35 @@ impl Default for QualityConfig {
 /// assert!(report.error_bound_m < 5.0);
 /// ```
 pub fn assess(fix: &DistanceFix, cfg: &QualityConfig) -> QualityReport {
-    let spread = crate::stats::stddev(&fix.estimates_m).unwrap_or(0.0);
+    // Garbage in the internal signals must degrade the grade, never poison
+    // the arithmetic: `clamp` propagates NaN, so a NaN score or spread
+    // would otherwise flow straight into the error bound. A non-finite
+    // score reads as "below the coherency floor" (never decisive, full 3×
+    // widening); a non-finite spread reads as unbounded disagreement (the
+    // bound becomes +∞, which any safety margin fails — NaN would
+    // vacuously pass every `<` comparison instead).
+    let raw_spread = crate::stats::stddev(&fix.estimates_m).unwrap_or(0.0);
+    let spread = if raw_spread.is_finite() {
+        raw_spread
+    } else {
+        f64::INFINITY
+    };
+    let score = if fix.best_score.is_finite() {
+        fix.best_score
+    } else {
+        f64::NEG_INFINITY
+    };
+    let signals_finite = fix.best_score.is_finite() && raw_spread.is_finite();
     let n = fix.syn_points.len();
 
-    let decisive = fix.best_score >= cfg.high_score;
+    let decisive = score >= cfg.high_score;
     let agreeing = spread <= cfg.tight_spread_m;
     let corroborated = n >= 3;
 
     let quality = match (decisive, agreeing, corroborated) {
+        // A fix whose internal signals are not even finite is display-only,
+        // whatever the other criteria say.
+        _ if !signals_finite => FixQuality::Low,
         (true, true, true) => FixQuality::High,
         (true, true, false) | (true, false, true) | (false, true, true) => FixQuality::Medium,
         _ => FixQuality::Low,
@@ -109,8 +130,7 @@ pub fn assess(fix: &DistanceFix, cfg: &QualityConfig) -> QualityReport {
     // denominator zero or negative (NaN / negative bounds), so it is
     // clamped: any score below such a high_score then takes the full 3×.
     let score_range = (cfg.high_score - SCORE_FLOOR).max(f64::EPSILON);
-    let score_factor =
-        1.0 + 2.0 * ((cfg.high_score - fix.best_score) / score_range).clamp(0.0, 1.0);
+    let score_factor = 1.0 + 2.0 * ((cfg.high_score - score) / score_range).clamp(0.0, 1.0);
     let error_bound_m = (cfg.base_bound_m + 2.0 * spread) * score_factor;
 
     QualityReport {
@@ -212,6 +232,133 @@ mod tests {
                     r.error_bound_m <= 3.0 * (cfg.base_bound_m + 2.0 * r.estimate_spread_m) + 1e-9
                 );
             }
+        }
+    }
+
+    #[test]
+    fn non_finite_signals_degrade_instead_of_poisoning() {
+        // Regression: `f64::clamp` propagates NaN, so a NaN best_score
+        // used to turn the error bound into NaN — which then *passed*
+        // every `bound < margin` safety comparison. Table of every
+        // non-finite combination: (label, best_score, estimates,
+        // worst acceptable grade, bound must be finite).
+        let cfg = QualityConfig::default();
+        let cases: &[(&str, f64, Vec<f64>, FixQuality, bool)] = &[
+            (
+                "nan score",
+                f64::NAN,
+                vec![40.0, 40.2, 40.1],
+                FixQuality::Low,
+                true,
+            ),
+            (
+                "+inf score",
+                f64::INFINITY,
+                vec![40.0, 40.2, 40.1],
+                FixQuality::Low,
+                true,
+            ),
+            (
+                "-inf score",
+                f64::NEG_INFINITY,
+                vec![40.0, 40.2, 40.1],
+                FixQuality::Low,
+                true,
+            ),
+            (
+                "nan estimate",
+                1.9,
+                vec![40.0, f64::NAN, 40.1],
+                FixQuality::Low,
+                false,
+            ),
+            (
+                "+inf estimate",
+                1.9,
+                vec![40.0, f64::INFINITY, 40.1],
+                FixQuality::Low,
+                false,
+            ),
+            (
+                "-inf estimate",
+                1.9,
+                vec![40.0, f64::NEG_INFINITY, 40.1],
+                FixQuality::Low,
+                false,
+            ),
+            (
+                "all garbage",
+                f64::NAN,
+                vec![f64::NAN, f64::NAN, f64::NAN],
+                FixQuality::Low,
+                false,
+            ),
+        ];
+        for (label, score, estimates, want_quality, bound_finite) in cases {
+            let r = assess(&fix(*score, estimates.clone()), &cfg);
+            assert_eq!(r.quality, *want_quality, "{label}: grade");
+            assert!(!r.error_bound_m.is_nan(), "{label}: bound is NaN");
+            assert!(r.error_bound_m > 0.0, "{label}: bound {}", r.error_bound_m);
+            assert_eq!(
+                r.error_bound_m.is_finite(),
+                *bound_finite,
+                "{label}: bound {}",
+                r.error_bound_m
+            );
+            // A garbage fix must fail any finite safety margin; an
+            // infinite bound does that, a NaN would not.
+            assert!(
+                r.error_bound_m >= 1e6 || r.error_bound_m.is_finite(),
+                "{label}"
+            );
+            // The report stays honest: the raw score is passed through
+            // for forensics, the spread is never NaN.
+            assert!(!r.estimate_spread_m.is_nan(), "{label}: spread NaN");
+            assert!(
+                r.score == *score || (r.score.is_nan() && score.is_nan()),
+                "{label}: score rewritten"
+            );
+        }
+
+        // Finite inputs keep their exact pre-fix behaviour: the whole
+        // grade lattice, bound widening included.
+        let finite: &[(&str, f64, Vec<f64>, FixQuality)] = &[
+            (
+                "decisive+agree+corroborated",
+                1.9,
+                vec![40.0, 40.2, 40.1],
+                FixQuality::High,
+            ),
+            (
+                "decisive+agree, lone SYN",
+                1.9,
+                vec![40.0],
+                FixQuality::Medium,
+            ),
+            (
+                "decisive, disagreeing",
+                1.9,
+                vec![20.0, 60.0, 40.0],
+                FixQuality::Medium,
+            ),
+            (
+                "weak, agreeing",
+                1.3,
+                vec![40.0, 40.2, 40.1],
+                FixQuality::Medium,
+            ),
+            ("weak lone SYN", 1.25, vec![40.0], FixQuality::Low),
+            (
+                "weak and disagreeing",
+                1.3,
+                vec![20.0, 60.0, 40.0],
+                FixQuality::Low,
+            ),
+        ];
+        for (label, score, estimates, want) in finite {
+            let r = assess(&fix(*score, estimates.clone()), &cfg);
+            assert_eq!(r.quality, *want, "{label}");
+            assert!(r.error_bound_m.is_finite() && r.error_bound_m >= cfg.base_bound_m - 1e-9);
         }
     }
 

@@ -4,7 +4,7 @@
 //! evaluate [--quick] [--json DIR] [FIGURE ...]
 //!
 //!   FIGURE   any of: fig1 fig2 fig3 fig4 sec5a sec5b fig9 fig10 fig11 fig12
-//!            ext-faults ext-fpr ext-multiband ext-observability
+//!            ext-faults ext-fpr ext-fusion ext-multiband ext-observability
 //!            ext-pedestrian ext-scalability abl-window abl-channels
 //!            abl-interp   (default: all)
 //!   --quick  reduced scale (fast; for smoke runs and debug builds)
@@ -44,7 +44,7 @@ fn parse_args() -> Args {
                 println!(
                     "usage: evaluate [--quick] [--json DIR] [FIGURE ...]\n\
                      figures: fig1 fig2 fig3 fig4 sec5a sec5b fig9 fig10 fig11 fig12 \
-                              ext-faults ext-fpr ext-multiband ext-observability \
+                              ext-faults ext-fpr ext-fusion ext-multiband ext-observability \
                               ext-pedestrian ext-scalability \
                               abl-window abl-channels abl-interp"
                 );
@@ -127,6 +127,14 @@ fn run_figure(id: &str, quick: bool, scale: EvalScale) -> Figure {
             };
             figures::ext_faults::run(&p)
         }
+        "ext-fusion" => {
+            let p = if quick {
+                figures::ext_fusion::quick_params()
+            } else {
+                figures::ext_fusion::Params::default()
+            };
+            figures::ext_fusion::run(&p)
+        }
         "ext-fpr" => {
             let p = if quick {
                 figures::ext_fpr::quick_params()
@@ -174,7 +182,7 @@ fn run_figure(id: &str, quick: bool, scale: EvalScale) -> Figure {
     }
 }
 
-const ALL_FIGURES: [&str; 19] = [
+const ALL_FIGURES: [&str; 20] = [
     "fig1",
     "fig2",
     "fig3",
@@ -187,6 +195,7 @@ const ALL_FIGURES: [&str; 19] = [
     "fig12",
     "ext-faults",
     "ext-fpr",
+    "ext-fusion",
     "ext-multiband",
     "ext-observability",
     "ext-pedestrian",

@@ -1,0 +1,406 @@
+//! Extension experiment: cooperative fix-graph fusion in an N-vehicle
+//! convoy under channel faults (the `rups-fuse` crate end-to-end).
+//!
+//! Every vehicle of the convoy beacons its journey context once per
+//! second through one shared [`V2vLink`] carrying the PR 2 fault model,
+//! and runs the hardened receive path (codec validation →
+//! [`SnapshotInbox`] vetting). At each fuse epoch every vehicle grades
+//! fixes against every snapshot it holds via [`fix_inbox_parallel`]; the
+//! epoch's graded fixes become a [`FixGraph`] and the [`Fuser`] solves it
+//! into one consistent set of relative positions. Per severity cell we
+//! compare, over the pairs that have at least one *direct* fix that
+//! epoch:
+//!
+//! * **best pairwise error** — |estimate − truth| of the highest-weight
+//!   direct fix of the pair (the strongest answer available without
+//!   fusion), and
+//! * **fused error** — |fused displacement − truth| for the same pair,
+//!
+//! plus the *coverage* of each approach: the fraction of all vehicle
+//! pairs with any estimate at all. Fusion's two claims under test: cycle
+//! redundancy averages independent errors down (fused mean error below
+//! the best pairwise mean even at ≥30 % burst loss), and graph
+//! connectivity answers pairs no direct fix covers (a chain of short
+//! fixes reaches vehicles whose shared context is too small for a direct
+//! SYN match).
+//!
+//! [`V2vLink`]: v2v_sim::link::V2vLink
+//! [`SnapshotInbox`]: rups_core::inbox::SnapshotInbox
+//! [`fix_inbox_parallel`]: rups_core::pipeline::RupsNode::fix_inbox_parallel
+//! [`FixGraph`]: rups_fuse::FixGraph
+//! [`Fuser`]: rups_fuse::Fuser
+
+use crate::figures::EvalScale;
+use crate::series::{Figure, Series};
+use rups_core::geo::GeoSample;
+use rups_core::gsm::PowerVector;
+use rups_core::inbox::{InboxConfig, SnapshotInbox};
+use rups_core::pipeline::{GradedFix, RupsNode};
+use rups_core::quality::QualityConfig;
+use rups_core::testfield;
+use rups_fuse::{weight_for, FixGraph, FuseConfig, Fuser};
+use rups_obs::Registry;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use v2v_sim::codec::{decode_snapshot, try_encode_snapshot};
+use v2v_sim::fault::FaultConfig;
+use v2v_sim::link::V2vLink;
+
+/// One fault-severity cell of the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Legend label.
+    pub label: String,
+    /// The channel impairments of this cell.
+    pub faults: FaultConfig,
+}
+
+/// Parameters of the fusion experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Params {
+    /// Scale knobs (duration, band width, master seed).
+    pub scale: EvalScale,
+    /// Convoy size (ids `1..=n`, id 1 at the rear).
+    pub n_vehicles: usize,
+    /// True gap between adjacent vehicles, metres (held exactly).
+    pub gap_m: f64,
+    /// Journey context each vehicle beacons, metres.
+    pub context_m: usize,
+    /// Metres driven before the first beacon (context build-up).
+    pub warmup_m: usize,
+    /// Staleness horizon of each vehicle's inbox, seconds.
+    pub horizon_s: f64,
+    /// Seconds between fuse epochs (beaconing stays at 1 Hz).
+    pub fuse_stride_s: usize,
+    /// The fault severities to sweep.
+    pub cells: Vec<Cell>,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            scale: EvalScale::paper(),
+            n_vehicles: 6,
+            // Short gaps keep several spans inside the shared-context
+            // window, so the graph gets the chord redundancy fusion needs;
+            // the longest spans stay out of direct reach, which is the
+            // coverage story.
+            gap_m: 40.0,
+            context_m: 250,
+            warmup_m: 260,
+            horizon_s: 10.0,
+            fuse_stride_s: 10,
+            cells: default_cells(),
+        }
+    }
+}
+
+/// The default severity ladder: the paper's ideal channel, mild i.i.d.
+/// loss, and the ISSUE acceptance cell (30 % expected burst loss plus
+/// payload corruption).
+pub fn default_cells() -> Vec<Cell> {
+    vec![
+        Cell {
+            label: "ideal channel".into(),
+            faults: FaultConfig::ideal(),
+        },
+        Cell {
+            label: "i.i.d. 10% loss".into(),
+            faults: FaultConfig::iid_loss(0.10),
+        },
+        Cell {
+            // Stationary bad fraction 0.15/(0.15+0.35) = 0.30 with the
+            // loss arriving in bursts, plus duplication, reordering and
+            // 1 % payload corruption.
+            label: "burst 30% loss + 1% corruption".into(),
+            faults: FaultConfig {
+                duplicate: 0.05,
+                reorder: 0.05,
+                corrupt: 0.01,
+                jitter_s: 0.02,
+                ..FaultConfig::bursty(0.15, 0.35, 1.0)
+            },
+        },
+    ]
+}
+
+/// Smaller run for tests.
+pub fn quick_params() -> Params {
+    Params {
+        scale: EvalScale::quick(),
+        n_vehicles: 5,
+        gap_m: 40.0,
+        context_m: 250,
+        warmup_m: 260,
+        horizon_s: 10.0,
+        fuse_stride_s: 10,
+        cells: default_cells(),
+    }
+}
+
+/// Outcome of one severity cell.
+struct CellOutcome {
+    fuse_epochs: usize,
+    /// Mean |error| of the best direct fix, over pairs with a direct fix.
+    best_pairwise_mean_m: f64,
+    /// Mean |fused − truth| over the same pairs.
+    fused_mean_m: f64,
+    /// Worst fused error on those pairs.
+    fused_worst_m: f64,
+    /// Fraction of (epoch × pair) slots with a direct fix.
+    direct_coverage: f64,
+    /// Fraction of (epoch × pair) slots the fused solution answers.
+    fused_coverage: f64,
+    /// `rups_fuse_*` counters accumulated over the cell.
+    solves: u64,
+    edges_rejected: u64,
+}
+
+/// Replays the convoy through one faulty link and fuses each epoch.
+fn run_cell(p: &Params, faults: &FaultConfig, link_seed: u64) -> CellOutcome {
+    let s = &p.scale;
+    let mut cfg = s.rups_config();
+    cfg.max_context_m = p.context_m + 150;
+    let field_seed = s.seed ^ 0xF05E;
+    let field = |metre: f64, ch: usize| testfield::rssi(field_seed, metre, ch);
+    let quality_cfg = QualityConfig::default();
+
+    let n = p.n_vehicles;
+    let ids: Vec<u64> = (1..=n as u64).collect();
+    let mut nodes: Vec<RupsNode> = ids
+        .iter()
+        .map(|&id| RupsNode::new(cfg.clone()).with_vehicle_id(id))
+        .collect();
+    let link = V2vLink::with_faults(*faults, link_seed);
+    let endpoints: Vec<_> = ids.iter().map(|&id| link.join(id)).collect();
+    let mut inboxes: Vec<SnapshotInbox> = ids
+        .iter()
+        .map(|_| SnapshotInbox::new(InboxConfig::for_rups(&cfg, p.horizon_s)))
+        .collect();
+
+    let registry = Arc::new(Registry::new());
+    let fuser = Fuser::new(FuseConfig {
+        anchor: Some(1),
+        ..FuseConfig::default()
+    })
+    .with_observability(Arc::clone(&registry));
+
+    // Truth: vehicle k sits (k−1)·gap ahead of vehicle 1, all at 1 m/s.
+    let truth = |a: u64, b: u64| (b as f64 - a as f64) * p.gap_m;
+    let n_pairs = n * (n - 1) / 2;
+
+    let mut fuse_epochs = 0usize;
+    let mut best_errs = Vec::new();
+    let mut fused_errs = Vec::new();
+    let mut fused_worst: f64 = 0.0;
+    let mut direct_slots = 0usize;
+    let mut fused_slots = 0usize;
+    let mut pair_slots = 0usize;
+
+    let total_m = p.warmup_m + s.duration_s as usize;
+    for metre in 0..total_m {
+        let t = metre as f64;
+        for (k, node) in nodes.iter_mut().enumerate() {
+            let road_m = t + k as f64 * p.gap_m;
+            node.append_metre(
+                GeoSample {
+                    heading_rad: 0.0,
+                    timestamp_s: t,
+                },
+                &PowerVector::from_fn(cfg.n_channels, |ch| Some(field(road_m, ch))),
+            )
+            .expect("synthetic drive never mismatches");
+        }
+        if metre < p.warmup_m {
+            continue;
+        }
+
+        // Everyone beacons (1 Hz) and drains their endpoint.
+        for (k, node) in nodes.iter_mut().enumerate() {
+            let snap = node.snapshot(Some(p.context_m));
+            if let Ok(wire) = try_encode_snapshot(&snap) {
+                endpoints[k].broadcast(t, wire);
+            }
+        }
+        for (k, ep) in endpoints.iter().enumerate() {
+            for delivery in ep.poll_until(t) {
+                if let Ok(snap) = decode_snapshot(&delivery.payload) {
+                    let _ = inboxes[k].accept(snap, t);
+                }
+            }
+        }
+
+        if !(metre - p.warmup_m).is_multiple_of(p.fuse_stride_s) {
+            continue;
+        }
+        fuse_epochs += 1;
+
+        // Each vehicle grades fixes against every snapshot it holds; the
+        // epoch's graded fixes become the fix graph.
+        let mut graph = FixGraph::new();
+        for &id in &ids {
+            graph.insert_node(id);
+        }
+        // Direct fixes per unordered pair, keyed (lo, hi).
+        let mut direct: Vec<Vec<(u64, u64, GradedFix)>> = vec![Vec::new(); n_pairs];
+        let pair_slot = |a: u64, b: u64| {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            let (i, j) = (lo as usize - 1, hi as usize - 1);
+            // Row-major upper triangle of an n×n table.
+            i * n - i * (i + 1) / 2 + (j - i - 1)
+        };
+        for (k, node) in nodes.iter_mut().enumerate() {
+            let observer = ids[k];
+            for (id, graded) in node.fix_inbox_parallel(&inboxes[k], t, &quality_cfg) {
+                let Some(neighbour) = id else { continue };
+                if neighbour == observer || !ids.contains(&neighbour) {
+                    continue;
+                }
+                if let Ok(graded) = graded {
+                    graph.insert_fix(observer, neighbour, &graded);
+                    direct[pair_slot(observer, neighbour)].push((observer, neighbour, graded));
+                }
+            }
+        }
+
+        let solution = fuser.solve(&graph).ok();
+        for a in 1..=n as u64 {
+            for b in (a + 1)..=n as u64 {
+                pair_slots += 1;
+                let fused = solution.as_ref().and_then(|sol| sol.displacement(a, b));
+                if let Some(d) = fused {
+                    fused_slots += 1;
+                    let err = (d - truth(a, b)).abs();
+                    // Only pairs with a direct competitor enter the error
+                    // comparison; fused-only pairs are the coverage story.
+                    if !direct[pair_slot(a, b)].is_empty() {
+                        fused_errs.push(err);
+                        fused_worst = fused_worst.max(err);
+                    }
+                }
+                let best = direct[pair_slot(a, b)]
+                    .iter()
+                    .max_by(|x, y| weight_for(&x.2.report).total_cmp(&weight_for(&y.2.report)));
+                if let Some((observer, neighbour, graded)) = best {
+                    direct_slots += 1;
+                    let err = (graded.fix.distance_m - truth(*observer, *neighbour)).abs();
+                    best_errs.push(err);
+                }
+            }
+        }
+    }
+
+    let snap = registry.snapshot();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    CellOutcome {
+        fuse_epochs,
+        best_pairwise_mean_m: mean(&best_errs),
+        fused_mean_m: mean(&fused_errs),
+        fused_worst_m: fused_worst,
+        direct_coverage: direct_slots as f64 / pair_slots.max(1) as f64,
+        fused_coverage: fused_slots as f64 / pair_slots.max(1) as f64,
+        solves: snap.counter("rups_fuse_solves").unwrap_or(0),
+        edges_rejected: snap.counter("rups_fuse_edges_rejected").unwrap_or(0),
+    }
+}
+
+/// Runs the experiment.
+pub fn run(p: &Params) -> Figure {
+    let mut x = Vec::new();
+    let mut fused_y = Vec::new();
+    let mut best_y = Vec::new();
+    let mut fused_cov_y = Vec::new();
+    let mut direct_cov_y = Vec::new();
+    let mut notes = Vec::new();
+    for (i, cell) in p.cells.iter().enumerate() {
+        let out = run_cell(p, &cell.faults, p.scale.seed ^ 0xF0_5E ^ (i as u64 * 131));
+        x.push(cell.faults.expected_loss());
+        fused_y.push(out.fused_mean_m);
+        best_y.push(out.best_pairwise_mean_m);
+        fused_cov_y.push(out.fused_coverage);
+        direct_cov_y.push(out.direct_coverage);
+        notes.push(format!(
+            "{}: fused mean |err| {:.2} m (worst {:.2} m) vs best pairwise {:.2} m \
+             over {} fuse epochs; coverage fused {:.2} vs direct {:.2}; \
+             {} solves, {} edges rejected",
+            cell.label,
+            out.fused_mean_m,
+            out.fused_worst_m,
+            out.best_pairwise_mean_m,
+            out.fuse_epochs,
+            out.fused_coverage,
+            out.direct_coverage,
+            out.solves,
+            out.edges_rejected,
+        ));
+    }
+    notes.push(format!(
+        "{} vehicles, {:.0} m gaps; fused positions answer every connected pair, \
+         including spans whose shared context is too short for any direct fix",
+        p.n_vehicles, p.gap_m
+    ));
+    Figure {
+        id: "ext-fusion".into(),
+        title: "Fix-graph fusion vs best pairwise fix under channel faults".into(),
+        notes,
+        series: vec![
+            Series::new(
+                "fused mean |error| (m) vs expected loss",
+                x.clone(),
+                fused_y,
+            ),
+            Series::new(
+                "best pairwise mean |error| (m) vs expected loss",
+                x.clone(),
+                best_y,
+            ),
+            Series::new(
+                "fused pair coverage vs expected loss",
+                x.clone(),
+                fused_cov_y,
+            ),
+            Series::new("direct pair coverage vs expected loss", x, direct_cov_y),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fused_beats_best_pairwise_under_burst_loss() {
+        let p = quick_params();
+        let fig = run(&p);
+        let fused = &fig.series[0];
+        let best = &fig.series[1];
+        let fused_cov = &fig.series[2];
+        let direct_cov = &fig.series[3];
+        assert_eq!(fused.x.len(), p.cells.len());
+
+        // The acceptance cell: ≥30 % expected burst loss + corruption.
+        let accept = p
+            .cells
+            .iter()
+            .position(|c| c.faults.expected_loss() >= 0.30 && c.faults.corrupt >= 0.01)
+            .expect("default cells include the acceptance severity");
+        assert!(
+            fused.y[accept] < best.y[accept],
+            "fused {} must beat best pairwise {}",
+            fused.y[accept],
+            best.y[accept]
+        );
+        // Fusion answers at least every pair a direct fix answers.
+        for i in 0..p.cells.len() {
+            assert!(
+                fused_cov.y[i] >= direct_cov.y[i] - 1e-9,
+                "cell {i}: fused coverage {} below direct {}",
+                fused_cov.y[i],
+                direct_cov.y[i]
+            );
+            assert!(fused.y[i] > 0.0 && fused.y[i] < 10.0, "cell {i} error sane");
+        }
+        // The ideal channel fuses (nearly) every pair.
+        assert!(fused_cov.y[0] > 0.9, "ideal coverage {}", fused_cov.y[0]);
+    }
+}

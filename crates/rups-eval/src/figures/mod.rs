@@ -19,6 +19,8 @@
 //!   (burst loss, corruption; hardening of §V-B)
 //! * [`ext_fpr`] — detection vs false-positive rate of the adaptive short
 //!   window (quantifies the §V-C claim)
+//! * [`ext_fusion`] — cooperative fix-graph fusion in an n-vehicle convoy:
+//!   fused vs best-pairwise error and pair coverage under channel faults
 //! * [`ext_multiband`] — FM-band fingerprint fusion (§VII future work)
 //! * [`ext_observability`] — unified telemetry under fault injection:
 //!   per-epoch metric timelines from one shared registry
@@ -34,6 +36,7 @@ pub mod comm;
 pub mod cost;
 pub mod ext_faults;
 pub mod ext_fpr;
+pub mod ext_fusion;
 pub mod ext_multiband;
 pub mod ext_observability;
 pub mod ext_pedestrian;

@@ -1,0 +1,266 @@
+//! The neighbourhood fix graph: vehicles as nodes, graded pairwise
+//! distance fixes as weighted edges.
+//!
+//! A RUPS fleet produces one [`GradedFix`] per (observer, neighbour) query
+//! per epoch. [`FixGraph`] collects every fix of one epoch into an
+//! undirected measurement graph over signed along-road displacements:
+//! an edge `(a, b, d)` asserts `x_b − x_a ≈ d` metres, where `x_i` is
+//! vehicle `i`'s position along the common road and `d` is positive when
+//! `b` is ahead of `a` — exactly the sign convention of
+//! [`DistanceFix::distance_m`](rups_core::pipeline::DistanceFix).
+//!
+//! Edges carry weights derived from the fix's [`QualityReport`] via
+//! [`weight_for`]: the conservative error bound sets the base precision
+//! (`1/σ²`) and the grade clamps the result into disjoint per-grade bands,
+//! so a [`FixQuality::Low`] fix can *never* outweigh a
+//! [`FixQuality::High`] one no matter how optimistic its bound is.
+
+use rups_core::pipeline::GradedFix;
+use rups_core::quality::{FixQuality, QualityReport};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Per-grade weight bands of [`weight_for`], highest first. The bands are
+/// disjoint and ordered, which is what makes the "Low never dominates
+/// High" invariant structural rather than statistical.
+pub const GRADE_WEIGHT_BANDS: [(FixQuality, f64, f64); 3] = [
+    (FixQuality::High, 0.5, 4.0),
+    (FixQuality::Medium, 0.1, 0.45),
+    (FixQuality::Low, 0.01, 0.09),
+];
+
+/// The least-squares weight of a fix with the given quality report:
+/// `1/error_bound²` clamped into its grade's band of
+/// [`GRADE_WEIGHT_BANDS`]. Non-finite or non-positive bounds take the
+/// band floor.
+pub fn weight_for(report: &QualityReport) -> f64 {
+    let (_, lo, hi) = GRADE_WEIGHT_BANDS
+        .iter()
+        .find(|(g, _, _)| *g == report.quality)
+        .expect("every grade has a band");
+    let bound = report.error_bound_m;
+    if !bound.is_finite() || bound <= 0.0 {
+        return *lo;
+    }
+    (1.0 / (bound * bound)).clamp(*lo, *hi)
+}
+
+/// One measurement edge of a [`FixGraph`].
+///
+/// Stored canonically with `a < b` and `measured_m = x_b − x_a`; parallel
+/// edges (both vehicles fixing each other, or several epochs folded into
+/// one graph) are kept as independent measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FixEdge {
+    /// Lower vehicle id of the pair.
+    pub a: u64,
+    /// Higher vehicle id of the pair.
+    pub b: u64,
+    /// Measured signed displacement `x_b − x_a`, metres.
+    pub measured_m: f64,
+    /// Least-squares weight (`≈ 1/σ²`); see [`weight_for`].
+    pub weight: f64,
+    /// Grade of the underlying fix.
+    pub grade: FixQuality,
+    /// Conservative error bound of the underlying fix, metres.
+    pub error_bound_m: f64,
+}
+
+/// An undirected graph of signed pairwise distance measurements.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FixGraph {
+    /// Sorted, deduplicated vehicle ids (kept a `Vec` so the graph
+    /// serialises through the workspace serde shim).
+    nodes: Vec<u64>,
+    edges: Vec<FixEdge>,
+}
+
+impl FixGraph {
+    fn add_node(&mut self, id: u64) {
+        if let Err(i) = self.nodes.binary_search(&id) {
+            self.nodes.insert(i, id);
+        }
+    }
+}
+
+impl FixGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests one graded fix: `observer` measured `neighbour` at signed
+    /// distance `graded.fix.distance_m` (positive = neighbour ahead).
+    /// Non-finite measurements are ignored (returns `false`).
+    pub fn insert_fix(&mut self, observer: u64, neighbour: u64, graded: &GradedFix) -> bool {
+        self.insert_measurement(
+            observer,
+            neighbour,
+            graded.fix.distance_m,
+            weight_for(&graded.report),
+            graded.report.quality,
+            graded.report.error_bound_m,
+        )
+    }
+
+    /// Ingests a raw measurement `x_neighbour − x_observer ≈ measured_m`
+    /// with an explicit weight. Returns `false` (and inserts nothing) for
+    /// self-loops or non-finite values.
+    pub fn insert_measurement(
+        &mut self,
+        observer: u64,
+        neighbour: u64,
+        measured_m: f64,
+        weight: f64,
+        grade: FixQuality,
+        error_bound_m: f64,
+    ) -> bool {
+        if observer == neighbour || !measured_m.is_finite() || !weight.is_finite() || weight <= 0.0
+        {
+            return false;
+        }
+        let (a, b, d) = if observer < neighbour {
+            (observer, neighbour, measured_m)
+        } else {
+            (neighbour, observer, -measured_m)
+        };
+        self.add_node(a);
+        self.add_node(b);
+        self.edges.push(FixEdge {
+            a,
+            b,
+            measured_m: d,
+            weight,
+            grade,
+            error_bound_m,
+        });
+        true
+    }
+
+    /// Registers a vehicle without any measurement yet (it will be reported
+    /// as unreachable by the solver unless edges arrive).
+    pub fn insert_node(&mut self, id: u64) {
+        self.add_node(id);
+    }
+
+    /// Vehicle ids, ascending.
+    pub fn nodes(&self) -> &[u64] {
+        &self.nodes
+    }
+
+    /// All measurement edges, in insertion order.
+    pub fn edges(&self) -> &[FixEdge] {
+        &self.edges
+    }
+
+    /// Number of vehicles.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of measurements.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the graph holds no measurements.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The set of nodes reachable from `root` over the edges, ascending.
+    pub fn component_of(&self, root: u64) -> Vec<u64> {
+        if self.nodes.binary_search(&root).is_err() {
+            return Vec::new();
+        }
+        let mut seen = BTreeSet::new();
+        seen.insert(root);
+        let mut frontier = vec![root];
+        while let Some(n) = frontier.pop() {
+            for e in &self.edges {
+                let peer = if e.a == n {
+                    e.b
+                } else if e.b == n {
+                    e.a
+                } else {
+                    continue;
+                };
+                if seen.insert(peer) {
+                    frontier.push(peer);
+                }
+            }
+        }
+        seen.into_iter().collect()
+    }
+
+    /// True when every node is reachable from every other.
+    pub fn is_connected(&self) -> bool {
+        match self.nodes.first() {
+            None => true,
+            Some(&root) => self.component_of(root).len() == self.nodes.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(quality: FixQuality, bound: f64) -> QualityReport {
+        QualityReport {
+            quality,
+            error_bound_m: bound,
+            estimate_spread_m: 0.0,
+            score: 1.8,
+        }
+    }
+
+    #[test]
+    fn weights_live_in_disjoint_ordered_bands() {
+        for bound in [0.1, 1.0, 3.0, 10.0, 1e6, f64::NAN, -1.0] {
+            let lo = weight_for(&report(FixQuality::Low, bound));
+            let me = weight_for(&report(FixQuality::Medium, bound));
+            let hi = weight_for(&report(FixQuality::High, bound));
+            assert!(lo < me && me < hi, "bound {bound}: {lo} {me} {hi}");
+            assert!(lo >= 0.01 && hi <= 4.0);
+        }
+    }
+
+    #[test]
+    fn edges_are_canonicalised_by_id_order() {
+        let mut g = FixGraph::new();
+        // 7 observes 3 at −50 m (3 is behind) ≡ 3 observes 7 at +50 m.
+        assert!(g.insert_measurement(7, 3, -50.0, 1.0, FixQuality::High, 3.0));
+        assert!(g.insert_measurement(3, 7, 50.0, 1.0, FixQuality::High, 3.0));
+        assert_eq!(g.edge_count(), 2);
+        for e in g.edges() {
+            assert_eq!((e.a, e.b), (3, 7));
+            assert!((e.measured_m - 50.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_measurements_are_refused() {
+        let mut g = FixGraph::new();
+        assert!(!g.insert_measurement(1, 1, 5.0, 1.0, FixQuality::High, 3.0));
+        assert!(!g.insert_measurement(1, 2, f64::NAN, 1.0, FixQuality::High, 3.0));
+        assert!(!g.insert_measurement(1, 2, 5.0, 0.0, FixQuality::High, 3.0));
+        assert!(!g.insert_measurement(1, 2, 5.0, f64::INFINITY, FixQuality::High, 3.0));
+        assert!(g.is_empty());
+        assert_eq!(g.node_count(), 0);
+    }
+
+    #[test]
+    fn connectivity_and_components() {
+        let mut g = FixGraph::new();
+        g.insert_measurement(1, 2, 10.0, 1.0, FixQuality::High, 3.0);
+        g.insert_measurement(2, 3, 10.0, 1.0, FixQuality::High, 3.0);
+        g.insert_measurement(8, 9, 5.0, 1.0, FixQuality::High, 3.0);
+        assert!(!g.is_connected());
+        assert_eq!(g.component_of(1), vec![1, 2, 3]);
+        assert_eq!(g.component_of(9), vec![8, 9]);
+        assert_eq!(g.component_of(42), Vec::<u64>::new());
+        g.insert_measurement(3, 8, 20.0, 1.0, FixQuality::High, 3.0);
+        assert!(g.is_connected());
+    }
+}

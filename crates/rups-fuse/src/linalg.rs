@@ -1,0 +1,83 @@
+//! Minimal dense linear algebra for the fusion solvers: a symmetric
+//! positive-(semi)definite solve via Gaussian elimination with partial
+//! pivoting. Neighbourhood graphs are small (tens of vehicles), so a
+//! dense O(n³) solve is both simplest and fastest here — no sparse
+//! machinery, no external dependency.
+
+/// Solves `A x = b` for square `A` (row-major, `n × n`), in place.
+/// Returns `None` when the system is singular to working precision.
+pub fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Option<Vec<f64>> {
+    debug_assert_eq!(a.len(), n * n);
+    debug_assert_eq!(b.len(), n);
+    for col in 0..n {
+        // Partial pivot: largest magnitude entry on/below the diagonal.
+        let pivot_row = (col..n)
+            .max_by(|&r, &s| a[r * n + col].abs().total_cmp(&a[s * n + col].abs()))
+            .expect("non-empty range");
+        let pivot = a[pivot_row * n + col];
+        if pivot.abs() < 1e-12 {
+            return None;
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                a.swap(pivot_row * n + k, col * n + k);
+            }
+            b.swap(pivot_row, col);
+        }
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / a[col * n + col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row * n + k] * x[k];
+        }
+        x[row] = acc / a[row * n + row];
+        if !x[row].is_finite() {
+            return None;
+        }
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_a_well_conditioned_system() {
+        // A = [[4,1],[1,3]], b = [1,2] → x = [1/11, 7/11].
+        let mut a = vec![4.0, 1.0, 1.0, 3.0];
+        let mut b = vec![1.0, 2.0];
+        let x = solve_dense(&mut a, &mut b, 2).unwrap();
+        assert!((x[0] - 1.0 / 11.0).abs() < 1e-12);
+        assert!((x[1] - 7.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // Leading zero on the diagonal requires a row swap.
+        let mut a = vec![0.0, 1.0, 1.0, 0.0];
+        let mut b = vec![2.0, 3.0];
+        let x = solve_dense(&mut a, &mut b, 2).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_systems_are_reported() {
+        let mut a = vec![1.0, 2.0, 2.0, 4.0];
+        let mut b = vec![1.0, 2.0];
+        assert!(solve_dense(&mut a, &mut b, 2).is_none());
+    }
+}

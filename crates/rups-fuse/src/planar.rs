@@ -1,0 +1,291 @@
+//! The nonlinear sibling of [`crate::solve`]: Gauss–Newton over *range*
+//! (unsigned distance) residuals for planar vehicle layouts.
+//!
+//! RUPS itself produces signed along-road displacements, so the product
+//! path fuses in one dimension. Range-only fusion is where Gauss–Newton
+//! genuinely iterates, where the gauge group grows to translation **and
+//! rotation** (plus reflection), and where intersection-style geometries
+//! beyond a single road live — so this module exists both as the
+//! general-geometry solver and as the test bed proving the solver
+//! machinery is not quietly exploiting linearity. The verification
+//! harness (`tests/`) checks its estimates against brute-force coordinate
+//! descent and its gauge invariances via the pairwise distance spectrum,
+//! which is the only gauge-free observable.
+//!
+//! Range residuals `r_e = ‖p_b − p_a‖ − d_e` are non-convex, so the
+//! solver is local: callers supply an initial layout (dead-reckoned GPS
+//! or the previous epoch's estimate in a deployment; perturbed ground
+//! truth in tests). Gauge fixing pins the anchor at its initial position
+//! and a second node's bearing (its `y` stays fixed), removing the three
+//! planar gauge freedoms.
+
+use crate::linalg::solve_dense;
+use crate::solve::FuseError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One range measurement between two vehicles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RangeEdge {
+    /// One endpoint.
+    pub a: u64,
+    /// The other endpoint.
+    pub b: u64,
+    /// Measured unsigned distance, metres.
+    pub range_m: f64,
+    /// Least-squares weight (`≈ 1/σ²`).
+    pub weight: f64,
+}
+
+/// A planar fusion problem: initial positions plus range edges.
+/// (`Serialize` only: the serde shim cannot deserialise fixed arrays.)
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct PlanarGraph {
+    /// `(vehicle_id, [x, y])` initial positions; ids must be unique.
+    pub nodes: Vec<(u64, [f64; 2])>,
+    /// Range measurements.
+    pub edges: Vec<RangeEdge>,
+}
+
+impl PlanarGraph {
+    /// Adds a node with an initial position guess.
+    pub fn insert_node(&mut self, id: u64, xy: [f64; 2]) {
+        self.nodes.retain(|(n, _)| *n != id);
+        self.nodes.push((id, xy));
+        self.nodes.sort_by_key(|&(n, _)| n);
+    }
+
+    /// Adds a range measurement; refuses self-loops and non-finite input.
+    pub fn insert_range(&mut self, a: u64, b: u64, range_m: f64, weight: f64) -> bool {
+        if a == b || !range_m.is_finite() || range_m < 0.0 || !weight.is_finite() || weight <= 0.0 {
+            return false;
+        }
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        self.edges.push(RangeEdge {
+            a,
+            b,
+            range_m,
+            weight,
+        });
+        true
+    }
+}
+
+/// Configuration of [`solve_planar`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlanarConfig {
+    /// Gauss–Newton iteration cap.
+    pub max_iterations: usize,
+    /// Convergence threshold on the update step (infinity norm), metres.
+    pub tolerance_m: f64,
+    /// Levenberg damping added to the normal-equation diagonal; keeps the
+    /// step finite near degenerate (e.g. momentarily collinear) layouts.
+    pub damping: f64,
+}
+
+impl Default for PlanarConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 60,
+            tolerance_m: 1e-10,
+            damping: 1e-9,
+        }
+    }
+}
+
+/// The planar solution.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PlanarSolution {
+    /// `(vehicle_id, [x, y])`, ascending by id.
+    pub positions: Vec<(u64, [f64; 2])>,
+    /// Gauss–Newton iterations taken.
+    pub iterations: usize,
+    /// Whether the update step met the tolerance.
+    pub converged: bool,
+    /// Weighted RMS range residual, metres.
+    pub residual_rms_m: f64,
+}
+
+impl PlanarSolution {
+    /// Position of a vehicle.
+    pub fn position_of(&self, id: u64) -> Option<[f64; 2]> {
+        self.positions
+            .binary_search_by_key(&id, |&(n, _)| n)
+            .ok()
+            .map(|i| self.positions[i].1)
+    }
+
+    /// Euclidean distance between two fused positions.
+    pub fn distance(&self, a: u64, b: u64) -> Option<f64> {
+        let pa = self.position_of(a)?;
+        let pb = self.position_of(b)?;
+        Some(((pa[0] - pb[0]).powi(2) + (pa[1] - pb[1]).powi(2)).sqrt())
+    }
+}
+
+/// Solves the planar range network by damped Gauss–Newton from the given
+/// initial layout. The first node (lowest id) is the anchor: fully
+/// pinned; the second node's `y` is pinned to fix rotation.
+pub fn solve_planar(graph: &PlanarGraph, cfg: &PlanarConfig) -> Result<PlanarSolution, FuseError> {
+    if graph.edges.is_empty() || graph.nodes.is_empty() {
+        return Err(FuseError::EmptyGraph);
+    }
+    let mut nodes = graph.nodes.clone();
+    nodes.sort_by_key(|&(n, _)| n);
+    let ids: Vec<u64> = nodes.iter().map(|&(n, _)| n).collect();
+    let mut pos: BTreeMap<u64, [f64; 2]> = nodes.into_iter().collect();
+
+    // Variable layout: anchor contributes nothing, the second node only
+    // its x, every later node x and y.
+    let mut var_of: BTreeMap<(u64, usize), usize> = BTreeMap::new();
+    for (i, &id) in ids.iter().enumerate() {
+        match i {
+            0 => {}
+            1 => {
+                var_of.insert((id, 0), var_of.len());
+            }
+            _ => {
+                var_of.insert((id, 0), var_of.len());
+                var_of.insert((id, 1), var_of.len());
+            }
+        }
+    }
+    let m = var_of.len();
+
+    let mut iterations = 0;
+    let mut converged = m == 0;
+    while iterations < cfg.max_iterations && !converged {
+        iterations += 1;
+        let mut h = vec![0.0; m * m];
+        let mut g = vec![0.0; m];
+        for e in &graph.edges {
+            let (pa, pb) = (pos[&e.a], pos[&e.b]);
+            let (dx, dy) = (pb[0] - pa[0], pb[1] - pa[1]);
+            let dist = (dx * dx + dy * dy).sqrt();
+            // Coincident endpoints have no defined direction; push along x.
+            let (ux, uy) = if dist > 1e-9 {
+                (dx / dist, dy / dist)
+            } else {
+                (1.0, 0.0)
+            };
+            let r = dist - e.range_m;
+            // ∂r/∂pb = (ux, uy), ∂r/∂pa = (−ux, −uy).
+            let entries = [
+                (var_of.get(&(e.b, 0)), ux),
+                (var_of.get(&(e.b, 1)), uy),
+                (var_of.get(&(e.a, 0)), -ux),
+                (var_of.get(&(e.a, 1)), -uy),
+            ];
+            for (vi, ji) in entries {
+                let Some(&vi) = vi else { continue };
+                g[vi] += e.weight * ji * r;
+                for (vj, jj) in entries {
+                    let Some(&vj) = vj else { continue };
+                    h[vi * m + vj] += e.weight * ji * jj;
+                }
+            }
+        }
+        for d in 0..m {
+            h[d * m + d] += cfg.damping;
+        }
+        let mut rhs: Vec<f64> = g.iter().map(|v| -v).collect();
+        let delta = solve_dense(&mut h, &mut rhs, m).ok_or(FuseError::Singular)?;
+        let mut worst = 0.0f64;
+        for ((id, axis), &vi) in &var_of {
+            pos.get_mut(id).expect("known node")[*axis] += delta[vi];
+            worst = worst.max(delta[vi].abs());
+        }
+        converged = worst < cfg.tolerance_m;
+    }
+
+    let wsum: f64 = graph.edges.iter().map(|e| e.weight).sum();
+    let ss: f64 = graph
+        .edges
+        .iter()
+        .map(|e| {
+            let (pa, pb) = (pos[&e.a], pos[&e.b]);
+            let r = ((pb[0] - pa[0]).powi(2) + (pb[1] - pa[1]).powi(2)).sqrt() - e.range_m;
+            e.weight * r * r
+        })
+        .sum();
+    Ok(PlanarSolution {
+        positions: pos.into_iter().collect(),
+        iterations,
+        converged,
+        residual_rms_m: if wsum > 0.0 { (ss / wsum).sqrt() } else { 0.0 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A unit-weight graph over the given truth layout with exact ranges
+    /// for every listed pair, initial guess = truth + per-node offset.
+    fn graph_from(
+        truth: &[(u64, [f64; 2])],
+        pairs: &[(u64, u64)],
+        jitter: f64,
+    ) -> (PlanarGraph, Vec<(u64, [f64; 2])>) {
+        let mut g = PlanarGraph::default();
+        for (i, &(id, [x, y])) in truth.iter().enumerate() {
+            let s = jitter * (1.0 + i as f64 * 0.3);
+            g.insert_node(id, [x + s, y - 0.7 * s]);
+        }
+        let find = |id: u64| truth.iter().find(|&&(n, _)| n == id).unwrap().1;
+        for &(a, b) in pairs {
+            let (pa, pb) = (find(a), find(b));
+            let d = ((pa[0] - pb[0]).powi(2) + (pa[1] - pb[1]).powi(2)).sqrt();
+            g.insert_range(a, b, d, 1.0);
+        }
+        (g, truth.to_vec())
+    }
+
+    #[test]
+    fn recovers_a_quad_from_exact_ranges() {
+        let truth = [
+            (1, [0.0, 0.0]),
+            (2, [50.0, 0.0]),
+            (3, [55.0, 40.0]),
+            (4, [-5.0, 35.0]),
+        ];
+        let pairs = [(1, 2), (2, 3), (3, 4), (4, 1), (1, 3), (2, 4)];
+        let (g, truth) = graph_from(&truth, &pairs, 2.5);
+        let sol = solve_planar(&g, &PlanarConfig::default()).unwrap();
+        assert!(sol.converged, "stalled after {} iterations", sol.iterations);
+        assert!(sol.residual_rms_m < 1e-8, "rms {}", sol.residual_rms_m);
+        // Gauge-free check: every pairwise distance matches the truth.
+        for &(a, _) in &truth {
+            for &(b, _) in &truth {
+                if a >= b {
+                    continue;
+                }
+                let find = |id: u64| truth.iter().find(|&&(n, _)| n == id).unwrap().1;
+                let (pa, pb) = (find(a), find(b));
+                let want = ((pa[0] - pb[0]).powi(2) + (pa[1] - pb[1]).powi(2)).sqrt();
+                let got = sol.distance(a, b).unwrap();
+                assert!((got - want).abs() < 1e-6, "pair ({a},{b}): {got} vs {want}");
+            }
+        }
+        // The nonlinear path genuinely iterates.
+        assert!(sol.iterations >= 2);
+    }
+
+    #[test]
+    fn empty_graphs_error() {
+        assert_eq!(
+            solve_planar(&PlanarGraph::default(), &PlanarConfig::default()),
+            Err(FuseError::EmptyGraph)
+        );
+    }
+
+    #[test]
+    fn degenerate_ranges_are_refused() {
+        let mut g = PlanarGraph::default();
+        assert!(!g.insert_range(1, 1, 5.0, 1.0));
+        assert!(!g.insert_range(1, 2, -1.0, 1.0));
+        assert!(!g.insert_range(1, 2, f64::NAN, 1.0));
+        assert!(!g.insert_range(1, 2, 5.0, 0.0));
+        assert!(g.edges.is_empty());
+    }
+}

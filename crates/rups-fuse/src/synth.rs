@@ -1,0 +1,346 @@
+//! Synthetic fusion scenarios with known ground truth — the first-class
+//! verification harness of this crate.
+//!
+//! [`generate`] builds a random connected [`FixGraph`] from a ground-truth
+//! 1-D layout: a spanning chain guarantees connectivity, random chords add
+//! the cycle redundancy fusion exploits, per-edge noise is scaled by the
+//! grade the edge is stamped with, and a configurable number of **chord**
+//! edges are corrupted by a large offset (chords only — corrupting a
+//! bridge is undetectable in principle, since no cycle closes over it).
+//! Everything is deterministic in the seed, so failures replay exactly.
+//!
+//! The generator is part of the public API (not test-only code) because
+//! the eval harness and downstream consumers use the same scenarios for
+//! golden fixtures and benchmarks.
+
+use crate::graph::{FixGraph, GRADE_WEIGHT_BANDS};
+use rups_core::quality::FixQuality;
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 — tiny deterministic generator, independent of any RNG shim.
+#[derive(Debug, Clone)]
+pub struct SynthRng {
+    state: u64,
+}
+
+impl SynthRng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+
+    /// Approximately standard-normal draw (Irwin–Hall sum of 12).
+    pub fn gaussian(&mut self) -> f64 {
+        (0..12).map(|_| self.unit()).sum::<f64>() - 6.0
+    }
+}
+
+/// Parameters of a synthetic scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Number of vehicles (ids `0..n`).
+    pub n_nodes: usize,
+    /// Vehicle spacing is drawn uniformly from this interval, metres.
+    pub spacing_min_m: f64,
+    /// Upper end of the spacing interval, metres.
+    pub spacing_max_m: f64,
+    /// Chord edges added on top of the spanning chain.
+    pub n_chords: usize,
+    /// Measurement-noise sigma of a [`FixQuality::High`] edge, metres;
+    /// `Medium` gets 3× and `Low` 6× this.
+    pub noise_sigma_m: f64,
+    /// Chord edges corrupted by a gross offset (clamped to the number of
+    /// chords actually added).
+    pub n_corrupt: usize,
+    /// Base magnitude of the corruption offset, metres. Each corrupted
+    /// edge draws an independent offset of `0.6×`–`1.6×` this with a
+    /// random sign, so corrupted edges cannot corroborate each other.
+    pub corrupt_offset_m: f64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self {
+            seed: 2016,
+            n_nodes: 6,
+            spacing_min_m: 25.0,
+            spacing_max_m: 70.0,
+            n_chords: 6,
+            noise_sigma_m: 0.6,
+            n_corrupt: 0,
+            corrupt_offset_m: 60.0,
+        }
+    }
+}
+
+/// A generated scenario: the graph plus everything needed to verify a
+/// solution against the truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthScenario {
+    /// The configuration that produced it.
+    pub config: SynthConfig,
+    /// Ground-truth positions `(vehicle_id, x_m)`, ascending by id.
+    pub truth: Vec<(u64, f64)>,
+    /// The measurement graph.
+    pub graph: FixGraph,
+    /// Indices into `graph.edges()` of the corrupted edges.
+    pub corrupted: Vec<usize>,
+}
+
+impl SynthScenario {
+    /// Ground-truth position of a vehicle.
+    pub fn truth_of(&self, id: u64) -> Option<f64> {
+        self.truth
+            .binary_search_by_key(&id, |&(n, _)| n)
+            .ok()
+            .map(|i| self.truth[i].1)
+    }
+
+    /// Ground-truth displacement `x_b − x_a`.
+    pub fn truth_displacement(&self, a: u64, b: u64) -> Option<f64> {
+        Some(self.truth_of(b)? - self.truth_of(a)?)
+    }
+
+    /// Weighted RMS of the *measurement* errors (edge measured value vs
+    /// ground-truth displacement) — the input-error side of the
+    /// "fusion never makes it worse" invariant.
+    pub fn input_weighted_rms(&self) -> f64 {
+        let edges = self.graph.edges();
+        let wsum: f64 = edges.iter().map(|e| e.weight).sum();
+        if wsum <= 0.0 {
+            return 0.0;
+        }
+        let ss: f64 = edges
+            .iter()
+            .map(|e| {
+                let err = e.measured_m - self.truth_displacement(e.a, e.b).expect("edge nodes");
+                e.weight * err * err
+            })
+            .sum();
+        (ss / wsum).sqrt()
+    }
+
+    /// Weighted RMS error of fused per-edge estimates given solved
+    /// positions (same weights and edge set as
+    /// [`SynthScenario::input_weighted_rms`]).
+    pub fn fused_weighted_rms(&self, position_of: impl Fn(u64) -> Option<f64>) -> f64 {
+        let edges = self.graph.edges();
+        let wsum: f64 = edges.iter().map(|e| e.weight).sum();
+        if wsum <= 0.0 {
+            return 0.0;
+        }
+        let ss: f64 = edges
+            .iter()
+            .map(|e| {
+                let (xa, xb) = (position_of(e.a), position_of(e.b));
+                let est = xb.expect("solved node") - xa.expect("solved node");
+                let err = est - self.truth_displacement(e.a, e.b).expect("edge nodes");
+                e.weight * err * err
+            })
+            .sum();
+        (ss / wsum).sqrt()
+    }
+}
+
+/// Noise sigma of a grade, as a multiple of [`SynthConfig::noise_sigma_m`].
+fn grade_sigma(cfg: &SynthConfig, grade: FixQuality) -> f64 {
+    match grade {
+        FixQuality::High => cfg.noise_sigma_m,
+        FixQuality::Medium => 3.0 * cfg.noise_sigma_m,
+        FixQuality::Low => 6.0 * cfg.noise_sigma_m,
+    }
+}
+
+/// Generates a scenario. Panics when `n_nodes < 2`.
+pub fn generate(cfg: &SynthConfig) -> SynthScenario {
+    assert!(cfg.n_nodes >= 2, "a fix graph needs at least two vehicles");
+    let mut rng = SynthRng::new(cfg.seed);
+
+    // Ground truth: a convoy with random spacing.
+    let mut truth = Vec::with_capacity(cfg.n_nodes);
+    let mut x = 0.0;
+    for id in 0..cfg.n_nodes as u64 {
+        truth.push((id, x));
+        x += rng.range(cfg.spacing_min_m, cfg.spacing_max_m);
+    }
+    let truth_of = |id: u64| truth[id as usize].1;
+
+    let mut graph = FixGraph::new();
+    let emit = |rng: &mut SynthRng,
+                graph: &mut FixGraph,
+                a: u64,
+                b: u64,
+                extra_m: f64,
+                force: Option<FixQuality>| {
+        let grade = force.unwrap_or(match rng.below(4) {
+            0 => FixQuality::Low,
+            1 => FixQuality::Medium,
+            _ => FixQuality::High,
+        });
+        let sigma = grade_sigma(cfg, grade);
+        let measured = truth_of(b) - truth_of(a) + sigma * rng.gaussian() + extra_m;
+        // Error bound consistent with the noise model (≈ 3σ, floored like
+        // the quality layer's base bound); the weight clamps into the
+        // grade band exactly as a real GradedFix would via weight_for.
+        let bound = (3.0 * sigma).max(3.0);
+        let (_, lo, hi) = GRADE_WEIGHT_BANDS
+            .iter()
+            .find(|(g, _, _)| *g == grade)
+            .expect("every grade has a band");
+        let weight = (1.0 / (bound * bound)).clamp(*lo, *hi);
+        graph.insert_measurement(a, b, measured, weight, grade, bound);
+    };
+
+    // Spanning chain: clean (never corrupted) so the graph stays honest
+    // about what rejection can and cannot detect. When corruption is
+    // requested the chain is measured twice (adjacent vehicles fixing
+    // each other, as a real fleet does) — a lone Low-grade link next to a
+    // Low-grade corrupted chord is otherwise a one-cycle coin flip no
+    // residual test can call, while an agreeing independent witness per
+    // link makes the corrupted edge identifiable: the honest side's
+    // misfit spreads across the span's links and their twins, so the
+    // corrupted edge always carries the largest single-edge residual.
+    let chain_passes = if cfg.n_corrupt > 0 { 2 } else { 1 };
+    for _ in 0..chain_passes {
+        for i in 0..cfg.n_nodes as u64 - 1 {
+            emit(&mut rng, &mut graph, i, i + 1, 0.0, None);
+        }
+    }
+
+    // Chords with random endpoints at least 2 apart, a subset corrupted.
+    // Two-vehicle graphs have no chord to add.
+    //
+    // Corrupted chords get *independent* random offset magnitudes and the
+    // `Low` grade. Both choices keep rejection an honest claim rather than
+    // an impossible one: identical offsets let two corrupted edges over
+    // the same pair corroborate each other (collusion no residual test
+    // can see through), and a gross error that slipped through quality
+    // grading as `High` with a 3 m bound would likewise be weighted as
+    // indistinguishable from truth. A corrupted fix failing its quality
+    // checks into the bottom grade is also the realistic failure mode.
+    let n_chords = if cfg.n_nodes >= 3 { cfg.n_chords } else { 0 };
+    let n_corrupt = cfg.n_corrupt.min(n_chords);
+    let mut corrupted = Vec::new();
+    for chord in 0..n_chords {
+        let a = rng.below(cfg.n_nodes - 2) as u64;
+        let span = 2 + rng.below(cfg.n_nodes - a as usize - 2);
+        let b = a + span as u64;
+        let (extra, force) = if chord < n_corrupt {
+            let sign = if rng.unit() < 0.5 { -1.0 } else { 1.0 };
+            let scale = 0.6 + rng.unit();
+            (sign * scale * cfg.corrupt_offset_m, Some(FixQuality::Low))
+        } else {
+            (0.0, None)
+        };
+        if extra != 0.0 {
+            corrupted.push(graph.edge_count());
+        }
+        emit(&mut rng, &mut graph, a, b, extra, force);
+    }
+
+    SynthScenario {
+        config: *cfg,
+        truth,
+        graph,
+        corrupted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_deterministic_in_the_seed() {
+        let cfg = SynthConfig {
+            n_corrupt: 2,
+            ..SynthConfig::default()
+        };
+        let (a, b) = (generate(&cfg), generate(&cfg));
+        assert_eq!(a, b);
+        let c = generate(&SynthConfig { seed: 7, ..cfg });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_graphs_are_connected_with_redundancy() {
+        for seed in 0..20 {
+            let s = generate(&SynthConfig {
+                seed,
+                ..SynthConfig::default()
+            });
+            assert!(s.graph.is_connected());
+            assert_eq!(s.graph.node_count(), 6);
+            assert_eq!(s.graph.edge_count(), 5 + 6);
+            // Truth is a monotone convoy.
+            for w in s.truth.windows(2) {
+                assert!(w[1].1 > w[0].1 + 20.0);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_edges_are_chords_with_gross_error() {
+        let s = generate(&SynthConfig {
+            n_corrupt: 3,
+            ..SynthConfig::default()
+        });
+        assert_eq!(s.corrupted.len(), 3);
+        for &i in &s.corrupted {
+            let e = s.graph.edges()[i];
+            assert!(e.b - e.a >= 2, "corrupted edge must be a chord");
+            let err = (e.measured_m - s.truth_displacement(e.a, e.b).unwrap()).abs();
+            assert!(err > 30.0, "gross error expected, got {err}");
+        }
+        // Non-corrupted edges stay within their noise model (≤ 6σ·6x).
+        for (i, e) in s.graph.edges().iter().enumerate() {
+            if s.corrupted.contains(&i) {
+                continue;
+            }
+            let err = (e.measured_m - s.truth_displacement(e.a, e.b).unwrap()).abs();
+            assert!(err < 25.0, "edge {i} error {err}");
+        }
+    }
+
+    #[test]
+    fn input_rms_reflects_injected_noise() {
+        let quiet = generate(&SynthConfig {
+            noise_sigma_m: 1e-9,
+            ..SynthConfig::default()
+        });
+        assert!(quiet.input_weighted_rms() < 1e-6);
+        let noisy = generate(&SynthConfig {
+            noise_sigma_m: 2.0,
+            ..SynthConfig::default()
+        });
+        assert!(noisy.input_weighted_rms() > 0.5);
+    }
+}

@@ -1,0 +1,234 @@
+//! Differential tests: the Gauss–Newton solvers against brute-force
+//! references on small graphs.
+//!
+//! The references share no machinery with the production path:
+//! - 1-D: Gauss–Seidel coordinate descent — each sweep sets every free
+//!   node to the weighted mean of its neighbours' implied positions,
+//!   which is the exact single-coordinate minimiser of the quadratic
+//!   cost. Convexity makes the fixed point the global optimum.
+//! - Planar: per-coordinate ternary search over a shrinking interval —
+//!   derivative-free, so it cannot inherit a Jacobian mistake.
+
+use proptest::prelude::*;
+use rups_core::quality::FixQuality;
+use rups_fuse::{
+    generate, solve_planar, FixGraph, FuseConfig, Fuser, OutlierConfig, PlanarConfig, PlanarGraph,
+    SynthConfig, SynthRng,
+};
+
+/// Reference 1-D solver: coordinate descent to the weighted least-squares
+/// optimum with `anchor` pinned at 0. Exact per-coordinate minimiser, so
+/// every sweep monotonically decreases the convex cost.
+fn coordinate_descent(graph: &FixGraph, anchor: u64, max_sweeps: usize) -> Vec<(u64, f64)> {
+    let mut pos: Vec<(u64, f64)> = graph.nodes().iter().map(|&n| (n, 0.0)).collect();
+    let idx_of =
+        |pos: &Vec<(u64, f64)>, id: u64| pos.binary_search_by_key(&id, |&(n, _)| n).expect("node");
+    for _ in 0..max_sweeps {
+        let mut moved = 0.0f64;
+        for i in 0..pos.len() {
+            let (id, _) = pos[i];
+            if id == anchor {
+                pos[i].1 = 0.0;
+                continue;
+            }
+            // Optimal x_id given all others: weighted mean of the
+            // positions each incident edge implies for it.
+            let mut wsum = 0.0;
+            let mut acc = 0.0;
+            for e in graph.edges() {
+                if e.a == id {
+                    let xb = pos[idx_of(&pos, e.b)].1;
+                    acc += e.weight * (xb - e.measured_m);
+                    wsum += e.weight;
+                } else if e.b == id {
+                    let xa = pos[idx_of(&pos, e.a)].1;
+                    acc += e.weight * (xa + e.measured_m);
+                    wsum += e.weight;
+                }
+            }
+            if wsum > 0.0 {
+                let next = acc / wsum;
+                moved = moved.max((next - pos[i].1).abs());
+                pos[i].1 = next;
+            }
+        }
+        if moved < 1e-11 {
+            break;
+        }
+    }
+    pos
+}
+
+/// Weighted SSE of a 1-D assignment — the objective both solvers claim
+/// to minimise.
+fn cost_1d(graph: &FixGraph, pos: &[(u64, f64)]) -> f64 {
+    let of = |id: u64| pos[pos.binary_search_by_key(&id, |&(n, _)| n).unwrap()].1;
+    graph
+        .edges()
+        .iter()
+        .map(|e| {
+            let r = (of(e.b) - of(e.a)) - e.measured_m;
+            e.weight * r * r
+        })
+        .sum()
+}
+
+/// Reference planar solver: per-coordinate ternary search, interval
+/// halved each round. Derivative-free descent to a local minimum of the
+/// range cost from the same initial layout the production solver gets.
+fn planar_descent(graph: &PlanarGraph, rounds: usize) -> Vec<(u64, [f64; 2])> {
+    let mut pos = graph.nodes.clone();
+    pos.sort_by_key(|&(n, _)| n);
+    let cost = |pos: &[(u64, [f64; 2])]| -> f64 {
+        let of = |id: u64| pos[pos.binary_search_by_key(&id, |&(n, _)| n).unwrap()].1;
+        graph
+            .edges
+            .iter()
+            .map(|e| {
+                let (pa, pb) = (of(e.a), of(e.b));
+                let r = ((pb[0] - pa[0]).powi(2) + (pb[1] - pa[1]).powi(2)).sqrt() - e.range_m;
+                e.weight * r * r
+            })
+            .sum()
+    };
+    let mut span = 16.0;
+    for _ in 0..rounds {
+        // Gauge fixing mirrors solve_planar: node 0 pinned, node 1's y
+        // pinned.
+        for i in 0..pos.len() {
+            let axes: &[usize] = match i {
+                0 => &[],
+                1 => &[0],
+                _ => &[0, 1],
+            };
+            for &axis in axes {
+                let centre = pos[i].1[axis];
+                let (mut lo, mut hi) = (centre - span, centre + span);
+                for _ in 0..48 {
+                    let (m1, m2) = (lo + (hi - lo) / 3.0, hi - (hi - lo) / 3.0);
+                    pos[i].1[axis] = m1;
+                    let c1 = cost(&pos);
+                    pos[i].1[axis] = m2;
+                    let c2 = cost(&pos);
+                    if c1 < c2 {
+                        hi = m2;
+                    } else {
+                        lo = m1;
+                    }
+                }
+                pos[i].1[axis] = (lo + hi) / 2.0;
+            }
+        }
+        span = (span * 0.75).max(1e-6);
+    }
+    pos
+}
+
+proptest! {
+    // The production solver and the coordinate-descent reference agree
+    // on every position (same anchor, rejection off so the edge sets
+    // match), and neither beats the other's cost.
+    #[test]
+    fn gauss_newton_matches_coordinate_descent(
+        seed in 0u64..3000,
+        n_nodes in 3usize..7,
+        n_chords in 1usize..6,
+        noise in 0.0f64..3.0,
+    ) {
+        let s = generate(&SynthConfig {
+            seed,
+            n_nodes,
+            n_chords,
+            noise_sigma_m: noise,
+            ..SynthConfig::default()
+        });
+        let sol = Fuser::new(FuseConfig {
+            outlier: OutlierConfig { enabled: false, ..OutlierConfig::default() },
+            ..FuseConfig::default()
+        })
+        .solve(&s.graph)
+        .unwrap();
+        let reference = coordinate_descent(&s.graph, sol.anchor, 200_000);
+        for &(id, x_ref) in &reference {
+            let x = sol.position_of(id).unwrap();
+            prop_assert!(
+                (x - x_ref).abs() < 1e-4,
+                "node {id}: GN {x} vs reference {x_ref} (seed {seed})"
+            );
+        }
+        let (c_gn, c_ref) = (cost_1d(&s.graph, &sol.positions), cost_1d(&s.graph, &reference));
+        prop_assert!(c_gn <= c_ref + 1e-6, "GN cost {c_gn} vs reference {c_ref}");
+    }
+
+    // The planar solver agrees with derivative-free descent on the
+    // gauge-free observables (pairwise distances) and on the cost.
+    #[test]
+    fn planar_solver_matches_ternary_descent(
+        seed in 0u64..2000,
+        jitter in 0.5f64..4.0,
+    ) {
+        let mut rng = SynthRng::new(seed);
+        let truth: Vec<(u64, [f64; 2])> = [[0.0, 0.0], [55.0, 5.0], [60.0, 42.0], [8.0, 38.0]]
+            .iter()
+            .enumerate()
+            .map(|(i, &[x, y])| {
+                (i as u64, [x + rng.range(-6.0, 6.0), y + rng.range(-6.0, 6.0)])
+            })
+            .collect();
+        let mut g = PlanarGraph::default();
+        for &(id, [x, y]) in &truth {
+            g.insert_node(id, [
+                x + rng.range(-jitter, jitter),
+                y + rng.range(-jitter, jitter),
+            ]);
+        }
+        for a in 0..4usize {
+            for b in (a + 1)..4 {
+                let (pa, pb) = (truth[a].1, truth[b].1);
+                let d = ((pa[0] - pb[0]).powi(2) + (pa[1] - pb[1]).powi(2)).sqrt();
+                // Mild measurement noise keeps the optimum off the truth,
+                // so agreement is about the solver, not the scenario.
+                g.insert_range(a as u64, b as u64, d + rng.range(-0.3, 0.3), 1.0);
+            }
+        }
+        let sol = solve_planar(&g, &PlanarConfig::default()).unwrap();
+        prop_assert!(sol.converged);
+        let reference = planar_descent(&g, 64);
+        let dist = |pos: &[(u64, [f64; 2])], a: u64, b: u64| {
+            let of = |id: u64| pos[id as usize].1;
+            let (pa, pb) = (of(a), of(b));
+            ((pa[0] - pb[0]).powi(2) + (pa[1] - pb[1]).powi(2)).sqrt()
+        };
+        for a in 0..4u64 {
+            for b in (a + 1)..4 {
+                let d_gn = sol.distance(a, b).unwrap();
+                let d_ref = dist(&reference, a, b);
+                prop_assert!(
+                    (d_gn - d_ref).abs() < 2e-3,
+                    "pair ({a},{b}): GN {d_gn} vs reference {d_ref} (seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+/// Hand-checkable fixed case: two measurements of one pair fuse to the
+/// weighted mean — the smallest possible differential check, computable
+/// on paper.
+#[test]
+fn two_parallel_edges_fuse_to_the_weighted_mean() {
+    let mut g = FixGraph::new();
+    g.insert_measurement(0, 1, 30.0, 3.0, FixQuality::High, 3.0);
+    g.insert_measurement(0, 1, 40.0, 1.0, FixQuality::Medium, 6.0);
+    let sol = Fuser::new(FuseConfig {
+        outlier: OutlierConfig {
+            enabled: false,
+            ..OutlierConfig::default()
+        },
+        ..FuseConfig::default()
+    })
+    .solve(&g)
+    .unwrap();
+    // (3·30 + 1·40) / 4 = 32.5.
+    assert!((sol.displacement(0, 1).unwrap() - 32.5).abs() < 1e-9);
+}

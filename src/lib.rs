@@ -18,6 +18,9 @@
 //! * [`urban`] (`urban-sim`) — roads, vehicle dynamics, sensor simulation.
 //! * [`gps`] (`gps-sim`) — the GPS baseline error model.
 //! * [`v2v`] (`v2v-sim`) — the DSRC/WSM codec, link and tracking protocol.
+//! * [`fuse`] (`rups-fuse`) — cooperative fix-graph fusion: weighted
+//!   least-squares over a neighbourhood's graded fixes with outlier
+//!   rejection.
 //! * [`eval`] (`rups-eval`) — the experiment harness regenerating every
 //!   paper figure (also available as the `evaluate` binary).
 //!
@@ -28,6 +31,7 @@ pub use gps_sim as gps;
 pub use gsm_sim as gsm;
 pub use rups_core as core;
 pub use rups_eval as eval;
+pub use rups_fuse as fuse;
 pub use urban_sim as urban;
 pub use v2v_sim as v2v;
 

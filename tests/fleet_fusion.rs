@@ -1,0 +1,220 @@
+//! Fleet fusion integration: a five-vehicle convoy exchanging context
+//! beacons over a fault-injected link, every vehicle grading fixes
+//! through the hardened inbox path, and the `rups-fuse` solver fusing
+//! each epoch's fix graph into one consistent set of relative positions.
+//!
+//! The headline assertion is the ISSUE acceptance criterion: under 30 %
+//! expected burst loss plus payload corruption, the fused estimate beats
+//! the best single `GradedFix` available for the same pairs.
+
+use std::sync::Arc;
+
+use rups::core::inbox::{InboxConfig, SnapshotInbox};
+use rups::core::prelude::*;
+use rups::core::quality::QualityConfig;
+use rups::core::testfield;
+use rups::fuse::{weight_for, FixGraph, FuseConfig, Fuser};
+use rups::v2v::fault::FaultConfig;
+use rups::v2v::{decode_snapshot, try_encode_snapshot, V2vLink};
+use rups_obs::{FlightConfig, FlightRecorder, Registry};
+
+const N_CHANNELS: usize = 48;
+const N_VEHICLES: usize = 5;
+const GAP_M: f64 = 40.0;
+const CONTEXT_M: usize = 250;
+const WARMUP_M: usize = 260;
+const DRIVE_S: usize = 100;
+const FUSE_STRIDE_S: usize = 10;
+
+fn cfg() -> RupsConfig {
+    RupsConfig {
+        n_channels: N_CHANNELS,
+        window_channels: 24,
+        max_context_m: CONTEXT_M + 150,
+        ..RupsConfig::default()
+    }
+}
+
+/// The ISSUE acceptance channel: 30 % expected loss arriving in bursts,
+/// plus duplication, reordering and payload corruption.
+fn burst_faults() -> FaultConfig {
+    FaultConfig {
+        duplicate: 0.05,
+        reorder: 0.05,
+        corrupt: 0.01,
+        jitter_s: 0.02,
+        ..FaultConfig::bursty(0.15, 0.35, 1.0)
+    }
+}
+
+#[test]
+fn fused_fleet_beats_best_single_fix_under_burst_loss() {
+    let cfg = cfg();
+    let field = |metre: f64, ch: usize| testfield::rssi(0xF1EE7, metre, ch);
+    let quality_cfg = QualityConfig::default();
+
+    let ids: Vec<u64> = (1..=N_VEHICLES as u64).collect();
+    let mut nodes: Vec<RupsNode> = ids
+        .iter()
+        .map(|&id| RupsNode::new(cfg.clone()).with_vehicle_id(id))
+        .collect();
+    let link = V2vLink::with_faults(burst_faults(), 20160523);
+    let endpoints: Vec<_> = ids.iter().map(|&id| link.join(id)).collect();
+    let mut inboxes: Vec<SnapshotInbox> = ids
+        .iter()
+        .map(|_| SnapshotInbox::new(InboxConfig::for_rups(&cfg, 10.0)))
+        .collect();
+
+    // Fusion observability: rejections must surface on the registry AND
+    // in the flight recorder, not vanish silently.
+    let registry = Arc::new(Registry::new());
+    let flight = Arc::new(FlightRecorder::new(
+        FlightConfig::default(),
+        Arc::clone(&registry),
+    ));
+    let fuser = Fuser::new(FuseConfig {
+        anchor: Some(1),
+        ..FuseConfig::default()
+    })
+    .with_observability(Arc::clone(&registry))
+    .with_flight_recorder(Arc::clone(&flight));
+
+    // Vehicle k holds exactly (k−1)·GAP_M ahead of vehicle 1, all at 1 m/s.
+    let truth = |a: u64, b: u64| (b as f64 - a as f64) * GAP_M;
+
+    let mut solved_epochs = 0usize;
+    let mut full_coverage_epochs = 0usize;
+    let mut fuse_epochs = 0usize;
+    let mut fused_errs: Vec<f64> = Vec::new();
+    let mut best_errs: Vec<f64> = Vec::new();
+
+    for metre in 0..WARMUP_M + DRIVE_S {
+        let t = metre as f64;
+        for (k, node) in nodes.iter_mut().enumerate() {
+            let road_m = t + k as f64 * GAP_M;
+            node.append_metre(
+                GeoSample {
+                    heading_rad: 0.0,
+                    timestamp_s: t,
+                },
+                &PowerVector::from_fn(cfg.n_channels, |ch| Some(field(road_m, ch))),
+            )
+            .unwrap();
+        }
+        if metre < WARMUP_M {
+            continue;
+        }
+
+        // Every vehicle beacons (1 Hz) through the shared faulty link and
+        // drains its endpoint into its vetted inbox.
+        for (k, node) in nodes.iter_mut().enumerate() {
+            let snap = node.snapshot(Some(CONTEXT_M));
+            if let Ok(wire) = try_encode_snapshot(&snap) {
+                endpoints[k].broadcast(t, wire);
+            }
+        }
+        for (k, ep) in endpoints.iter().enumerate() {
+            for delivery in ep.poll_until(t) {
+                if let Ok(snap) = decode_snapshot(&delivery.payload) {
+                    let _ = inboxes[k].accept(snap, t);
+                }
+            }
+        }
+        if !(metre - WARMUP_M).is_multiple_of(FUSE_STRIDE_S) {
+            continue;
+        }
+        fuse_epochs += 1;
+
+        // Epoch fix graph: every vehicle grades fixes against every
+        // snapshot it holds; best direct fix per pair is the baseline.
+        let mut graph = FixGraph::new();
+        for &id in &ids {
+            graph.insert_node(id);
+        }
+        let mut direct: Vec<(u64, u64, GradedFix)> = Vec::new();
+        for (k, node) in nodes.iter_mut().enumerate() {
+            let observer = ids[k];
+            for (id, graded) in node.fix_inbox_parallel(&inboxes[k], t, &quality_cfg) {
+                let (Some(neighbour), Ok(graded)) = (id, graded) else {
+                    continue;
+                };
+                if neighbour == observer {
+                    continue;
+                }
+                graph.insert_fix(observer, neighbour, &graded);
+                direct.push((observer, neighbour, graded));
+            }
+        }
+        let Ok(solution) = fuser.solve(&graph) else {
+            continue;
+        };
+        solved_epochs += 1;
+        if solution.unreachable.is_empty() {
+            full_coverage_epochs += 1;
+        }
+
+        for a in &ids {
+            for b in &ids {
+                if b <= a {
+                    continue;
+                }
+                let best = direct
+                    .iter()
+                    .filter(|(o, n, _)| (o.min(n), o.max(n)) == (a, b))
+                    .max_by(|x, y| weight_for(&x.2.report).total_cmp(&weight_for(&y.2.report)));
+                let Some((o, n, graded)) = best else { continue };
+                let Some(fused) = solution.displacement(*a, *b) else {
+                    continue;
+                };
+                best_errs.push((graded.fix.distance_m - truth(*o, *n)).abs());
+                fused_errs.push((fused - truth(*a, *b)).abs());
+            }
+        }
+    }
+
+    // The convoy keeps fusing through the burst losses…
+    assert!(fuse_epochs >= 10, "only {fuse_epochs} fuse epochs ran");
+    assert!(
+        solved_epochs * 2 > fuse_epochs,
+        "solver succeeded on only {solved_epochs}/{fuse_epochs} epochs"
+    );
+    assert!(
+        full_coverage_epochs > 0,
+        "fusion never reached all {N_VEHICLES} vehicles"
+    );
+    assert!(
+        best_errs.len() >= 20,
+        "too few comparable pairs: {}",
+        best_errs.len()
+    );
+
+    // …and the fused estimates beat the best single graded fix on the
+    // very pairs where a direct fix exists — the acceptance criterion.
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (fused_mean, best_mean) = (mean(&fused_errs), mean(&best_errs));
+    assert!(
+        fused_mean < best_mean,
+        "fused mean |err| {fused_mean:.3} m did not beat best pairwise {best_mean:.3} m"
+    );
+    assert!(fused_mean < 3.0, "fused mean |err| {fused_mean:.3} m");
+
+    // Every rejection the solver reported is visible end to end: counted
+    // on the shared registry and recorded by the flight recorder.
+    let rejected = registry
+        .snapshot()
+        .counter("rups_fuse_edges_rejected")
+        .unwrap_or(0);
+    let recorded = flight
+        .dump()
+        .fixes
+        .iter()
+        .filter(|v| {
+            let serde::value::Value::Map(kv) = v else {
+                return false;
+            };
+            kv.iter()
+                .any(|(k, v)| k == "kind" && v.as_str() == Some("fuse_reject"))
+        })
+        .count() as u64;
+    assert_eq!(recorded, rejected, "flight recorder missed rejections");
+}
