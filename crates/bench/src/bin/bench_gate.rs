@@ -1,34 +1,50 @@
-//! The CI perf-regression gate: re-measures the `syn_batch` workload and
-//! compares it against the committed baseline.
+//! The CI perf-regression gate: re-measures the committed bench workloads
+//! and compares each against its committed baseline.
 //!
 //! ```text
-//! bench_gate [--baseline <path>] [--out <path>] [--tolerance <frac>] [--samples <n>]
+//! bench_gate [--bench syn_batch|syn_kernels|all] [--baseline <path>]
+//!            [--out <path>] [--tolerance <frac>] [--samples <n>]
 //! ```
 //!
-//! Defaults: baseline `results/BENCH_syn_batch.json` (the committed
-//! artefact), verdict to `results/BENCH_syn_batch.verdict.json`, tolerance
-//! from `RUPS_BENCH_TOLERANCE` (falling back to the library default of
-//! 0.35 — wall-clock ns differ across machines; the engine cache rates are
-//! checked tightly regardless), 9 samples per case.
+//! Two workloads are gated: `syn_batch` (end-to-end batched vs naive
+//! fixes, including the engine cache rates) and `syn_kernels` (per-kernel
+//! nanoseconds on the SYN hot path). Defaults: both benches, committed
+//! baselines `results/BENCH_<bench>.json`, verdicts next to them as
+//! `results/BENCH_<bench>.verdict.json`, tolerance from
+//! `RUPS_BENCH_TOLERANCE` (falling back to the library default of 0.35 —
+//! wall-clock ns differ across machines; the engine cache rates are
+//! checked tightly regardless), 9 samples per case. `--baseline`/`--out`
+//! override the paths of a single selected bench.
 //!
-//! Exit code 0 when the gate passes, 1 when it fails (regressed or missing
-//! case, or a cache-rate collapse). The verdict JSON is written either
-//! way, so CI can upload it as an artifact.
+//! Exit code 0 when every selected gate passes, 1 otherwise (regressed or
+//! missing case, or a cache-rate collapse). The verdict JSON files are
+//! written either way, so CI can upload them as artifacts.
 
-use rups_bench::baseline::{self, CompareConfig};
-use rups_bench::syn_batch;
+use rups_bench::baseline::{self, Baseline, CompareConfig};
+use rups_bench::{syn_batch, syn_kernels};
 use std::process::ExitCode;
 
-fn parse_args() -> (String, String, CompareConfig, usize) {
-    let mut baseline_path = baseline::default_path("syn_batch");
-    let mut out_path = baseline_path.replace(".json", ".verdict.json");
-    let mut cfg = CompareConfig::default();
+struct Args {
+    bench: String,
+    baseline_path: Option<String>,
+    out_path: Option<String>,
+    cfg: CompareConfig,
+    samples: usize,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        bench: "all".into(),
+        baseline_path: None,
+        out_path: None,
+        cfg: CompareConfig::default(),
+        samples: 9,
+    };
     if let Ok(tol) = std::env::var("RUPS_BENCH_TOLERANCE") {
-        cfg.tolerance = tol
+        parsed.cfg.tolerance = tol
             .parse()
             .expect("RUPS_BENCH_TOLERANCE must be a fraction like 0.35");
     }
-    let mut samples = 9usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut val = |name: &str| {
@@ -36,37 +52,44 @@ fn parse_args() -> (String, String, CompareConfig, usize) {
                 .unwrap_or_else(|| panic!("{name} needs a value"))
         };
         match arg.as_str() {
-            "--baseline" => baseline_path = val("--baseline"),
-            "--out" => out_path = val("--out"),
+            "--bench" => parsed.bench = val("--bench"),
+            "--baseline" => parsed.baseline_path = Some(val("--baseline")),
+            "--out" => parsed.out_path = Some(val("--out")),
             "--tolerance" => {
-                cfg.tolerance = val("--tolerance")
+                parsed.cfg.tolerance = val("--tolerance")
                     .parse()
                     .expect("--tolerance must be a fraction like 0.35")
             }
             "--samples" => {
-                samples = val("--samples")
+                parsed.samples = val("--samples")
                     .parse()
                     .expect("--samples must be a positive integer")
             }
             other => panic!("unknown argument: {other}"),
         }
     }
-    (baseline_path, out_path, cfg, samples)
+    parsed
 }
 
-fn main() -> ExitCode {
-    let (baseline_path, out_path, cfg, samples) = parse_args();
+fn gate_one(name: &str, current: Baseline, args: &Args) -> bool {
+    let baseline_path = args
+        .baseline_path
+        .clone()
+        .unwrap_or_else(|| baseline::default_path(name));
+    let out_path = args
+        .out_path
+        .clone()
+        .unwrap_or_else(|| baseline_path.replace(".json", ".verdict.json"));
     eprintln!(
-        "bench_gate: baseline {baseline_path}, tolerance {:.0}%",
-        cfg.tolerance * 100.0
+        "bench_gate[{name}]: baseline {baseline_path}, tolerance {:.0}%",
+        args.cfg.tolerance * 100.0
     );
     let committed = baseline::read(&baseline_path);
-    let current = syn_batch::measure(samples);
-    let verdict = baseline::compare(&committed, &current, &cfg);
+    let verdict = baseline::compare(&committed, &current, &args.cfg);
     baseline::write_verdict(&out_path, &verdict);
     for c in &verdict.cases {
         eprintln!(
-            "  {:<12} {:>12.0} -> {:>12.0} ns/op  x{:.3}  {:?}",
+            "  {:<26} {:>12.0} -> {:>12.0} ns/op  x{:.3}  {:?}",
             c.id, c.baseline_ns_per_op, c.current_ns_per_op, c.ratio, c.status
         );
     }
@@ -74,10 +97,33 @@ fn main() -> ExitCode {
         eprintln!("  note: {n}");
     }
     eprintln!(
-        "bench_gate: {} (verdict written to {out_path})",
+        "bench_gate[{name}]: {} (verdict written to {out_path})",
         if verdict.pass { "PASS" } else { "FAIL" }
     );
-    if verdict.pass {
+    verdict.pass
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let run_batch = matches!(args.bench.as_str(), "all" | "syn_batch");
+    let run_kernels = matches!(args.bench.as_str(), "all" | "syn_kernels");
+    assert!(
+        run_batch || run_kernels,
+        "--bench must be syn_batch, syn_kernels, or all (got {})",
+        args.bench
+    );
+    assert!(
+        args.bench != "all" || (args.baseline_path.is_none() && args.out_path.is_none()),
+        "--baseline/--out need a single --bench selection"
+    );
+    let mut pass = true;
+    if run_batch {
+        pass &= gate_one("syn_batch", syn_batch::measure(args.samples), &args);
+    }
+    if run_kernels {
+        pass &= gate_one("syn_kernels", syn_kernels::measure(args.samples), &args);
+    }
+    if pass {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

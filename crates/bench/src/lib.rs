@@ -13,6 +13,7 @@ use urban_sim::road::RoadClass;
 
 pub mod baseline;
 pub mod syn_batch;
+pub mod syn_kernels;
 
 /// A synthetic journey context of `len` metres over `n_channels` channels,
 /// starting at road metre `start` (fully covered, no missing cells).

@@ -1,0 +1,115 @@
+//! Steady-state allocation budget for the warm fix path.
+//!
+//! The engine's scratch arenas, memoised window entries, and cached packed
+//! spectra exist so that a warm query performs no per-channel or
+//! per-placement allocation. This test pins that down with a counting
+//! global allocator: after a few warm-up queries, one more fix against the
+//! same neighbour must stay under a small constant allocation budget (the
+//! returned `DistanceFix` itself owns a couple of vectors; nothing in the
+//! kernel loops may allocate).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rups_bench::{bench_config, synthetic_context};
+use rups_core::pipeline::{ContextSnapshot, RupsNode};
+use rups_core::{GeoSample, GeoTrajectory, PowerVector};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+const N_CHANNELS: usize = 24;
+const WINDOW_M: usize = 85;
+
+fn build_node(seed: u64, context_m: usize) -> RupsNode {
+    let cfg = bench_config(N_CHANNELS, WINDOW_M, N_CHANNELS);
+    let mut node = RupsNode::new(cfg);
+    let ctx = synthetic_context(seed, 0, context_m, N_CHANNELS);
+    for i in 0..ctx.len() {
+        let pv = PowerVector::from_fn(N_CHANNELS, |ch| ctx.get(ch, i));
+        node.append_metre(
+            GeoSample {
+                heading_rad: 0.0,
+                timestamp_s: i as f64,
+            },
+            &pv,
+        )
+        .unwrap();
+    }
+    node
+}
+
+fn neighbour(seed: u64, offset: usize, context_m: usize) -> ContextSnapshot {
+    let mut geo = GeoTrajectory::new();
+    for m in 0..context_m {
+        geo.push(GeoSample {
+            heading_rad: 0.0,
+            timestamp_s: m as f64,
+        });
+    }
+    ContextSnapshot {
+        vehicle_id: Some(7),
+        geo,
+        gsm: synthetic_context(seed, offset, context_m, N_CHANNELS),
+    }
+}
+
+/// The budget covers only what a fix legitimately hands back to the caller
+/// (the `DistanceFix` vectors, the per-fix forensic record): dozens, never
+/// the thousands a per-placement or per-channel allocation would produce
+/// at these context lengths.
+const MAX_ALLOCS_PER_WARM_QUERY: u64 = 64;
+
+#[test]
+fn warm_fix_path_stays_within_constant_allocation_budget() {
+    // Two context lengths so the budget provably does not scale with the
+    // input: both are long enough (w = 85 >= 8*log2(m)) to keep the FFT
+    // kernel, the spectra caches, and the pruned peak scan on the hot path.
+    for context_m in [340usize, 480] {
+        let node = build_node(21, context_m);
+        let snap = neighbour(21, 20, context_m);
+        // Warm every layer: own-context rows and sliding spectra, window
+        // entries with their fixed sums and reversed spectra, and the
+        // scratch-arena pool.
+        for _ in 0..3 {
+            node.fix_distance(&snap).unwrap();
+        }
+        let before = allocations();
+        let fix = node.fix_distance(&snap).unwrap();
+        let per_query = allocations() - before;
+        assert!(
+            (fix.distance_m - 20.0).abs() < 1.5,
+            "context {context_m}: fix drifted to {}",
+            fix.distance_m
+        );
+        assert!(
+            per_query < MAX_ALLOCS_PER_WARM_QUERY,
+            "context {context_m}: warm query performed {per_query} allocations \
+             (budget {MAX_ALLOCS_PER_WARM_QUERY}) — a kernel loop is allocating"
+        );
+    }
+}

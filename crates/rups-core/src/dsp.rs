@@ -1,5 +1,5 @@
-//! Minimal DSP kernels: an iterative radix-2 FFT and FFT-based
-//! cross-correlation.
+//! Minimal DSP kernels: a planned iterative radix-2 FFT, real-input
+//! complex-packing transforms, and FFT-based cross-correlation.
 //!
 //! The reference SYN search costs `O(mwk)` (§V-A). For *dense* contexts
 //! (after missing-channel interpolation) the per-channel sliding dot
@@ -7,6 +7,23 @@
 //! `O(m log m)` — the engine behind [`crate::syn_fast`]. No external DSP
 //! crates are available offline, so the transform is implemented here from
 //! scratch and tested against naive references.
+//!
+//! Three layers keep the hot path microsecond-scale:
+//!
+//! * [`FftPlan`] — twiddle factors and the bit-reversal permutation are
+//!   computed once per transform size and shared process-wide through
+//!   [`plan_for`], so a steady-state transform performs no trigonometry
+//!   and no planning work;
+//! * real complex-packing — two real rows ride one complex transform
+//!   ([`real_spectra_pair_into`]), and two correlation products share one
+//!   inverse transform ([`corr_from_spectra_pair_into`]), halving the
+//!   transform count of a multi-channel pass;
+//! * spectrum-level entry points — callers that cache one side of the
+//!   correlation (the engine caches its own context's spectra) pay only
+//!   for the other side plus the inverse transform.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
 
 /// A complex number as a bare `(re, im)` pair — all we need for the FFT.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -63,52 +80,278 @@ pub fn next_pow2(n: usize) -> usize {
     n.next_power_of_two()
 }
 
+/// Transform size for the linear correlation of an `f_len`-point window
+/// against an `s_len`-point row: the correlation has `f_len + s_len − 1`
+/// distinct lags, so that — not `f_len + s_len` — is what must fit without
+/// circular wrap-around. At exact power-of-two boundaries the distinction
+/// halves the transform.
+pub fn corr_fft_size(f_len: usize, s_len: usize) -> usize {
+    next_pow2(f_len + s_len - 1)
+}
+
+/// A reusable FFT plan for one power-of-two size: the bit-reversal
+/// permutation and per-stage twiddle factors, computed once. Obtain shared
+/// plans through [`plan_for`]; the planned transform itself is
+/// [`FftPlan::process`].
+#[derive(Debug)]
+pub struct FftPlan {
+    n: usize,
+    /// `rev[i]` = bit-reversed index of `i` (entries with `rev[i] > i`
+    /// mark the swaps to perform).
+    rev: Vec<u32>,
+    /// Forward-transform twiddles, stages concatenated: for stage length
+    /// `len = 2, 4, …, n` the `len/2` factors `e^{−2πik/len}`. Total
+    /// `n − 1` entries.
+    tw: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Builds the plan for size `n` (a power of two).
+    fn new(n: usize) -> Self {
+        assert!(
+            n.is_power_of_two(),
+            "FFT length must be a power of two, got {n}"
+        );
+        let mut rev = vec![0u32; n];
+        let mut j = 0usize;
+        for r in rev.iter_mut().skip(1) {
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+            *r = j as u32;
+        }
+        let mut tw = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2usize;
+        while len <= n {
+            let ang = -std::f64::consts::TAU / len as f64;
+            for k in 0..len / 2 {
+                let a = ang * k as f64;
+                tw.push(Complex::new(a.cos(), a.sin()));
+            }
+            len <<= 1;
+        }
+        Self { n, rev, tw }
+    }
+
+    /// The transform size this plan serves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether this is the trivial 1-point plan.
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    /// In-place iterative radix-2 Cooley–Tukey FFT using the precomputed
+    /// permutation and twiddles. `inverse` computes the unscaled inverse
+    /// transform; divide by `n` afterwards to invert exactly (the
+    /// correlation helpers below handle that).
+    pub fn process(&self, data: &mut [Complex], inverse: bool) {
+        let n = self.n;
+        assert_eq!(data.len(), n, "plan is for size {n}, got {}", data.len());
+        if n <= 1 {
+            return;
+        }
+        for i in 1..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        let mut len = 2usize;
+        let mut tw_base = 0usize;
+        while len <= n {
+            let half = len / 2;
+            let tw = &self.tw[tw_base..tw_base + half];
+            let mut i = 0usize;
+            while i < n {
+                for k in 0..half {
+                    let w = if inverse { tw[k].conj() } else { tw[k] };
+                    let u = data[i + k];
+                    let v = data[i + k + half] * w;
+                    data[i + k] = u + v;
+                    data[i + k + half] = u - v;
+                }
+                i += len;
+            }
+            tw_base += half;
+            len <<= 1;
+        }
+    }
+}
+
+/// Process-wide plan cache: one [`FftPlan`] per size, built on first use.
+/// The SYN hot path only ever sees a handful of sizes (one per
+/// `(window, context)` length pair rounded up to a power of two), so the
+/// map stays tiny and lock contention is read-mostly.
+fn plan_cache() -> &'static RwLock<HashMap<usize, Arc<FftPlan>>> {
+    static CACHE: std::sync::OnceLock<RwLock<HashMap<usize, Arc<FftPlan>>>> =
+        std::sync::OnceLock::new();
+    CACHE.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// The shared plan for transform size `n` (a power of two), built on first
+/// request and reused for every later same-size call.
+pub fn plan_for(n: usize) -> Arc<FftPlan> {
+    if let Some(p) = plan_cache()
+        .read()
+        .expect("FFT plan cache poisoned")
+        .get(&n)
+    {
+        return Arc::clone(p);
+    }
+    let mut guard = plan_cache().write().expect("FFT plan cache poisoned");
+    Arc::clone(guard.entry(n).or_insert_with(|| Arc::new(FftPlan::new(n))))
+}
+
 /// In-place iterative radix-2 Cooley–Tukey FFT.
 ///
 /// `data.len()` must be a power of two. `inverse` computes the unscaled
-/// inverse transform; divide by `n` afterwards to invert exactly (the
-/// convolution helpers below handle that).
+/// inverse transform; divide by `n` afterwards to invert exactly. Uses the
+/// shared plan cache; hot loops that already hold a plan should call
+/// [`FftPlan::process`] directly.
 pub fn fft(data: &mut [Complex], inverse: bool) {
-    let n = data.len();
     assert!(
-        n.is_power_of_two(),
-        "FFT length must be a power of two, got {n}"
+        data.len().is_power_of_two(),
+        "FFT length must be a power of two, got {}",
+        data.len()
     );
-    if n <= 1 {
-        return;
+    plan_for(data.len()).process(data, inverse);
+}
+
+/// Spectra of two real rows via **one** complex transform of `size` — the
+/// real complex-packing trick: transform `a + i·b`, then split the result
+/// using the conjugate symmetry of real-input spectra.
+///
+/// `a` and `b` are zero-padded to `size` (each must be no longer than
+/// `size`); `b` may be empty, in which case this is a plain padded real
+/// FFT of `a` and `xb` is left cleared. With `reversed` set, both rows are
+/// written time-reversed (the fixed-window side of a correlation).
+/// `work` is a caller-reused transform buffer.
+pub fn real_spectra_pair_into(
+    a: &[f64],
+    b: &[f64],
+    reversed: bool,
+    size: usize,
+    work: &mut Vec<Complex>,
+    xa: &mut Vec<Complex>,
+    xb: &mut Vec<Complex>,
+) {
+    assert!(
+        a.len() <= size && b.len() <= size,
+        "rows must fit the transform: {} / {} vs {size}",
+        a.len(),
+        b.len()
+    );
+    let plan = plan_for(size);
+    work.clear();
+    work.resize(size, Complex::default());
+    if reversed {
+        for (i, &v) in a.iter().rev().enumerate() {
+            work[i].re = v;
+        }
+        for (i, &v) in b.iter().rev().enumerate() {
+            work[i].im = v;
+        }
+    } else {
+        for (i, &v) in a.iter().enumerate() {
+            work[i].re = v;
+        }
+        for (i, &v) in b.iter().enumerate() {
+            work[i].im = v;
+        }
     }
-    // Bit-reversal permutation.
-    let mut j = 0usize;
-    for i in 1..n {
-        let mut bit = n >> 1;
-        while j & bit != 0 {
-            j ^= bit;
-            bit >>= 1;
-        }
-        j |= bit;
-        if i < j {
-            data.swap(i, j);
+    plan.process(work, false);
+    split_packed_spectrum(work, xa, xb, !b.is_empty());
+}
+
+/// Splits the spectrum `x` of the packed signal `a + i·b` (both real) into
+/// the individual spectra `xa` and `xb`:
+/// `A[k] = (X[k] + conj(X[n−k]))/2`, `B[k] = −i·(X[k] − conj(X[n−k]))/2`.
+fn split_packed_spectrum(
+    x: &[Complex],
+    xa: &mut Vec<Complex>,
+    xb: &mut Vec<Complex>,
+    want_b: bool,
+) {
+    let n = x.len();
+    xa.clear();
+    xa.resize(n, Complex::default());
+    xb.clear();
+    if want_b {
+        xb.resize(n, Complex::default());
+    }
+    for k in 0..n {
+        let p = x[k];
+        let q = x[(n - k) & (n - 1)].conj();
+        xa[k] = Complex::new(0.5 * (p.re + q.re), 0.5 * (p.im + q.im));
+        if want_b {
+            // −i·(p − q)/2: re = (p.im − q.im)/2, im = −(p.re − q.re)/2.
+            xb[k] = Complex::new(0.5 * (p.im - q.im), 0.5 * (q.re - p.re));
         }
     }
-    // Butterflies.
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let mut len = 2usize;
-    while len <= n {
-        let ang = sign * std::f64::consts::TAU / len as f64;
-        let wlen = Complex::new(ang.cos(), ang.sin());
-        let mut i = 0usize;
-        while i < n {
-            let mut w = Complex::new(1.0, 0.0);
-            for k in 0..len / 2 {
-                let u = data[i + k];
-                let v = data[i + k + len / 2] * w;
-                data[i + k] = u + v;
-                data[i + k + len / 2] = u - v;
-                w = w * wlen;
-            }
-            i += len;
+}
+
+/// Correlation lags of **two** channel pairs from their spectra via one
+/// inverse transform: the products `Fa·Sa` and `Fb·Sb` (both
+/// conjugate-symmetric, hence real after inversion) are packed as
+/// `P = Fa·Sa + i·(Fb·Sb)`, inverted once, and split from the real and
+/// imaginary parts.
+///
+/// `fa`/`fb` must be spectra of *time-reversed* `f_len`-point fixed rows
+/// (see [`real_spectra_pair_into`] with `reversed`), `sa`/`sb` spectra of
+/// the sliding rows. Writes `n_out` lags per channel. Pass `fb`/`sb` as
+/// empty slices for a lone trailing channel; `out_b` is then left cleared.
+#[allow(clippy::too_many_arguments)]
+pub fn corr_from_spectra_pair_into(
+    fa: &[Complex],
+    sa: &[Complex],
+    fb: &[Complex],
+    sb: &[Complex],
+    f_len: usize,
+    n_out: usize,
+    work: &mut Vec<Complex>,
+    out_a: &mut Vec<f64>,
+    out_b: &mut Vec<f64>,
+) {
+    let n = fa.len();
+    assert_eq!(sa.len(), n, "spectra sizes must agree");
+    let have_b = !fb.is_empty();
+    if have_b {
+        assert_eq!(fb.len(), n, "spectra sizes must agree");
+        assert_eq!(sb.len(), n, "spectra sizes must agree");
+    }
+    assert!(
+        f_len >= 1 && f_len - 1 + n_out <= n,
+        "lags must fit the transform: f_len {f_len}, n_out {n_out}, size {n}"
+    );
+    let plan = plan_for(n);
+    work.clear();
+    work.resize(n, Complex::default());
+    if have_b {
+        for k in 0..n {
+            let pa = fa[k] * sa[k];
+            let pb = fb[k] * sb[k];
+            // pa + i·pb
+            work[k] = Complex::new(pa.re - pb.im, pa.im + pb.re);
         }
-        len <<= 1;
+    } else {
+        for k in 0..n {
+            work[k] = fa[k] * sa[k];
+        }
+    }
+    plan.process(work, true);
+    let scale = 1.0 / n as f64;
+    // Correlation lag j lives at convolution index (f_len − 1) + j.
+    out_a.clear();
+    out_a.extend((0..n_out).map(|j| work[f_len - 1 + j].re * scale));
+    out_b.clear();
+    if have_b {
+        out_b.extend((0..n_out).map(|j| work[f_len - 1 + j].im * scale));
     }
 }
 
@@ -130,6 +373,10 @@ pub fn sliding_dot(f: &[f64], s: &[f64]) -> Vec<f64> {
 /// call per channel per directed pass) performs no allocation after the
 /// first iteration. `fa`/`fb` are FFT work areas; `out` receives the
 /// correlation lags. Results are identical to [`sliding_dot`].
+///
+/// Internally this packs the reversed window and the sliding row into one
+/// complex forward transform (the rows are real), so a call costs two
+/// planned transforms rather than three.
 pub fn sliding_dot_into(
     f: &[f64],
     s: &[f64],
@@ -142,28 +389,33 @@ pub fn sliding_dot_into(
         "need 0 < f.len() <= s.len()"
     );
     let n_out = s.len() - f.len() + 1;
-    let size = next_pow2(s.len() + f.len());
+    let size = corr_fft_size(f.len(), s.len());
+    let plan = plan_for(size);
+    // Pack reversed-f + i·s into one forward transform.
     fa.clear();
     fa.resize(size, Complex::default());
-    fb.clear();
-    fb.resize(size, Complex::default());
-    // Reverse f so the convolution theorem yields correlation.
     for (i, &v) in f.iter().rev().enumerate() {
-        fa[i] = Complex::new(v, 0.0);
+        fa[i].re = v;
     }
     for (i, &v) in s.iter().enumerate() {
-        fb[i] = Complex::new(v, 0.0);
+        fa[i].im = v;
     }
-    fft(fa, false);
-    fft(fb, false);
-    for (a, b) in fa.iter_mut().zip(fb.iter()) {
-        *a = *a * *b;
+    plan.process(fa, false);
+    // F[k]·S[k] from the packed spectrum, mirrored into fb.
+    fb.clear();
+    fb.resize(size, Complex::default());
+    for k in 0..size {
+        let p = fa[k];
+        let q = fa[(size - k) & (size - 1)].conj();
+        let fr = Complex::new(0.5 * (p.re + q.re), 0.5 * (p.im + q.im));
+        let sl = Complex::new(0.5 * (p.im - q.im), 0.5 * (q.re - p.re));
+        fb[k] = fr * sl;
     }
-    fft(fa, true);
+    plan.process(fb, true);
     let scale = 1.0 / size as f64;
     // Correlation lag j lives at convolution index (f.len() − 1) + j.
     out.clear();
-    out.extend((0..n_out).map(|j| fa[f.len() - 1 + j].re * scale));
+    out.extend((0..n_out).map(|j| fb[f.len() - 1 + j].re * scale));
 }
 
 /// Prefix sums of `x` and `x²`: `out.0[j] = Σ_{i<j} x[i]` (length `n+1`).
@@ -176,6 +428,10 @@ pub fn prefix_sums(x: &[f64]) -> (Vec<f64>, Vec<f64>) {
 
 /// [`prefix_sums`] writing into caller-provided buffers (see
 /// [`sliding_dot_into`] for the motivation). Results are identical.
+///
+/// The loop is hand-unrolled four elements per iteration; the running
+/// totals stay strictly sequential (every prefix value is observable), so
+/// the unroll only amortises loop overhead without reassociating sums.
 pub fn prefix_sums_into(x: &[f64], s: &mut Vec<f64>, ss: &mut Vec<f64>) {
     s.clear();
     ss.clear();
@@ -184,12 +440,58 @@ pub fn prefix_sums_into(x: &[f64], s: &mut Vec<f64>, ss: &mut Vec<f64>) {
     s.push(0.0);
     ss.push(0.0);
     let (mut acc, mut acc2) = (0.0f64, 0.0f64);
-    for &v in x {
+    let mut chunks = x.chunks_exact(4);
+    for c in &mut chunks {
+        let (a, b, cc, d) = (c[0], c[1], c[2], c[3]);
+        acc += a;
+        acc2 += a * a;
+        s.push(acc);
+        ss.push(acc2);
+        acc += b;
+        acc2 += b * b;
+        s.push(acc);
+        ss.push(acc2);
+        acc += cc;
+        acc2 += cc * cc;
+        s.push(acc);
+        ss.push(acc2);
+        acc += d;
+        acc2 += d * d;
+        s.push(acc);
+        ss.push(acc2);
+    }
+    for &v in chunks.remainder() {
         acc += v;
         acc2 += v * v;
         s.push(acc);
         ss.push(acc2);
     }
+}
+
+/// `(Σx, Σx²)` of a row in one pass, hand-unrolled into four independent
+/// f64 lanes — the fixed-window sum builder of the FFT kernels. Lane
+/// partials are combined in a fixed `(0+1)+(2+3)` order, so results are
+/// deterministic (though not bit-identical to a sequential fold).
+pub fn sum_sumsq(x: &[f64]) -> (f64, f64) {
+    let mut s = [0.0f64; 4];
+    let mut q = [0.0f64; 4];
+    let mut chunks = x.chunks_exact(4);
+    for c in &mut chunks {
+        s[0] += c[0];
+        q[0] += c[0] * c[0];
+        s[1] += c[1];
+        q[1] += c[1] * c[1];
+        s[2] += c[2];
+        q[2] += c[2] * c[2];
+        s[3] += c[3];
+        q[3] += c[3] * c[3];
+    }
+    let (mut sum, mut sumsq) = ((s[0] + s[1]) + (s[2] + s[3]), (q[0] + q[1]) + (q[2] + q[3]));
+    for &v in chunks.remainder() {
+        sum += v;
+        sumsq += v * v;
+    }
+    (sum, sumsq)
 }
 
 #[cfg(test)]
@@ -249,6 +551,71 @@ mod tests {
     }
 
     #[test]
+    fn planned_fft_matches_adhoc_trig_fft() {
+        // Reference: the twiddle-recurrence FFT this module used to ship.
+        fn fft_trig(data: &mut [Complex], inverse: bool) {
+            let n = data.len();
+            let mut j = 0usize;
+            for i in 1..n {
+                let mut bit = n >> 1;
+                while j & bit != 0 {
+                    j ^= bit;
+                    bit >>= 1;
+                }
+                j |= bit;
+                if i < j {
+                    data.swap(i, j);
+                }
+            }
+            let sign = if inverse { 1.0 } else { -1.0 };
+            let mut len = 2usize;
+            while len <= n {
+                let ang = sign * std::f64::consts::TAU / len as f64;
+                let wlen = Complex::new(ang.cos(), ang.sin());
+                let mut i = 0usize;
+                while i < n {
+                    let mut w = Complex::new(1.0, 0.0);
+                    for k in 0..len / 2 {
+                        let u = data[i + k];
+                        let v = data[i + k + len / 2] * w;
+                        data[i + k] = u + v;
+                        data[i + k + len / 2] = u - v;
+                        w = w * wlen;
+                    }
+                    i += len;
+                }
+                len <<= 1;
+            }
+        }
+        for &n in &[1usize, 2, 8, 64, 256] {
+            let sig: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.9).sin(), (i as f64 * 0.4).cos()))
+                .collect();
+            for inverse in [false, true] {
+                let mut a = sig.clone();
+                let mut b = sig.clone();
+                fft(&mut a, inverse);
+                fft_trig(&mut b, inverse);
+                for (x, y) in a.iter().zip(&b) {
+                    assert!(
+                        (x.re - y.re).abs() < 1e-9 && (x.im - y.im).abs() < 1e-9,
+                        "n={n} inverse={inverse}: {x:?} vs {y:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plans_are_shared_per_size() {
+        let a = plan_for(128);
+        let b = plan_for(128);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 128);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
     fn sliding_dot_matches_naive() {
         let f: Vec<f64> = (0..23).map(|i| ((i * 7) % 11) as f64 - 5.0).collect();
         let s: Vec<f64> = (0..100).map(|i| ((i * 13) % 17) as f64 - 8.0).collect();
@@ -271,6 +638,116 @@ mod tests {
         let out = sliding_dot(&[2.0], &[1.0, 2.0, 3.0]);
         assert_eq!(out.len(), 3);
         assert!((out[1] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corr_size_uses_minimal_transform_at_pow2_boundaries() {
+        // 3 + 5 − 1 = 7 → 8; the old `next_pow2(f + s)` sizing doubled
+        // this exact boundary case to 16 (2× the transform work).
+        assert_eq!(corr_fft_size(3, 5), 8);
+        assert_eq!(corr_fft_size(1, 1), 1);
+        assert_eq!(corr_fft_size(64, 65), 128);
+        // Lag indexing stays correct at the tight size: exhaustive check
+        // around several boundaries.
+        for &(fl, sl) in &[(3usize, 6usize), (64, 65), (16, 49), (2, 7), (5, 12)] {
+            assert!(
+                (fl + sl - 1).is_power_of_two(),
+                "test case ({fl},{sl}) must sit exactly on a boundary"
+            );
+            let f: Vec<f64> = (0..fl).map(|i| (i as f64 * 0.7).sin() + 1.0).collect();
+            let s: Vec<f64> = (0..sl).map(|i| (i as f64 * 1.1).cos() - 0.5).collect();
+            let fast = sliding_dot(&f, &s);
+            let naive = naive_sliding_dot(&f, &s);
+            assert_eq!(fast.len(), naive.len());
+            for (j, (a, b)) in fast.iter().zip(&naive).enumerate() {
+                assert!((a - b).abs() < 1e-9, "({fl},{sl}) lag {j}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_spectra_match_individual_ffts() {
+        let n = 64;
+        let a: Vec<f64> = (0..40).map(|i| (i as f64 * 0.3).sin() * 20.0).collect();
+        let b: Vec<f64> = (0..40).map(|i| (i as f64 * 0.8).cos() * 15.0).collect();
+        let (mut work, mut xa, mut xb) = (Vec::new(), Vec::new(), Vec::new());
+        for reversed in [false, true] {
+            real_spectra_pair_into(&a, &b, reversed, n, &mut work, &mut xa, &mut xb);
+            for (row, got) in [(&a, &xa), (&b, &xb)] {
+                let mut direct = vec![Complex::default(); n];
+                if reversed {
+                    for (i, &v) in row.iter().rev().enumerate() {
+                        direct[i].re = v;
+                    }
+                } else {
+                    for (i, &v) in row.iter().enumerate() {
+                        direct[i].re = v;
+                    }
+                }
+                fft(&mut direct, false);
+                for (k, (p, q)) in got.iter().zip(&direct).enumerate() {
+                    assert!(
+                        (p.re - q.re).abs() < 1e-9 && (p.im - q.im).abs() < 1e-9,
+                        "reversed={reversed} bin {k}: packed {p:?} vs direct {q:?}"
+                    );
+                }
+            }
+        }
+        // Lone-row variant: xb cleared, xa still exact.
+        real_spectra_pair_into(&a, &[], false, n, &mut work, &mut xa, &mut xb);
+        assert!(xb.is_empty());
+        let mut direct = vec![Complex::default(); n];
+        for (i, &v) in a.iter().enumerate() {
+            direct[i].re = v;
+        }
+        fft(&mut direct, false);
+        for (p, q) in xa.iter().zip(&direct) {
+            assert!((p.re - q.re).abs() < 1e-9 && (p.im - q.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paired_correlation_from_spectra_matches_naive() {
+        let fl = 17usize;
+        let sl = 90usize;
+        let f1: Vec<f64> = (0..fl).map(|i| (i as f64 * 0.5).sin() - 70.0).collect();
+        let f2: Vec<f64> = (0..fl).map(|i| (i as f64 * 0.9).cos() - 65.0).collect();
+        let s1: Vec<f64> = (0..sl).map(|i| (i as f64 * 0.7).sin() - 72.0).collect();
+        let s2: Vec<f64> = (0..sl).map(|i| (i as f64 * 0.2).cos() - 60.0).collect();
+        let size = corr_fft_size(fl, sl);
+        let n_out = sl - fl + 1;
+        let mut work = Vec::new();
+        let (mut fa, mut fb, mut sa, mut sb) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        real_spectra_pair_into(&f1, &f2, true, size, &mut work, &mut fa, &mut fb);
+        real_spectra_pair_into(&s1, &s2, false, size, &mut work, &mut sa, &mut sb);
+        let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+        corr_from_spectra_pair_into(
+            &fa, &sa, &fb, &sb, fl, n_out, &mut work, &mut out_a, &mut out_b,
+        );
+        let na = naive_sliding_dot(&f1, &s1);
+        let nb = naive_sliding_dot(&f2, &s2);
+        assert_eq!(out_a.len(), na.len());
+        assert_eq!(out_b.len(), nb.len());
+        for j in 0..n_out {
+            assert!((out_a[j] - na[j]).abs() < 1e-6, "a lag {j}");
+            assert!((out_b[j] - nb[j]).abs() < 1e-6, "b lag {j}");
+        }
+        // Lone-channel inversion path.
+        corr_from_spectra_pair_into(
+            &fa,
+            &sa,
+            &[],
+            &[],
+            fl,
+            n_out,
+            &mut work,
+            &mut out_a,
+            &mut out_b,
+        );
+        assert!(out_b.is_empty());
+        for j in 0..n_out {
+            assert!((out_a[j] - na[j]).abs() < 1e-6, "lone lag {j}");
+        }
     }
 
     #[test]
@@ -301,6 +778,40 @@ mod tests {
         // Window [1, 3): sum = 5, sumsq = 13.
         assert_eq!(s[3] - s[1], 5.0);
         assert_eq!(ss[3] - ss[1], 13.0);
+    }
+
+    #[test]
+    fn prefix_sums_unroll_is_exactly_sequential() {
+        // The 4-wide unroll must keep every prefix bit-identical to the
+        // sequential fold (prefix values are observable state).
+        for n in 0..23usize {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61).sin() * 31.0).collect();
+            let (s, ss) = prefix_sums(&x);
+            let (mut es, mut ess) = (vec![0.0], vec![0.0]);
+            let (mut a, mut a2) = (0.0f64, 0.0f64);
+            for &v in &x {
+                a += v;
+                a2 += v * v;
+                es.push(a);
+                ess.push(a2);
+            }
+            assert_eq!(s, es, "n={n}");
+            assert_eq!(ss, ess, "n={n}");
+        }
+    }
+
+    #[test]
+    fn sum_sumsq_matches_naive_within_rounding() {
+        for n in 0..35usize {
+            let x: Vec<f64> = (0..n)
+                .map(|i| (i as f64 * 0.77).cos() * 90.0 - 70.0)
+                .collect();
+            let (s, q) = sum_sumsq(&x);
+            let es: f64 = x.iter().sum();
+            let eq: f64 = x.iter().map(|v| v * v).sum();
+            assert!((s - es).abs() < 1e-9, "n={n}: {s} vs {es}");
+            assert!((q - eq).abs() < 1e-6, "n={n}: {q} vs {eq}");
+        }
     }
 
     #[test]

@@ -14,10 +14,10 @@
 //!
 //! * the interpolated own context, rebuilt only when the context version
 //!   changes;
-//! * per-channel `f64` rows and prefix sums over the dense context (the
-//!   sliding-side inputs of the FFT kernel);
-//! * per-`(len, end)` checking windows with their fixed-window sums (the
-//!   fixed-side inputs of the FFT kernel);
+//! * per-channel `f64` rows and memoised packed spectra over the dense
+//!   context (the sliding-side inputs of the FFT kernel);
+//! * per-`(len, end)` checking windows with their fixed-window sums and
+//!   memoised reversed spectra (the fixed-side inputs of the FFT kernel);
 //! * reusable scratch arenas (FFT work areas, conversion buffers, score
 //!   vectors), pooled so concurrent rayon queries allocate nothing in
 //!   steady state;
@@ -107,6 +107,10 @@ pub struct EngineStats {
     /// Directed passes that requested the FFT scan but fell back to the
     /// reference scan because a selected neighbour channel carried NaN.
     pub fft_fallbacks: u64,
+    /// Window placements whose mean-profile correlation the pruned peak
+    /// search skipped because their exact score upper bound could not beat
+    /// the running best (FFT passes only).
+    pub pruned_placements: u64,
 }
 
 impl EngineStats {
@@ -128,6 +132,9 @@ impl EngineStats {
                 .saturating_sub(earlier.reference_passes),
             fft_passes: self.fft_passes.saturating_sub(earlier.fft_passes),
             fft_fallbacks: self.fft_fallbacks.saturating_sub(earlier.fft_fallbacks),
+            pruned_placements: self
+                .pruned_placements
+                .saturating_sub(earlier.pruned_placements),
         }
     }
 
@@ -173,6 +180,7 @@ struct EngineMetrics {
     reference_passes: Counter,
     fft_passes: Counter,
     fft_fallbacks: Counter,
+    pruned_placements: Counter,
     query_ns: Histogram,
     context_rebuild_ns: Histogram,
     window_build_ns: Histogram,
@@ -193,6 +201,7 @@ impl EngineMetrics {
             reference_passes: reg.counter("rups_core_engine_reference_passes"),
             fft_passes: reg.counter("rups_core_engine_fft_passes"),
             fft_fallbacks: reg.counter("rups_core_engine_fft_fallbacks"),
+            pruned_placements: reg.counter("rups_core_engine_pruned_placements"),
             query_ns: reg.histogram("rups_core_engine_query_ns"),
             context_rebuild_ns: reg.histogram("rups_core_engine_context_rebuild_ns"),
             window_build_ns: reg.histogram("rups_core_engine_window_build_ns"),
@@ -202,6 +211,20 @@ impl EngineMetrics {
     }
 }
 
+/// A channel pair's packed sliding-row spectra (`b` empty for a lone
+/// trailing channel). Cached because the packing makes each channel's
+/// spectrum partner-dependent in floating point: a cache hit must return
+/// exactly what a fresh [`dsp::real_spectra_pair_into`] over the same pair
+/// would produce.
+struct SpectraPair {
+    a: Vec<Complex>,
+    b: Vec<Complex>,
+}
+
+/// Cache key for [`SpectraPair`]: `(fft_size, ch_a, ch_b)`, with
+/// `usize::MAX` as the lone-channel sentinel.
+type SpectraKey = (usize, usize, usize);
+
 /// The querying vehicle's context, fully preprocessed for matching.
 pub(crate) struct OwnContext {
     /// Version stamp of the raw context this was built from.
@@ -210,14 +233,16 @@ pub(crate) struct OwnContext {
     /// exactly what `RupsNode::own_matching_context` used to rebuild per
     /// query.
     gsm: GsmTrajectory,
-    /// True when no cell of `gsm` is NaN (FFT kernel applicable).
+    /// True when every cell of `gsm` is finite (FFT and rolling kernels
+    /// applicable).
     dense: bool,
     /// Per-channel `f64` rows of `gsm` (dense contexts only).
     rows64: Vec<Vec<f64>>,
-    /// Per-channel prefix sums of `rows64` and their squares (dense only):
-    /// the sliding-side inputs of every reverse FFT pass, shared across all
-    /// neighbours and segments.
-    prefix: Vec<(Vec<f64>, Vec<f64>)>,
+    /// Packed spectra of the own sliding rows, keyed by transform size and
+    /// channel pair: the sliding-side inputs of every reverse FFT pass,
+    /// shared across all neighbours and segments. Lazily filled because
+    /// the transform size depends on the query's window length.
+    sliding_spectra: RwLock<HashMap<SpectraKey, Arc<SpectraPair>>>,
 }
 
 impl OwnContext {
@@ -228,23 +253,56 @@ impl OwnContext {
             raw.clone()
         };
         let n = gsm.n_channels();
-        let dense = (0..n).all(|ch| gsm.channel(ch).iter().all(|v| !v.is_nan()));
-        let (rows64, prefix) = if dense {
-            let rows64: Vec<Vec<f64>> = (0..n)
+        let dense = (0..n).all(|ch| gsm.channel(ch).iter().all(|v| v.is_finite()));
+        let rows64 = if dense {
+            (0..n)
                 .map(|ch| gsm.channel(ch).iter().map(|&v| v as f64).collect())
-                .collect();
-            let prefix = rows64.iter().map(|r| dsp::prefix_sums(r)).collect();
-            (rows64, prefix)
+                .collect()
         } else {
-            (Vec::new(), Vec::new())
+            Vec::new()
         };
         Self {
             version,
             gsm,
             dense,
             rows64,
-            prefix,
+            sliding_spectra: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// The cached packed spectra of own rows `(ch_a, ch_b)` at `size`,
+    /// computing and memoising them on first use. The caller's scratch
+    /// buffers stage the computation; the cached copy is what every later
+    /// hit returns, bit-identical to a fresh evaluation.
+    fn sliding_spectra(
+        &self,
+        size: usize,
+        ch_a: usize,
+        ch_b: Option<usize>,
+        work: &mut Vec<Complex>,
+        xa: &mut Vec<Complex>,
+        xb: &mut Vec<Complex>,
+    ) -> Arc<SpectraPair> {
+        let key = (size, ch_a, ch_b.unwrap_or(usize::MAX));
+        if let Some(p) = self
+            .sliding_spectra
+            .read()
+            .expect("own-context spectra lock poisoned")
+            .get(&key)
+        {
+            return Arc::clone(p);
+        }
+        let b: &[f64] = ch_b.map_or(&[], |ch| &self.rows64[ch]);
+        dsp::real_spectra_pair_into(&self.rows64[ch_a], b, false, size, work, xa, xb);
+        let pair = Arc::new(SpectraPair {
+            a: xa.clone(),
+            b: xb.clone(),
+        });
+        self.sliding_spectra
+            .write()
+            .expect("own-context spectra lock poisoned")
+            .insert(key, Arc::clone(&pair));
+        pair
     }
 
     /// The preprocessed matching context.
@@ -262,28 +320,22 @@ type WindowMemo = HashMap<(usize, usize), Option<Arc<WindowEntry>>>;
 struct WindowEntry {
     window: CheckWindow,
     /// Per window-channel `(Σx, Σx²)` over the own fixed slice, computed
-    /// with the same `iter().sum()` reduction as [`crate::syn_fast`]
+    /// with the same [`dsp::sum_sumsq`] reduction as [`crate::syn_fast`]
     /// (dense contexts only; empty otherwise).
     fixed_sums: Vec<(f64, f64)>,
+    /// Packed time-reversed spectra of the fixed slice, one per window
+    /// channel, keyed by transform size (which depends on the neighbour's
+    /// context length). Channels are packed pairwise in window order —
+    /// exactly how a fresh forward pass pairs them — so the cached spectra
+    /// are bit-identical to fresh ones.
+    spectra: RwLock<HashMap<usize, Arc<Vec<Vec<Complex>>>>>,
 }
 
 /// Per-query scratch arena: every buffer a directed pass needs, reused
-/// across queries via the engine's pool.
-#[derive(Default)]
-struct Scratch {
-    fa: Vec<Complex>,
-    fb: Vec<Complex>,
-    dots: Vec<f64>,
-    s64: Vec<f64>,
-    fixed64: Vec<f64>,
-    ps: Vec<f64>,
-    pss: Vec<f64>,
-    chan_sum: Vec<f64>,
-    chan_n: Vec<u32>,
-    mean_f: Vec<f32>,
-    mean_s: Vec<Vec<f32>>,
-    scores: Vec<f64>,
-}
+/// across queries via the engine's pool. The dense-kernel buffers are the
+/// shared [`syn_fast::DenseScratch`] so the engine's FFT passes and the
+/// standalone entry points stage their work identically.
+type Scratch = syn_fast::DenseScratch;
 
 /// Caching, batching SYN-query engine (see the module docs).
 ///
@@ -451,6 +503,7 @@ impl SynQueryEngine {
             reference_passes: m.reference_passes.get(),
             fft_passes: m.fft_passes.get(),
             fft_fallbacks: m.fft_fallbacks.get(),
+            pruned_placements: m.pruned_placements.get(),
         }
     }
 
@@ -470,6 +523,7 @@ impl SynQueryEngine {
             &m.reference_passes,
             &m.fft_passes,
             &m.fft_fallbacks,
+            &m.pruned_placements,
         ] {
             c.reset();
         }
@@ -551,15 +605,16 @@ impl SynQueryEngine {
                 window
                     .channels
                     .iter()
-                    .map(|&ch| {
-                        let s = &ctx.rows64[ch][end - len..end];
-                        (s.iter().sum(), s.iter().map(|v| v * v).sum())
-                    })
+                    .map(|&ch| dsp::sum_sumsq(&ctx.rows64[ch][end - len..end]))
                     .collect()
             } else {
                 Vec::new()
             };
-            Arc::new(WindowEntry { window, fixed_sums })
+            Arc::new(WindowEntry {
+                window,
+                fixed_sums,
+                spectra: RwLock::new(HashMap::new()),
+            })
         });
         self.windows
             .write()
@@ -777,17 +832,9 @@ impl SynQueryEngine {
                     self.directed_rev(ctx, &wnd, theirs.len(), theirs, kernel, parallel, scratch)
                 })
                 .map(syn::swap_perspective);
-            let best = match (fwd, rev) {
-                (Some(f), Some(r)) => {
-                    if f.score >= r.score {
-                        f
-                    } else {
-                        r
-                    }
-                }
-                (Some(f), None) => f,
-                (None, Some(r)) => r,
-                (None, None) => {
+            let best = match syn::better_pass(fwd, rev) {
+                Some(b) => b,
+                None => {
                     return Err(RupsError::NoSynPoint {
                         best_score: f64::NEG_INFINITY,
                         threshold: entry.window.threshold,
@@ -826,11 +873,7 @@ impl SynQueryEngine {
                             .filter(|p| p.score >= wnd.threshold)
                     })
                     .map(syn::swap_perspective);
-                let cand = match (fwd, rev) {
-                    (Some(f), Some(r)) => Some(if f.score >= r.score { f } else { r }),
-                    (f, r) => f.or(r),
-                };
-                if let Some(p) = cand {
+                if let Some(p) = syn::better_pass(fwd, rev) {
                     points.push(p);
                 }
             }
@@ -857,32 +900,39 @@ impl SynQueryEngine {
         }
         let scan_t = self.metrics.kernel_scan_ns.start_timer();
         let scan_s = self.spans.as_ref().map(|s| s.span("engine.kernel_scan"));
-        let used_fft = kernel == Kernel::Fft
-            && ctx.dense
-            && self.fft_scores_own_fixed(ctx, entry, end, theirs, scratch);
-        if used_fft {
-            self.metrics.fft_passes.inc();
+        let fft_peak = if kernel == Kernel::Fft && ctx.dense {
+            self.fft_peak_own_fixed(ctx, entry, end, theirs, scratch)
         } else {
-            if kernel == Kernel::Fft {
-                self.metrics.fft_fallbacks.inc();
+            None
+        };
+        let best = match fft_peak {
+            Some(p) => {
+                self.metrics.fft_passes.inc();
+                p
             }
-            self.metrics.reference_passes.inc();
-            if parallel {
-                scratch.scores =
-                    syn::slide_scores_parallel(&ctx.gsm, end - w, theirs, &entry.window);
-            } else {
-                syn::slide_scores_into(
-                    &ctx.gsm,
-                    end - w,
-                    theirs,
-                    &entry.window,
-                    &mut scratch.scores,
-                );
+            None => {
+                if kernel == Kernel::Fft {
+                    self.metrics.fft_fallbacks.inc();
+                }
+                self.metrics.reference_passes.inc();
+                if parallel {
+                    scratch.scores =
+                        syn::slide_scores_parallel(&ctx.gsm, end - w, theirs, &entry.window);
+                } else {
+                    syn::slide_scores_into(
+                        &ctx.gsm,
+                        end - w,
+                        theirs,
+                        &entry.window,
+                        &mut scratch.scores,
+                    );
+                }
+                syn::peak(&scratch.scores)
             }
-        }
+        };
         drop(scan_t);
         drop(scan_s);
-        let (j, score, refine) = syn::peak(&scratch.scores)?;
+        let (j, score, refine) = best?;
         Some(SynPoint {
             self_end: end,
             other_end: j + w,
@@ -912,25 +962,32 @@ impl SynQueryEngine {
         }
         let scan_t = self.metrics.kernel_scan_ns.start_timer();
         let scan_s = self.spans.as_ref().map(|s| s.span("engine.kernel_scan"));
-        let used_fft = kernel == Kernel::Fft
-            && ctx.dense
-            && self.fft_scores_their_fixed(ctx, window, end, theirs, scratch);
-        if used_fft {
-            self.metrics.fft_passes.inc();
+        let fft_peak = if kernel == Kernel::Fft && ctx.dense {
+            self.fft_peak_their_fixed(ctx, window, end, theirs, scratch)
         } else {
-            if kernel == Kernel::Fft {
-                self.metrics.fft_fallbacks.inc();
+            None
+        };
+        let best = match fft_peak {
+            Some(p) => {
+                self.metrics.fft_passes.inc();
+                p
             }
-            self.metrics.reference_passes.inc();
-            if parallel {
-                scratch.scores = syn::slide_scores_parallel(theirs, end - w, &ctx.gsm, window);
-            } else {
-                syn::slide_scores_into(theirs, end - w, &ctx.gsm, window, &mut scratch.scores);
+            None => {
+                if kernel == Kernel::Fft {
+                    self.metrics.fft_fallbacks.inc();
+                }
+                self.metrics.reference_passes.inc();
+                if parallel {
+                    scratch.scores = syn::slide_scores_parallel(theirs, end - w, &ctx.gsm, window);
+                } else {
+                    syn::slide_scores_into(theirs, end - w, &ctx.gsm, window, &mut scratch.scores);
+                }
+                syn::peak(&scratch.scores)
             }
-        }
+        };
         drop(scan_t);
         drop(scan_s);
-        let (j, score, refine) = syn::peak(&scratch.scores)?;
+        let (j, score, refine) = best?;
         Some(SynPoint {
             self_end: end,
             other_end: j + w,
@@ -940,124 +997,276 @@ impl SynQueryEngine {
         })
     }
 
-    /// FFT forward pass into `scratch.scores`. Returns `false` (caller
-    /// falls back) when a selected neighbour row carries NaN; the own side
-    /// is dense by precondition.
-    fn fft_scores_own_fixed(
+    /// The memoised packed reversed spectra of `entry`'s fixed slice at
+    /// `size`, built on first use from the cached `f64` rows (channels
+    /// paired in window order, exactly like a fresh forward pass).
+    fn fixed_spectra(
+        &self,
+        ctx: &OwnContext,
+        entry: &WindowEntry,
+        end: usize,
+        size: usize,
+        s: &mut Scratch,
+    ) -> Arc<Vec<Vec<Complex>>> {
+        if let Some(sp) = entry
+            .spectra
+            .read()
+            .expect("window spectra lock poisoned")
+            .get(&size)
+        {
+            return Arc::clone(sp);
+        }
+        let window = &entry.window;
+        let w = window.len_m;
+        let k = window.channels.len();
+        let mut out: Vec<Vec<Complex>> = Vec::with_capacity(k);
+        let mut ci = 0usize;
+        while ci < k {
+            let ch_a = window.channels[ci];
+            let ch_b = window.channels.get(ci + 1).copied();
+            let fixed_a = &ctx.rows64[ch_a][end - w..end];
+            let fixed_b: &[f64] = ch_b.map_or(&[], |ch| &ctx.rows64[ch][end - w..end]);
+            dsp::real_spectra_pair_into(
+                fixed_a,
+                fixed_b,
+                true,
+                size,
+                &mut s.work,
+                &mut s.spec_fa,
+                &mut s.spec_fb,
+            );
+            out.push(s.spec_fa.clone());
+            if ch_b.is_some() {
+                out.push(s.spec_fb.clone());
+            }
+            ci += 2;
+        }
+        let arc = Arc::new(out);
+        entry
+            .spectra
+            .write()
+            .expect("window spectra lock poisoned")
+            .insert(size, Arc::clone(&arc));
+        arc
+    }
+
+    /// FFT forward pass: own window fixed (cached sums + cached reversed
+    /// spectra), neighbour rows sliding. Returns the pruned peak, or `None`
+    /// (caller falls back) when a selected neighbour row carries a
+    /// non-finite value; the own side is dense by precondition.
+    fn fft_peak_own_fixed(
         &self,
         ctx: &OwnContext,
         entry: &WindowEntry,
         end: usize,
         theirs: &GsmTrajectory,
-        scratch: &mut Scratch,
-    ) -> bool {
+        s: &mut Scratch,
+    ) -> Option<Option<(usize, f64, f64)>> {
         let window = &entry.window;
         let w = window.len_m;
         let n_pos = theirs.len() - w + 1;
         for &ch in &window.channels {
-            if theirs.channel(ch).iter().any(|v| v.is_nan()) {
-                return false;
+            if theirs.channel(ch).iter().any(|v| !v.is_finite()) {
+                return None;
             }
         }
         let k = window.channels.len();
-        let Scratch {
-            fa,
-            fb,
-            dots,
-            s64,
-            ps,
-            pss,
-            chan_sum,
-            chan_n,
-            mean_f,
-            mean_s,
-            scores,
-            ..
-        } = scratch;
-        chan_sum.clear();
-        chan_sum.resize(n_pos, 0.0);
-        chan_n.clear();
-        chan_n.resize(n_pos, 0);
-        mean_f.clear();
-        while mean_s.len() < k {
-            mean_s.push(Vec::new());
-        }
-        for (ci, &ch) in window.channels.iter().enumerate() {
-            let fixed = &ctx.rows64[ch][end - w..end];
+        let size = dsp::corr_fft_size(w, theirs.len());
+        let fixed_spectra = self.fixed_spectra(ctx, entry, end, size, s);
+        s.prepare(n_pos, k);
+        let mut ci = 0usize;
+        while ci < k {
+            let ch_a = window.channels[ci];
+            let ch_b = window.channels.get(ci + 1).copied();
+            s.s64a.clear();
+            s.s64a
+                .extend(theirs.channel(ch_a).iter().map(|&v| v as f64));
+            s.s64b.clear();
+            if let Some(ch_b) = ch_b {
+                s.s64b
+                    .extend(theirs.channel(ch_b).iter().map(|&v| v as f64));
+            }
+            dsp::real_spectra_pair_into(
+                &s.s64a,
+                &s.s64b,
+                false,
+                size,
+                &mut s.work,
+                &mut s.spec_sa,
+                &mut s.spec_sb,
+            );
+            let fb: &[Complex] = if ch_b.is_some() {
+                &fixed_spectra[ci + 1]
+            } else {
+                &[]
+            };
+            dsp::corr_from_spectra_pair_into(
+                &fixed_spectra[ci],
+                &s.spec_sa,
+                fb,
+                &s.spec_sb,
+                w,
+                n_pos,
+                &mut s.work,
+                &mut s.dots_a,
+                &mut s.dots_b,
+            );
             let (sum_f, sumsq_f) = entry.fixed_sums[ci];
-            s64.clear();
-            s64.extend(theirs.channel(ch).iter().map(|&v| v as f64));
-            dsp::sliding_dot_into(fixed, s64, fa, fb, dots);
-            dsp::prefix_sums_into(s64, ps, pss);
-            let row = &mut mean_s[ci];
+            let row = &mut s.mean_s[ci];
             row.clear();
             let mf = syn_fast::accumulate_dense_channel(
-                w, n_pos, sum_f, sumsq_f, dots, ps, pss, chan_sum, chan_n, row,
+                w,
+                n_pos,
+                sum_f,
+                sumsq_f,
+                &s.dots_a,
+                &s.s64a,
+                &mut s.chan_sum,
+                &mut s.chan_n,
+                row,
             );
-            mean_f.push(mf);
+            s.mean_f.push(mf);
+            if ch_b.is_some() {
+                let (sum_f, sumsq_f) = entry.fixed_sums[ci + 1];
+                let row = &mut s.mean_s[ci + 1];
+                row.clear();
+                let mf = syn_fast::accumulate_dense_channel(
+                    w,
+                    n_pos,
+                    sum_f,
+                    sumsq_f,
+                    &s.dots_b,
+                    &s.s64b,
+                    &mut s.chan_sum,
+                    &mut s.chan_n,
+                    row,
+                );
+                s.mean_f.push(mf);
+            }
+            ci += 2;
         }
-        scores.clear();
-        syn_fast::combine_dense_scores(n_pos, mean_f, &mean_s[..k], chan_sum, chan_n, scores);
-        true
+        let (peak, pruned) = syn_fast::combine_dense_peak(
+            n_pos,
+            &s.mean_f,
+            &s.mean_s[..k],
+            &s.chan_sum,
+            &s.chan_n,
+            &mut s.profile,
+        );
+        self.metrics.pruned_placements.add(pruned);
+        Some(peak)
     }
 
-    /// FFT reverse pass into `scratch.scores`: neighbour window fixed, own
-    /// rows sliding — the own-side prefix sums come straight from the
-    /// context cache. Returns `false` when the neighbour window slice
-    /// carries NaN.
-    fn fft_scores_their_fixed(
+    /// FFT reverse pass: neighbour window fixed (staged fresh), own rows
+    /// sliding — their packed spectra come straight from the context cache,
+    /// and the rolling window statistics read the cached `f64` rows.
+    /// Returns the pruned peak, or `None` when the neighbour window slice
+    /// carries a non-finite value.
+    fn fft_peak_their_fixed(
         &self,
         ctx: &OwnContext,
         window: &CheckWindow,
         end: usize,
         theirs: &GsmTrajectory,
-        scratch: &mut Scratch,
-    ) -> bool {
+        s: &mut Scratch,
+    ) -> Option<Option<(usize, f64, f64)>> {
         let w = window.len_m;
         let n_pos = ctx.gsm.len() - w + 1;
         for &ch in &window.channels {
-            if theirs.channel(ch)[end - w..end].iter().any(|v| v.is_nan()) {
-                return false;
+            if theirs.channel(ch)[end - w..end]
+                .iter()
+                .any(|v| !v.is_finite())
+            {
+                return None;
             }
         }
         let k = window.channels.len();
-        let Scratch {
-            fa,
-            fb,
-            dots,
-            fixed64,
-            chan_sum,
-            chan_n,
-            mean_f,
-            mean_s,
-            scores,
-            ..
-        } = scratch;
-        chan_sum.clear();
-        chan_sum.resize(n_pos, 0.0);
-        chan_n.clear();
-        chan_n.resize(n_pos, 0);
-        mean_f.clear();
-        while mean_s.len() < k {
-            mean_s.push(Vec::new());
-        }
-        for (ci, &ch) in window.channels.iter().enumerate() {
-            fixed64.clear();
-            fixed64.extend(theirs.channel(ch)[end - w..end].iter().map(|&v| v as f64));
-            let sum_f: f64 = fixed64.iter().sum();
-            let sumsq_f: f64 = fixed64.iter().map(|v| v * v).sum();
-            let (ps, pss) = &ctx.prefix[ch];
-            dsp::sliding_dot_into(fixed64, &ctx.rows64[ch], fa, fb, dots);
-            let row = &mut mean_s[ci];
+        let size = dsp::corr_fft_size(w, ctx.gsm.len());
+        s.prepare(n_pos, k);
+        let mut ci = 0usize;
+        while ci < k {
+            let ch_a = window.channels[ci];
+            let ch_b = window.channels.get(ci + 1).copied();
+            s.f64a.clear();
+            s.f64a
+                .extend(theirs.channel(ch_a)[end - w..end].iter().map(|&v| v as f64));
+            s.f64b.clear();
+            if let Some(ch_b) = ch_b {
+                s.f64b
+                    .extend(theirs.channel(ch_b)[end - w..end].iter().map(|&v| v as f64));
+            }
+            dsp::real_spectra_pair_into(
+                &s.f64a,
+                &s.f64b,
+                true,
+                size,
+                &mut s.work,
+                &mut s.spec_fa,
+                &mut s.spec_fb,
+            );
+            let sliding = ctx.sliding_spectra(
+                size,
+                ch_a,
+                ch_b,
+                &mut s.work,
+                &mut s.spec_sa,
+                &mut s.spec_sb,
+            );
+            dsp::corr_from_spectra_pair_into(
+                &s.spec_fa,
+                &sliding.a,
+                &s.spec_fb,
+                &sliding.b,
+                w,
+                n_pos,
+                &mut s.work,
+                &mut s.dots_a,
+                &mut s.dots_b,
+            );
+            let (sum_f, sumsq_f) = dsp::sum_sumsq(&s.f64a);
+            let row = &mut s.mean_s[ci];
             row.clear();
             let mf = syn_fast::accumulate_dense_channel(
-                w, n_pos, sum_f, sumsq_f, dots, ps, pss, chan_sum, chan_n, row,
+                w,
+                n_pos,
+                sum_f,
+                sumsq_f,
+                &s.dots_a,
+                &ctx.rows64[ch_a],
+                &mut s.chan_sum,
+                &mut s.chan_n,
+                row,
             );
-            mean_f.push(mf);
+            s.mean_f.push(mf);
+            if let Some(ch_b) = ch_b {
+                let (sum_f, sumsq_f) = dsp::sum_sumsq(&s.f64b);
+                let row = &mut s.mean_s[ci + 1];
+                row.clear();
+                let mf = syn_fast::accumulate_dense_channel(
+                    w,
+                    n_pos,
+                    sum_f,
+                    sumsq_f,
+                    &s.dots_b,
+                    &ctx.rows64[ch_b],
+                    &mut s.chan_sum,
+                    &mut s.chan_n,
+                    row,
+                );
+                s.mean_f.push(mf);
+            }
+            ci += 2;
         }
-        scores.clear();
-        syn_fast::combine_dense_scores(n_pos, mean_f, &mean_s[..k], chan_sum, chan_n, scores);
-        true
+        let (peak, pruned) = syn_fast::combine_dense_peak(
+            n_pos,
+            &s.mean_f,
+            &s.mean_s[..k],
+            &s.chan_sum,
+            &s.chan_n,
+            &mut s.profile,
+        );
+        self.metrics.pruned_placements.add(pruned);
+        Some(peak)
     }
 }
 

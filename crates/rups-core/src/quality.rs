@@ -94,11 +94,14 @@ pub fn assess(fix: &DistanceFix, cfg: &QualityConfig) -> QualityReport {
     // the arithmetic: `clamp` propagates NaN, so a NaN score or spread
     // would otherwise flow straight into the error bound. A non-finite
     // score reads as "below the coherency floor" (never decisive, full 3×
-    // widening); a non-finite spread reads as unbounded disagreement (the
+    // widening); a non-finite estimate reads as unbounded disagreement (the
     // bound becomes +∞, which any safety margin fails — NaN would
-    // vacuously pass every `<` comparison instead).
+    // vacuously pass every `<` comparison instead). `stats::stddev` filters
+    // non-finite samples rather than propagating them, so the corruption
+    // check inspects the estimates directly.
+    let estimates_finite = fix.estimates_m.iter().all(|v| v.is_finite());
     let raw_spread = crate::stats::stddev(&fix.estimates_m).unwrap_or(0.0);
-    let spread = if raw_spread.is_finite() {
+    let spread = if estimates_finite && raw_spread.is_finite() {
         raw_spread
     } else {
         f64::INFINITY
@@ -108,7 +111,7 @@ pub fn assess(fix: &DistanceFix, cfg: &QualityConfig) -> QualityReport {
     } else {
         f64::NEG_INFINITY
     };
-    let signals_finite = fix.best_score.is_finite() && raw_spread.is_finite();
+    let signals_finite = fix.best_score.is_finite() && estimates_finite;
     let n = fix.syn_points.len();
 
     let decisive = score >= cfg.high_score;

@@ -30,22 +30,54 @@ pub struct PairSums {
 }
 
 impl PairSums {
+    /// Folds one position into the sums, skipping it unless both values
+    /// are finite — NaN marks a missing measurement, and a stray ±∞ (a
+    /// corrupt sample) would otherwise poison every downstream sum into
+    /// NaN/∞ Pearson values.
+    #[inline]
+    fn push(&mut self, xa: f32, xb: f32) {
+        if xa.is_finite() && xb.is_finite() {
+            let xa = xa as f64;
+            let xb = xb as f64;
+            self.n += 1;
+            self.sum_a += xa;
+            self.sum_b += xb;
+            self.sum_aa += xa * xa;
+            self.sum_bb += xb * xb;
+            self.sum_ab += xa * xb;
+        }
+    }
+
     /// Accumulates the sums in one pass, skipping positions where either
-    /// value is `NaN`.
+    /// value is non-finite.
+    ///
+    /// The loop runs four independent f64 lanes (lane `l` takes positions
+    /// `l, l+4, …`) merged in a fixed `(0+1)+(2+3)` order, so results are
+    /// deterministic across calls — though not bit-identical to a
+    /// sequential fold, which every consumer tolerates (correlations are
+    /// compared at ≥1e-6).
     pub fn accumulate(a: &[f32], b: &[f32]) -> PairSums {
         debug_assert_eq!(a.len(), b.len(), "pair operands must align");
-        let mut s = PairSums::default();
-        for (&xa, &xb) in a.iter().zip(b) {
-            if !xa.is_nan() && !xb.is_nan() {
-                let xa = xa as f64;
-                let xb = xb as f64;
-                s.n += 1;
-                s.sum_a += xa;
-                s.sum_b += xb;
-                s.sum_aa += xa * xa;
-                s.sum_bb += xb * xb;
-                s.sum_ab += xa * xb;
-            }
+        let mut lanes = [PairSums::default(); 4];
+        let mut ac = a.chunks_exact(4);
+        let mut bc = b.chunks_exact(4);
+        for (ca, cb) in (&mut ac).zip(&mut bc) {
+            lanes[0].push(ca[0], cb[0]);
+            lanes[1].push(ca[1], cb[1]);
+            lanes[2].push(ca[2], cb[2]);
+            lanes[3].push(ca[3], cb[3]);
+        }
+        let [l0, l1, l2, l3] = lanes;
+        let mut s = PairSums {
+            n: l0.n + l1.n + l2.n + l3.n,
+            sum_a: (l0.sum_a + l1.sum_a) + (l2.sum_a + l3.sum_a),
+            sum_b: (l0.sum_b + l1.sum_b) + (l2.sum_b + l3.sum_b),
+            sum_aa: (l0.sum_aa + l1.sum_aa) + (l2.sum_aa + l3.sum_aa),
+            sum_bb: (l0.sum_bb + l1.sum_bb) + (l2.sum_bb + l3.sum_bb),
+            sum_ab: (l0.sum_ab + l1.sum_ab) + (l2.sum_ab + l3.sum_ab),
+        };
+        for (&xa, &xb) in ac.remainder().iter().zip(bc.remainder()) {
+            s.push(xa, xb);
         }
         s
     }
@@ -174,29 +206,49 @@ pub fn relative_change(reference: &[f32], other: &[f32]) -> Option<f64> {
     Some((diff_sq / ref_sq).sqrt())
 }
 
-/// Arithmetic mean of a slice of `f64` estimates. `None` on empty input.
+/// Arithmetic mean over the non-NaN entries. `None` when nothing survives
+/// the filter (empty input or all-NaN). NaN estimates appear legitimately
+/// — `combine_dense_scores` emits NaN for undefined placements — so the
+/// aggregation kernels treat them as "no estimate", never as data.
 pub fn mean(xs: &[f64]) -> Option<f64> {
-    (!xs.is_empty()).then(|| xs.iter().sum::<f64>() / xs.len() as f64)
+    let mut n = 0usize;
+    let mut sum = 0.0f64;
+    for &x in xs {
+        if !x.is_nan() {
+            n += 1;
+            sum += x;
+        }
+    }
+    (n > 0).then(|| sum / n as f64)
 }
 
-/// Sample standard deviation; `None` for fewer than two samples.
+/// Sample standard deviation over the non-NaN entries; `None` for fewer
+/// than two surviving samples.
 pub fn stddev(xs: &[f64]) -> Option<f64> {
-    if xs.len() < 2 {
+    let m = mean(xs)?;
+    let mut n = 0usize;
+    let mut ss = 0.0f64;
+    for &x in xs {
+        if !x.is_nan() {
+            n += 1;
+            ss += (x - m) * (x - m);
+        }
+    }
+    if n < 2 {
         return None;
     }
-    let m = mean(xs)?;
-    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
-    Some((ss / (xs.len() - 1) as f64).sqrt())
+    Some((ss / (n - 1) as f64).sqrt())
 }
 
-/// Median of the inputs (average of the two middle elements for even
-/// lengths). `None` on empty input. Does not require pre-sorted input.
+/// Median over the non-NaN entries (average of the two middle elements for
+/// even lengths). `None` when nothing survives the filter. Does not
+/// require pre-sorted input.
 pub fn median(xs: &[f64]) -> Option<f64> {
-    if xs.is_empty() {
+    let mut v: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    if v.is_empty() {
         return None;
     }
-    let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("median input must not contain NaN"));
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
     let mid = v.len() / 2;
     Some(if v.len() % 2 == 1 {
         v[mid]
@@ -206,24 +258,26 @@ pub fn median(xs: &[f64]) -> Option<f64> {
 }
 
 /// "Selective average" of §VI-C: drop the single maximum and the single
-/// minimum estimate, then average the rest. Falls back to the plain mean
-/// when fewer than three estimates are available.
+/// minimum estimate, then average the rest. NaN entries are filtered out
+/// first; falls back to the plain mean when fewer than three estimates
+/// survive.
 pub fn selective_average(xs: &[f64]) -> Option<f64> {
-    if xs.len() < 3 {
-        return mean(xs);
+    let v: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    if v.len() < 3 {
+        return mean(&v);
     }
     let (mut lo, mut hi) = (0usize, 0usize);
-    for (i, &x) in xs.iter().enumerate() {
-        if x < xs[lo] {
+    for (i, &x) in v.iter().enumerate() {
+        if x < v[lo] {
             lo = i;
         }
-        if x > xs[hi] {
+        if x > v[hi] {
             hi = i;
         }
     }
     let mut n = 0usize;
     let mut sum = 0.0;
-    for (i, &x) in xs.iter().enumerate() {
+    for (i, &x) in v.iter().enumerate() {
         if i != lo && i != hi {
             n += 1;
             sum += x;
@@ -231,7 +285,7 @@ pub fn selective_average(xs: &[f64]) -> Option<f64> {
     }
     // When lo == hi (all values equal) we dropped one element only.
     if n == 0 {
-        return mean(xs);
+        return mean(&v);
     }
     Some(sum / n as f64)
 }
@@ -347,6 +401,117 @@ mod tests {
         assert_eq!(present_mean(&[NAN, NAN]), None);
         assert_eq!(present_mean(&[2.0, NAN, 4.0]), Some(3.0));
         assert!((present_norm(&[3.0, NAN, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_skips_non_finite_not_just_nan() {
+        // One corrupt ±∞ sample must not poison the sums (it used to turn
+        // sum_aa into ∞ and the covariance into NaN).
+        let a = [1.0f32, f32::INFINITY, 3.0, 4.0, f32::NEG_INFINITY, 6.0];
+        let b = [2.0f32, 5.0, 6.0, 8.0, 9.0, 12.0];
+        let s = PairSums::accumulate(&a, &b);
+        assert_eq!(s.n, 4); // positions 0, 2, 3, 5
+        assert!(s.sum_aa.is_finite() && s.sum_ab.is_finite());
+        // Surviving pairs are perfectly proportional (b = 2a).
+        assert!((s.pearson().unwrap() - 1.0).abs() < 1e-12);
+        // ∞ on the other operand is skipped too.
+        let s = PairSums::accumulate(&b, &a);
+        assert_eq!(s.n, 4);
+        assert!(s.pearson().unwrap().is_finite());
+        // All-corrupt input yields an empty accumulator, not ∞ sums.
+        let inf = [f32::INFINITY; 3];
+        let fine = [1.0f32, 2.0, 3.0];
+        assert_eq!(PairSums::accumulate(&inf, &fine), PairSums::default());
+    }
+
+    #[test]
+    fn accumulate_unroll_matches_sequential_fold() {
+        // Lane-split accumulation must agree with the plain sequential
+        // fold for every length (incl. remainders 1..3) and with missing
+        // values landing in every lane.
+        for n in 0..23usize {
+            let a: Vec<f32> = (0..n)
+                .map(|i| {
+                    if i % 5 == 3 {
+                        NAN
+                    } else {
+                        (i as f32 * 0.7).sin() * 25.0 - 70.0
+                    }
+                })
+                .collect();
+            let b: Vec<f32> = (0..n)
+                .map(|i| {
+                    if i % 7 == 2 {
+                        NAN
+                    } else {
+                        (i as f32 * 0.3).cos() * 20.0 - 60.0
+                    }
+                })
+                .collect();
+            let s = PairSums::accumulate(&a, &b);
+            let mut e = PairSums::default();
+            for (&xa, &xb) in a.iter().zip(&b) {
+                e.push(xa, xb);
+            }
+            assert_eq!(s.n, e.n, "n={n}");
+            for (got, want) in [
+                (s.sum_a, e.sum_a),
+                (s.sum_b, e.sum_b),
+                (s.sum_aa, e.sum_aa),
+                (s.sum_bb, e.sum_bb),
+                (s.sum_ab, e.sum_ab),
+            ] {
+                assert!((got - want).abs() < 1e-9, "n={n}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn aggregates_filter_nan() {
+        // Table: (input, mean, median, selective_average).
+        type Case = (&'static [f64], Option<f64>, Option<f64>, Option<f64>);
+        let cases: &[Case] = &[
+            // NaN scores from combine_dense_scores must be ignored, not
+            // panic the sort or poison the sums.
+            (
+                &[3.0, f64::NAN, 1.0],
+                Some(2.0),
+                Some(2.0),
+                Some(2.0), // two survivors → mean fallback
+            ),
+            (&[f64::NAN, f64::NAN], None, None, None),
+            (&[], None, None, None),
+            (
+                &[10.0, f64::NAN, 11.0, 9.0, 100.0, 10.5],
+                Some(28.1),
+                Some(10.5),
+                Some((10.0 + 11.0 + 10.5) / 3.0),
+            ),
+            (&[f64::NAN, 7.0], Some(7.0), Some(7.0), Some(7.0)),
+        ];
+        for (i, (xs, want_mean, want_median, want_sel)) in cases.iter().enumerate() {
+            let close = |got: Option<f64>, want: Option<f64>| match (got, want) {
+                (Some(g), Some(w)) => (g - w).abs() < 1e-9,
+                (None, None) => true,
+                _ => false,
+            };
+            assert!(close(mean(xs), *want_mean), "case {i}: mean {:?}", mean(xs));
+            assert!(
+                close(median(xs), *want_median),
+                "case {i}: median {:?}",
+                median(xs)
+            );
+            assert!(
+                close(selective_average(xs), *want_sel),
+                "case {i}: selective {:?}",
+                selective_average(xs)
+            );
+        }
+        // stddev: needs two non-NaN survivors.
+        assert_eq!(stddev(&[f64::NAN, 5.0]), None);
+        assert_eq!(stddev(&[f64::NAN]), None);
+        let s = stddev(&[f64::NAN, 2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s - 2.138089935).abs() < 1e-6);
     }
 
     #[test]

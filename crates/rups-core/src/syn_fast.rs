@@ -1,30 +1,115 @@
-//! FFT-accelerated SYN search for dense contexts.
+//! Fast SYN-search kernels for dense contexts.
 //!
 //! The reference double-sliding check costs `O(mwk)` (§V-A): every window
 //! placement recomputes per-channel sums over `w` metres. After
-//! missing-channel interpolation the rows are dense, and all the
+//! missing-channel interpolation the rows are dense, and the
 //! placement-dependent quantities reduce to
 //!
 //! * per-channel sliding dot products `Σ f_i · s_{j+i}` — a cross-
-//!   correlation, `O(m log m)` via [`crate::dsp::sliding_dot`], and
-//! * per-channel window sums/sum-of-squares — `O(m)` via prefix sums,
+//!   correlation, `O(m log m)` via the packed FFT pipeline of
+//!   [`crate::dsp`] (or a naive `O(mw)` loop for the rolling reference
+//!   scan), and
+//! * per-channel window sums/sum-of-squares — rolled incrementally in
+//!   `O(1)` per placement (`accumulate_dense_channel`),
 //!
-//! bringing one directed pass down to `O(k · m log m)`. Scores match the
-//! reference implementation to floating-point rounding; the public entry
-//! points transparently fall back to the reference path when a selected
-//! channel contains missing values.
+//! bringing one directed FFT pass down to `O(k · m log m)` with three
+//! planned transforms per *pair* of channels (two real rows share each
+//! forward transform; two correlation products share each inverse). The
+//! peak search prunes placements whose score upper bound — mean
+//! per-channel Pearson plus the profile term's hard cap of 1 — cannot beat
+//! the current best (`combine_dense_peak`); the bound is exact, so the
+//! pruned argmax is bit-identical to the full scan.
+//!
+//! Scores match the reference implementation to floating-point rounding;
+//! the public entry points transparently fall back to the non-finite-aware
+//! reference path when a selected channel contains missing or corrupt
+//! values. All buffers come from a process-wide scratch pool
+//! (`with_scratch`), so steady-state passes allocate nothing.
 
-use crate::dsp::{prefix_sums, sliding_dot};
+use crate::dsp::{self, Complex};
 use crate::gsm::GsmTrajectory;
 use crate::stats::{self, PairSums};
 use crate::window::CheckWindow;
-use std::ops::Range;
+use std::sync::{Mutex, OnceLock};
 
-/// FFT-based equivalent of [`crate::syn::slide_scores`].
+/// Every buffer a dense directed pass needs, pooled via [`with_scratch`]
+/// (and embedded in the engine's per-query scratch arena) so repeated
+/// passes perform no allocation after warm-up.
+#[derive(Default)]
+pub(crate) struct DenseScratch {
+    /// FFT work area shared by all transform calls.
+    pub work: Vec<Complex>,
+    /// Spectra of the (reversed) fixed rows of the current channel pair.
+    pub spec_fa: Vec<Complex>,
+    pub spec_fb: Vec<Complex>,
+    /// Spectra of the sliding rows of the current channel pair.
+    pub spec_sa: Vec<Complex>,
+    pub spec_sb: Vec<Complex>,
+    /// `f64` stagings of the fixed-window rows.
+    pub f64a: Vec<f64>,
+    pub f64b: Vec<f64>,
+    /// `f64` stagings of the sliding rows.
+    pub s64a: Vec<f64>,
+    pub s64b: Vec<f64>,
+    /// Correlation lags of the current channel pair.
+    pub dots_a: Vec<f64>,
+    pub dots_b: Vec<f64>,
+    /// Per-placement Σ of defined per-channel Pearsons / their count.
+    pub chan_sum: Vec<f64>,
+    pub chan_n: Vec<u32>,
+    /// Fixed-window means per channel and sliding-window means per
+    /// channel per placement (f32, matching the reference quantisation).
+    pub mean_f: Vec<f32>,
+    pub mean_s: Vec<Vec<f32>>,
+    /// Mean-profile staging for one placement.
+    pub profile: Vec<f32>,
+    /// Final per-placement scores (full-combine paths only).
+    pub scores: Vec<f64>,
+}
+
+impl DenseScratch {
+    /// Resets the per-pass accumulators for `n_pos` placements over `k`
+    /// window channels. Capacity is retained.
+    pub(crate) fn prepare(&mut self, n_pos: usize, k: usize) {
+        self.chan_sum.clear();
+        self.chan_sum.resize(n_pos, 0.0);
+        self.chan_n.clear();
+        self.chan_n.resize(n_pos, 0);
+        self.mean_f.clear();
+        while self.mean_s.len() < k {
+            self.mean_s.push(Vec::new());
+        }
+    }
+}
+
+fn scratch_pool() -> &'static Mutex<Vec<DenseScratch>> {
+    static POOL: OnceLock<Mutex<Vec<DenseScratch>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Runs `f` with a pooled [`DenseScratch`], returning the arena to the
+/// pool afterwards. The pool grows to the peak number of concurrent
+/// callers and never shrinks, so steady-state calls are allocation-free.
+pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut DenseScratch) -> R) -> R {
+    let popped = scratch_pool()
+        .lock()
+        .expect("syn_fast scratch pool poisoned")
+        .pop();
+    let mut s = popped.unwrap_or_default();
+    let r = f(&mut s);
+    scratch_pool()
+        .lock()
+        .expect("syn_fast scratch pool poisoned")
+        .push(s);
+    r
+}
+
+/// Fast equivalent of [`crate::syn::slide_scores`], producing the full
+/// per-placement score vector via the packed FFT pipeline.
 ///
-/// Returns `None` when any selected channel row carries a `NaN` within the
-/// relevant ranges (the caller then falls back to the NaN-aware reference
-/// path).
+/// Returns `None` when any selected channel row carries a non-finite value
+/// within the relevant ranges (the caller then falls back to the
+/// missing-value-aware reference path).
 pub fn slide_scores_fast(
     fixed: &GsmTrajectory,
     fixed_start: usize,
@@ -36,60 +121,261 @@ pub fn slide_scores_fast(
         return Some(Vec::new());
     }
     let n_pos = sliding.len() - w + 1;
-    let fixed_range: Range<usize> = fixed_start..fixed_start + w;
-
-    // Per-placement accumulation of the Eq. (2) terms.
-    let mut chan_sum = vec![0.0f64; n_pos];
-    let mut chan_n = vec![0u32; n_pos];
-    // Per-channel means feeding the mean-profile term, kept as f32 to match
-    // the reference implementation bit-for-bit in its quantisation.
-    let mut mean_f: Vec<f32> = Vec::with_capacity(window.channels.len());
-    let mut mean_s: Vec<Vec<f32>> = Vec::with_capacity(window.channels.len());
-
-    for &ch in &window.channels {
-        let f_row = &fixed.channel(ch)[fixed_range.clone()];
-        let s_row = sliding.channel(ch);
-        if f_row.iter().any(|v| v.is_nan()) || s_row.iter().any(|v| v.is_nan()) {
+    let k = window.channels.len();
+    with_scratch(|s| {
+        if !dense_pass(fixed, fixed_start, sliding, window, true, s) {
             return None;
         }
-        let f64s: Vec<f64> = f_row.iter().map(|&v| v as f64).collect();
-        let s64s: Vec<f64> = s_row.iter().map(|&v| v as f64).collect();
-        let dots = sliding_dot(&f64s, &s64s);
-        let (ps, pss) = prefix_sums(&s64s);
-        let sum_f: f64 = f64s.iter().sum();
-        let sumsq_f: f64 = f64s.iter().map(|v| v * v).sum();
+        let mut scores = Vec::with_capacity(n_pos);
+        combine_dense_scores(
+            n_pos,
+            &s.mean_f,
+            &s.mean_s[..k],
+            &s.chan_sum,
+            &s.chan_n,
+            &mut s.profile,
+            &mut scores,
+        );
+        Some(scores)
+    })
+}
 
-        let mut means_row = Vec::with_capacity(n_pos);
+/// Pruned fast pass: the best placement `(j, score, refine)` without
+/// materialising the score vector (see [`combine_dense_peak`]).
+///
+/// Outer `None` means a selected channel carried a non-finite value and
+/// the caller must fall back to the reference scan; inner `None` means the
+/// pass ran but every placement was undefined.
+pub(crate) fn best_syn_fast(
+    fixed: &GsmTrajectory,
+    fixed_start: usize,
+    sliding: &GsmTrajectory,
+    window: &CheckWindow,
+) -> Option<Option<(usize, f64, f64)>> {
+    let w = window.len_m;
+    if sliding.len() < w || w == 0 {
+        return Some(None);
+    }
+    let n_pos = sliding.len() - w + 1;
+    let k = window.channels.len();
+    with_scratch(|s| {
+        if !dense_pass(fixed, fixed_start, sliding, window, true, s) {
+            return None;
+        }
+        let (peak, _pruned) = combine_dense_peak(
+            n_pos,
+            &s.mean_f,
+            &s.mean_s[..k],
+            &s.chan_sum,
+            &s.chan_n,
+            &mut s.profile,
+        );
+        Some(peak)
+    })
+}
+
+/// Rolling-statistics dense scan with naive dot products, writing the full
+/// score vector into `out` — the production reference scan behind
+/// [`crate::syn::slide_scores`] for dense inputs. Returns `false` (and
+/// leaves `out` untouched) when a selected channel carries a non-finite
+/// value, in which case the caller runs the per-placement
+/// recompute-of-record instead.
+pub(crate) fn dense_scores_naive_into(
+    fixed: &GsmTrajectory,
+    fixed_start: usize,
+    sliding: &GsmTrajectory,
+    window: &CheckWindow,
+    out: &mut Vec<f64>,
+) -> bool {
+    let w = window.len_m;
+    if sliding.len() < w || w == 0 {
+        return false;
+    }
+    let n_pos = sliding.len() - w + 1;
+    let k = window.channels.len();
+    with_scratch(|s| {
+        if !dense_pass(fixed, fixed_start, sliding, window, false, s) {
+            return false;
+        }
+        combine_dense_scores(
+            n_pos,
+            &s.mean_f,
+            &s.mean_s[..k],
+            &s.chan_sum,
+            &s.chan_n,
+            &mut s.profile,
+            out,
+        );
+        true
+    })
+}
+
+/// One dense directed pass: stages the selected channels pairwise, computes
+/// their correlation lags (packed FFT when `use_fft`, a 4-lane naive dot
+/// otherwise), and accumulates the rolling per-placement statistics into
+/// `s.chan_sum`/`s.chan_n`/`s.mean_f`/`s.mean_s`.
+///
+/// Returns `false` without touching the accumulators' meaning when any
+/// selected row carries a non-finite value — the dense kernels assume
+/// full-support windows, and [`PairSums`] would otherwise silently skip
+/// samples the `n = w` shortcut still counts.
+pub(crate) fn dense_pass(
+    fixed: &GsmTrajectory,
+    fixed_start: usize,
+    sliding: &GsmTrajectory,
+    window: &CheckWindow,
+    use_fft: bool,
+    s: &mut DenseScratch,
+) -> bool {
+    let w = window.len_m;
+    let n_pos = sliding.len() - w + 1;
+    let k = window.channels.len();
+    for &ch in &window.channels {
+        if fixed.channel(ch)[fixed_start..fixed_start + w]
+            .iter()
+            .any(|v| !v.is_finite())
+            || sliding.channel(ch).iter().any(|v| !v.is_finite())
+        {
+            return false;
+        }
+    }
+    s.prepare(n_pos, k);
+    let size = dsp::corr_fft_size(w, sliding.len());
+    let mut ci = 0usize;
+    while ci < k {
+        let cha = window.channels[ci];
+        let chb = window.channels.get(ci + 1).copied();
+        s.f64a.clear();
+        s.f64a.extend(
+            fixed.channel(cha)[fixed_start..fixed_start + w]
+                .iter()
+                .map(|&v| v as f64),
+        );
+        s.s64a.clear();
+        s.s64a
+            .extend(sliding.channel(cha).iter().map(|&v| v as f64));
+        s.f64b.clear();
+        s.s64b.clear();
+        if let Some(chb) = chb {
+            s.f64b.extend(
+                fixed.channel(chb)[fixed_start..fixed_start + w]
+                    .iter()
+                    .map(|&v| v as f64),
+            );
+            s.s64b
+                .extend(sliding.channel(chb).iter().map(|&v| v as f64));
+        }
+        if use_fft {
+            dsp::real_spectra_pair_into(
+                &s.f64a,
+                &s.f64b,
+                true,
+                size,
+                &mut s.work,
+                &mut s.spec_fa,
+                &mut s.spec_fb,
+            );
+            dsp::real_spectra_pair_into(
+                &s.s64a,
+                &s.s64b,
+                false,
+                size,
+                &mut s.work,
+                &mut s.spec_sa,
+                &mut s.spec_sb,
+            );
+            dsp::corr_from_spectra_pair_into(
+                &s.spec_fa,
+                &s.spec_sa,
+                &s.spec_fb,
+                &s.spec_sb,
+                w,
+                n_pos,
+                &mut s.work,
+                &mut s.dots_a,
+                &mut s.dots_b,
+            );
+        } else {
+            s.dots_a.clear();
+            for j in 0..n_pos {
+                s.dots_a.push(lane_dot(&s.f64a, &s.s64a[j..j + w]));
+            }
+            s.dots_b.clear();
+            if !s.f64b.is_empty() {
+                for j in 0..n_pos {
+                    s.dots_b.push(lane_dot(&s.f64b, &s.s64b[j..j + w]));
+                }
+            }
+        }
+        let sums_a = dsp::sum_sumsq(&s.f64a);
+        let row = &mut s.mean_s[ci];
+        row.clear();
         let mf = accumulate_dense_channel(
             w,
             n_pos,
-            sum_f,
-            sumsq_f,
-            &dots,
-            &ps,
-            &pss,
-            &mut chan_sum,
-            &mut chan_n,
-            &mut means_row,
+            sums_a.0,
+            sums_a.1,
+            &s.dots_a,
+            &s.s64a,
+            &mut s.chan_sum,
+            &mut s.chan_n,
+            row,
         );
-        mean_f.push(mf);
-        mean_s.push(means_row);
+        s.mean_f.push(mf);
+        if chb.is_some() {
+            let sums_b = dsp::sum_sumsq(&s.f64b);
+            let row = &mut s.mean_s[ci + 1];
+            row.clear();
+            let mf = accumulate_dense_channel(
+                w,
+                n_pos,
+                sums_b.0,
+                sums_b.1,
+                &s.dots_b,
+                &s.s64b,
+                &mut s.chan_sum,
+                &mut s.chan_n,
+                row,
+            );
+            s.mean_f.push(mf);
+        }
+        ci += 2;
     }
+    true
+}
 
-    let mut scores = Vec::with_capacity(n_pos);
-    combine_dense_scores(n_pos, &mean_f, &mean_s, &chan_sum, &chan_n, &mut scores);
-    Some(scores)
+/// Dot product hand-unrolled into four independent f64 lanes (combined in
+/// a fixed `(0+1)+(2+3)` order), for the naive-dots rolling scan.
+#[inline]
+pub(crate) fn lane_dot(f: &[f64], s: &[f64]) -> f64 {
+    debug_assert_eq!(f.len(), s.len());
+    let mut acc = [0.0f64; 4];
+    let mut fc = f.chunks_exact(4);
+    let mut sc = s.chunks_exact(4);
+    for (cf, cs) in (&mut fc).zip(&mut sc) {
+        acc[0] += cf[0] * cs[0];
+        acc[1] += cf[1] * cs[1];
+        acc[2] += cf[2] * cs[2];
+        acc[3] += cf[3] * cs[3];
+    }
+    let mut out = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (a, b) in fc.remainder().iter().zip(sc.remainder()) {
+        out += a * b;
+    }
+    out
 }
 
 /// Accumulates one dense channel's per-placement Pearson contributions into
 /// `chan_sum`/`chan_n`, pushes the per-placement sliding-window means into
 /// `means_row`, and returns the fixed-window mean. `dots[j]` must be the
-/// fixed·sliding dot product at placement `j` and `ps`/`pss` the prefix
-/// sums of the sliding row and its squares (length ≥ `n_pos + w`).
+/// fixed·sliding dot product at placement `j`; the window sums over
+/// `s_row` are **rolled** — seeded once over `[0, w)` and updated in `O(1)`
+/// per placement — rather than rebuilt, turning the `O(mw)` statistics
+/// sweep into `O(m)`.
 ///
-/// This is the placement-dependent half of Eq. (2), shared between
-/// [`slide_scores_fast`] and [`crate::engine::SynQueryEngine`] so the two
-/// paths stay bit-identical.
+/// This is the placement-dependent half of Eq. (2), shared between every
+/// dense path ([`slide_scores_fast`], the rolling reference scan and
+/// [`crate::engine::SynQueryEngine`]) so they stay bit-identical.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn accumulate_dense_channel(
     w: usize,
@@ -97,15 +383,19 @@ pub(crate) fn accumulate_dense_channel(
     sum_f: f64,
     sumsq_f: f64,
     dots: &[f64],
-    ps: &[f64],
-    pss: &[f64],
+    s_row: &[f64],
     chan_sum: &mut [f64],
     chan_n: &mut [u32],
     means_row: &mut Vec<f32>,
 ) -> f32 {
+    let (mut sum_s, mut sumsq_s) = dsp::sum_sumsq(&s_row[..w]);
     for j in 0..n_pos {
-        let sum_s = ps[j + w] - ps[j];
-        let sumsq_s = pss[j + w] - pss[j];
+        if j > 0 {
+            let dropped = s_row[j - 1];
+            let added = s_row[j + w - 1];
+            sum_s += added - dropped;
+            sumsq_s += added * added - dropped * dropped;
+        }
         // Reuse the exact PairSums → Pearson math of the reference path
         // so thresholds and degenerate-variance handling agree.
         let sums = PairSums {
@@ -125,33 +415,116 @@ pub(crate) fn accumulate_dense_channel(
     (sum_f / w as f64) as f32
 }
 
+/// The Eq. (2) score of placement `j` from the per-channel accumulators:
+/// mean per-channel Pearson plus the mean-profile Pearson; NaN when either
+/// term is undefined. `profile` is a caller-provided `k`-length staging
+/// buffer.
+fn dense_score_at(
+    j: usize,
+    mean_f: &[f32],
+    mean_s: &[Vec<f32>],
+    chan_sum: &[f64],
+    chan_n: &[u32],
+    profile: &mut [f32],
+) -> f64 {
+    if chan_n[j] == 0 {
+        return f64::NAN;
+    }
+    for (slot, row) in profile.iter_mut().zip(mean_s) {
+        *slot = row[j];
+    }
+    match stats::pearson(mean_f, profile) {
+        Some(mp) => chan_sum[j] / chan_n[j] as f64 + mp,
+        None => f64::NAN,
+    }
+}
+
 /// Combines the per-channel accumulators of [`accumulate_dense_channel`]
-/// into final Eq. (2) scores (mean per-channel Pearson + mean-profile
-/// Pearson), appending one score per placement to `scores`.
+/// into final Eq. (2) scores, appending one score per placement to
+/// `scores`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn combine_dense_scores(
     n_pos: usize,
     mean_f: &[f32],
     mean_s: &[Vec<f32>],
     chan_sum: &[f64],
     chan_n: &[u32],
+    profile: &mut Vec<f32>,
     scores: &mut Vec<f64>,
 ) {
-    // Mean-profile Pearson across channels, per placement.
     let k = mean_f.len();
-    let mut profile = vec![0.0f32; k];
+    profile.clear();
+    profile.resize(k, 0.0);
+    for j in 0..n_pos {
+        scores.push(dense_score_at(j, mean_f, mean_s, chan_sum, chan_n, profile));
+    }
+}
+
+/// Pruned peak search over the dense accumulators: returns the first
+/// maximum `(j, score, refine)` exactly as `syn::peak(full_scores)` would,
+/// plus the number of placements whose mean-profile Pearson was skipped.
+///
+/// The upper bound is exact, not heuristic: the profile term is clamped to
+/// `[−1, 1]` by [`PairSums::pearson`], so `score(j) ≤ partial(j) + 1`, and
+/// IEEE addition is monotonic — `fl(partial + profile) ≤ fl(partial + 1)`.
+/// A placement with `fl(partial + 1) ≤ best` therefore can never satisfy
+/// the strict `score > best` test of the reference first-max scan, and
+/// skipping its `O(k)` profile correlation cannot change the argmax. The
+/// peak's neighbours are evaluated exactly afterwards, so the parabolic
+/// refinement is bit-identical too.
+pub(crate) fn combine_dense_peak(
+    n_pos: usize,
+    mean_f: &[f32],
+    mean_s: &[Vec<f32>],
+    chan_sum: &[f64],
+    chan_n: &[u32],
+    profile: &mut Vec<f32>,
+) -> (Option<(usize, f64, f64)>, u64) {
+    let k = mean_f.len();
+    profile.clear();
+    profile.resize(k, 0.0);
+    let mut best: Option<(usize, f64)> = None;
+    let mut pruned = 0u64;
     for j in 0..n_pos {
         if chan_n[j] == 0 {
-            scores.push(f64::NAN);
             continue;
         }
-        for (slot, row) in profile.iter_mut().zip(mean_s) {
-            *slot = row[j];
+        if let Some((_, b)) = best {
+            let partial = chan_sum[j] / chan_n[j] as f64;
+            if partial + 1.0 <= b {
+                pruned += 1;
+                continue;
+            }
         }
-        match stats::pearson(mean_f, &profile) {
-            Some(mp) => scores.push(chan_sum[j] / chan_n[j] as f64 + mp),
-            None => scores.push(f64::NAN),
+        let score = dense_score_at(j, mean_f, mean_s, chan_sum, chan_n, profile);
+        if score.is_nan() {
+            continue;
+        }
+        if best.is_none_or(|(_, b)| score > b) {
+            best = Some((j, score));
         }
     }
+    let Some((i, sc)) = best else {
+        return (None, pruned);
+    };
+    // Exact neighbours for the parabolic refinement, mirroring syn::peak.
+    let refine = if i > 0 && i + 1 < n_pos {
+        let l = dense_score_at(i - 1, mean_f, mean_s, chan_sum, chan_n, profile);
+        let r = dense_score_at(i + 1, mean_f, mean_s, chan_sum, chan_n, profile);
+        if l.is_nan() || r.is_nan() {
+            0.0
+        } else {
+            let denom = l - 2.0 * sc + r;
+            if denom.abs() < 1e-12 {
+                0.0
+            } else {
+                (0.5 * (l - r) / denom).clamp(-0.5, 0.5)
+            }
+        }
+    } else {
+        0.0
+    };
+    (Some((i, sc, refine)), pruned)
 }
 
 #[cfg(test)]
@@ -159,7 +532,7 @@ mod tests {
     use super::*;
     use crate::config::RupsConfig;
     use crate::gsm::PowerVector;
-    use crate::syn::{find_best_syn, find_best_syn_fft, slide_scores};
+    use crate::syn::{self, find_best_syn, find_best_syn_fft};
     use crate::testfield;
 
     fn dense_traj(seed: u64, start: usize, len: usize, n_channels: usize) -> GsmTrajectory {
@@ -187,7 +560,7 @@ mod tests {
         let b = dense_traj(3, 40, 260, 20);
         let c = cfg(20);
         let w = CheckWindow::for_context(&a, &c).unwrap();
-        let reference = slide_scores(&a, a.len() - w.len_m, &b, &w);
+        let reference = syn::slide_scores_reference(&a, a.len() - w.len_m, &b, &w);
         let fast = slide_scores_fast(&a, a.len() - w.len_m, &b, &w).expect("dense input");
         assert_eq!(reference.len(), fast.len());
         for (i, (r, f)) in reference.iter().zip(&fast).enumerate() {
@@ -199,6 +572,85 @@ mod tests {
                 _ => panic!("definedness mismatch at {i}: ref {r}, fft {f}"),
             }
         }
+    }
+
+    #[test]
+    fn rolling_naive_scan_matches_recompute_reference() {
+        let a = dense_traj(21, 0, 240, 17); // odd channel count: lone tail channel
+        let b = dense_traj(21, 35, 240, 17);
+        let c = cfg(17);
+        let w = CheckWindow::for_context(&a, &c).unwrap();
+        let reference = syn::slide_scores_reference(&a, a.len() - w.len_m, &b, &w);
+        let mut rolling = Vec::new();
+        assert!(dense_scores_naive_into(
+            &a,
+            a.len() - w.len_m,
+            &b,
+            &w,
+            &mut rolling
+        ));
+        assert_eq!(reference.len(), rolling.len());
+        for (i, (r, f)) in reference.iter().zip(&rolling).enumerate() {
+            match (r.is_nan(), f.is_nan()) {
+                (true, true) => {}
+                (false, false) => {
+                    assert!(
+                        (r - f).abs() < 1e-6,
+                        "placement {i}: ref {r} vs rolling {f}"
+                    )
+                }
+                _ => panic!("definedness mismatch at {i}: ref {r}, rolling {f}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_peak_equals_full_scan_peak() {
+        for (seed, off) in [(7u64, 30usize), (8, 55), (9, 10)] {
+            let a = dense_traj(seed, 0, 300, 19);
+            let b = dense_traj(seed, off, 300, 19);
+            let c = cfg(19);
+            let w = CheckWindow::for_context(&a, &c).unwrap();
+            let full = slide_scores_fast(&a, a.len() - w.len_m, &b, &w).unwrap();
+            let expect = syn::peak(&full);
+            let got = best_syn_fast(&a, a.len() - w.len_m, &b, &w).expect("dense");
+            match (expect, got) {
+                (Some((ei, es, er)), Some((gi, gs, gr))) => {
+                    assert_eq!(ei, gi, "seed {seed}: pruned argmax diverged");
+                    assert!(es.to_bits() == gs.to_bits(), "seed {seed}: score bits");
+                    assert!(er.to_bits() == gr.to_bits(), "seed {seed}: refine bits");
+                }
+                (None, None) => {}
+                other => panic!("seed {seed}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_actually_skips_profile_evaluations() {
+        let a = dense_traj(33, 0, 350, 16);
+        let b = dense_traj(33, 60, 350, 16);
+        let c = cfg(16);
+        let w = CheckWindow::for_context(&a, &c).unwrap();
+        let n_pos = b.len() - w.len_m + 1;
+        let pruned = with_scratch(|s| {
+            assert!(dense_pass(&a, a.len() - w.len_m, &b, &w, true, s));
+            let k = w.channels.len();
+            let (peak, pruned) = combine_dense_peak(
+                n_pos,
+                &s.mean_f,
+                &s.mean_s[..k],
+                &s.chan_sum,
+                &s.chan_n,
+                &mut s.profile,
+            );
+            assert!(peak.is_some());
+            pruned
+        });
+        assert!(
+            pruned > (n_pos as u64) / 4,
+            "expected the bound to skip a sizeable share of {n_pos} placements, pruned {pruned}"
+        );
     }
 
     #[test]
@@ -225,9 +677,33 @@ mod tests {
         let c = cfg(16);
         let w = CheckWindow::for_context(&a, &c).unwrap();
         assert!(slide_scores_fast(&a, a.len() - w.len_m, &b, &w).is_none());
+        assert!(best_syn_fast(&a, a.len() - w.len_m, &b, &w).is_none());
         // The public entry point still answers via the fallback.
         let p = find_best_syn_fft(&a, &b, &c).unwrap();
         assert_eq!(p.self_end as i64 - p.other_end as i64, 50);
+    }
+
+    #[test]
+    fn falls_back_on_infinite_values() {
+        // ±∞ is corrupt data, not "missing": the dense kernels must refuse
+        // it exactly like NaN so the non-finite-aware reference decides.
+        let a = dense_traj(6, 0, 300, 16);
+        let mut rows: Vec<Vec<f32>> = (0..16)
+            .map(|ch| dense_traj(6, 50, 300, 16).channel(ch).to_vec())
+            .collect();
+        rows[1][80] = f32::INFINITY;
+        let b = GsmTrajectory::from_rows(rows);
+        let c = cfg(16);
+        let w = CheckWindow::for_context(&a, &c).unwrap();
+        assert!(slide_scores_fast(&a, a.len() - w.len_m, &b, &w).is_none());
+        let mut out = Vec::new();
+        assert!(!dense_scores_naive_into(
+            &a,
+            a.len() - w.len_m,
+            &b,
+            &w,
+            &mut out
+        ));
     }
 
     #[test]
@@ -238,5 +714,20 @@ mod tests {
         let w = CheckWindow::for_context(&a, &c).unwrap();
         let scores = slide_scores_fast(&a, a.len() - w.len_m, &b, &w).unwrap();
         assert!(scores.is_empty());
+    }
+
+    #[test]
+    fn scratch_pool_reuses_arenas() {
+        let a = dense_traj(2, 0, 200, 8);
+        let b = dense_traj(2, 20, 200, 8);
+        let c = cfg(8);
+        let w = CheckWindow::for_context(&a, &c).unwrap();
+        // Warm the pool, then verify repeated calls agree (stale buffer
+        // state from the pool must never leak into results).
+        let first = slide_scores_fast(&a, a.len() - w.len_m, &b, &w).unwrap();
+        for _ in 0..3 {
+            let again = slide_scores_fast(&a, a.len() - w.len_m, &b, &w).unwrap();
+            assert_eq!(first, again);
+        }
     }
 }
