@@ -24,6 +24,7 @@ fn snapshot(len: usize, n_channels: usize) -> ContextSnapshot {
         vehicle_id: Some(1),
         geo,
         gsm,
+        trace: None,
     }
 }
 

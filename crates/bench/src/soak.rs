@@ -1,0 +1,337 @@
+//! SLO-gated soak harness: sustained multi-vehicle load, judged from
+//! telemetry alone.
+//!
+//! [`run_soak`] drives an n-vehicle convoy — traced beacons over a
+//! faulted [`V2vLink`], codec validation, [`SnapshotInbox`] vetting and
+//! periodic [`fix_inbox_parallel`] epochs on every vehicle — for a fixed
+//! *wall-clock* budget, looping the simulated drive as fast as the build
+//! allows. While it runs it does two production-shaped things:
+//!
+//! * samples the process's **live allocated bytes** through a caller
+//!   provided probe (the `soak` binary and the smoke test install a
+//!   counting `#[global_allocator]`), and afterwards asserts the warm
+//!   path is allocation-flat: the second half of the post-warmup samples
+//!   must not sit measurably above the first half;
+//! * folds the per-vehicle registries into per-window fleet deltas with
+//!   a [`FleetAggregator`] and judges the run against the declarative
+//!   [`default_slos`] set via [`evaluate_slos`] — no ground truth, only
+//!   what the registries observed.
+//!
+//! Everything the harness retains is bounded: memory samples decimate
+//! (stride doubles) once their preallocated buffer fills, and the window
+//! ring keeps the newest [`WINDOW_CAP`] deltas, so the harness itself
+//! cannot mask — or cause — a leak. The outcome serialises to JSON; the
+//! `soak` binary exits non-zero on any breach, which is the CI gate.
+//!
+//! [`V2vLink`]: v2v_sim::link::V2vLink
+//! [`SnapshotInbox`]: rups_core::inbox::SnapshotInbox
+//! [`fix_inbox_parallel`]: rups_core::pipeline::RupsNode::fix_inbox_parallel
+//! [`FleetAggregator`]: rups_obs::FleetAggregator
+//! [`default_slos`]: rups_obs::default_slos
+//! [`evaluate_slos`]: rups_obs::evaluate_slos
+
+use crate::bench_config;
+use rups_core::geo::GeoSample;
+use rups_core::gsm::PowerVector;
+use rups_core::inbox::{InboxConfig, SnapshotInbox};
+use rups_core::pipeline::RupsNode;
+use rups_core::quality::QualityConfig;
+use rups_core::testfield;
+use rups_obs::{
+    default_slos, evaluate_slos, FleetAggregator, MetricsSnapshot, Registry, SloSpec, SloVerdict,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use v2v_sim::codec::{try_encode_snapshot, CodecMetrics};
+use v2v_sim::fault::FaultConfig;
+use v2v_sim::link::V2vLink;
+
+/// Newest fleet-window deltas retained for burn-rate evaluation.
+pub const WINDOW_CAP: usize = 1024;
+
+/// Memory samples preallocated before decimation kicks in.
+const MEM_SAMPLE_CAP: usize = 1 << 16;
+
+/// Knobs of one soak run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoakConfig {
+    /// Convoy size (ids `1..=n`).
+    pub n_vehicles: usize,
+    /// Channels in the trajectory band (soak favours sustained load over
+    /// band realism; keep it lean).
+    pub n_channels: usize,
+    /// Journey context each vehicle beacons, metres.
+    pub context_m: usize,
+    /// True gap between adjacent vehicles, metres.
+    pub gap_m: f64,
+    /// Staleness horizon of each inbox, seconds.
+    pub horizon_s: f64,
+    /// Simulated seconds between fix epochs (beaconing stays at 1 Hz).
+    pub fix_stride_s: usize,
+    /// Fix epochs aggregated into one fleet window.
+    pub window_epochs: usize,
+    /// Channel impairments (default: the burst acceptance cell).
+    pub faults: FaultConfig,
+    /// Wall-clock budget of the run, seconds.
+    pub wall_secs: f64,
+    /// p99 ceiling of the `fix_p99_latency` SLO, nanoseconds.
+    pub p99_max_ns: f64,
+    /// Allowed relative live-bytes growth, second half over first half of
+    /// the post-warmup samples.
+    pub mem_growth_tol: f64,
+    /// Absolute slack on top of the relative tolerance, bytes (rounding
+    /// room for tiny runs).
+    pub mem_abs_slack_bytes: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        Self {
+            n_vehicles: 4,
+            n_channels: 24,
+            context_m: 160,
+            gap_m: 35.0,
+            horizon_s: 10.0,
+            fix_stride_s: 5,
+            window_epochs: 16,
+            faults: FaultConfig {
+                duplicate: 0.05,
+                reorder: 0.05,
+                corrupt: 0.01,
+                jitter_s: 0.02,
+                ..FaultConfig::bursty(0.15, 0.35, 1.0)
+            },
+            wall_secs: 20.0,
+            p99_max_ns: 250e6,
+            mem_growth_tol: 0.02,
+            mem_abs_slack_bytes: 1 << 20,
+            seed: 0x50AC,
+        }
+    }
+}
+
+/// The flat-memory verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemVerdict {
+    /// Post-warmup live-bytes samples the halves were averaged over.
+    pub samples: usize,
+    /// Mean live bytes over the first half.
+    pub first_half_avg_bytes: f64,
+    /// Mean live bytes over the second half.
+    pub second_half_avg_bytes: f64,
+    /// `second_half / first_half` (1.0 when the first half is empty).
+    pub growth_ratio: f64,
+    /// Largest live-bytes sample seen after warmup.
+    pub max_live_bytes: u64,
+    /// Whether the growth stayed within tolerance.
+    pub pass: bool,
+}
+
+/// The outcome of one soak run: the gate is `pass`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoakOutcome {
+    /// Always `"soak"`.
+    pub harness: String,
+    /// The knobs the run used.
+    pub config: SoakConfig,
+    /// Wall seconds actually spent in the drive loop.
+    pub wall_s: f64,
+    /// Simulated seconds driven.
+    pub sim_s: u64,
+    /// Fix epochs executed.
+    pub epochs: u64,
+    /// Fleet windows evaluated (newest [`WINDOW_CAP`] retained).
+    pub windows: usize,
+    /// The SLO spec set the run was judged against.
+    pub slo_specs: Vec<SloSpec>,
+    /// The telemetry-only SLO verdict.
+    pub slo: SloVerdict,
+    /// The allocation-flatness verdict.
+    pub mem: MemVerdict,
+    /// `slo.pass && mem.pass`.
+    pub pass: bool,
+}
+
+/// Judges flatness over the post-warmup samples: the first quarter is
+/// discarded (caches, arenas and rings legitimately fill), then the mean
+/// of the second half must not exceed the mean of the first half by more
+/// than the configured tolerance.
+fn mem_verdict(cfg: &SoakConfig, samples: &[u64]) -> MemVerdict {
+    let warm = &samples[samples.len() / 4..];
+    let mid = warm.len() / 2;
+    let (a, b) = warm.split_at(mid);
+    let avg = |s: &[u64]| {
+        if s.is_empty() {
+            0.0
+        } else {
+            s.iter().map(|&v| v as f64).sum::<f64>() / s.len() as f64
+        }
+    };
+    let (first, second) = (avg(a), avg(b));
+    let growth_ratio = if first > 0.0 { second / first } else { 1.0 };
+    let pass = second <= first * (1.0 + cfg.mem_growth_tol) + cfg.mem_abs_slack_bytes as f64;
+    MemVerdict {
+        samples: warm.len(),
+        first_half_avg_bytes: first,
+        second_half_avg_bytes: second,
+        growth_ratio,
+        max_live_bytes: warm.iter().copied().max().unwrap_or(0),
+        pass,
+    }
+}
+
+/// Runs the soak. `live_bytes` is sampled once per fix epoch; wire it to
+/// the counting allocator of the hosting binary/test.
+pub fn run_soak(cfg: &SoakConfig, live_bytes: &dyn Fn() -> u64) -> SoakOutcome {
+    let mut rc = bench_config(cfg.n_channels, 85.min(cfg.context_m / 2), cfg.n_channels);
+    rc.max_context_m = cfg.context_m + 50;
+    let field = |metre: f64, ch: usize| testfield::rssi(cfg.seed, metre, ch);
+    let quality_cfg = QualityConfig::default();
+
+    let n = cfg.n_vehicles;
+    let ids: Vec<u64> = (1..=n as u64).collect();
+    let registries: Vec<Arc<Registry>> = ids.iter().map(|_| Arc::new(Registry::new())).collect();
+    let mut nodes: Vec<RupsNode> = ids
+        .iter()
+        .enumerate()
+        .map(|(k, &id)| {
+            RupsNode::new(rc.clone())
+                .with_vehicle_id(id)
+                .with_observability(Arc::clone(&registries[k]))
+        })
+        .collect();
+    let link = V2vLink::with_faults_in(cfg.faults, cfg.seed ^ 0x11, Arc::clone(&registries[0]));
+    let endpoints: Vec<_> = ids.iter().map(|&id| link.join(id)).collect();
+    let mut inboxes: Vec<SnapshotInbox> = ids
+        .iter()
+        .enumerate()
+        .map(|(k, _)| {
+            SnapshotInbox::new(InboxConfig::for_rups(&rc, cfg.horizon_s))
+                .with_registry(&registries[k])
+        })
+        .collect();
+    let codecs: Vec<CodecMetrics> = registries
+        .iter()
+        .map(|r| CodecMetrics::register(r))
+        .collect();
+    let aggregator = FleetAggregator::new();
+
+    let warmup_m = cfg.context_m + 10;
+    let mut windows: VecDeque<MetricsSnapshot> = VecDeque::with_capacity(WINDOW_CAP);
+    let mut prev_merged: Option<MetricsSnapshot> = None;
+    let mut mem_samples: Vec<u64> = Vec::with_capacity(MEM_SAMPLE_CAP);
+    let mut sample_stride = 1u64;
+    let mut epochs = 0u64;
+
+    let snapshot_fleet = |aggregator: &FleetAggregator| -> MetricsSnapshot {
+        let parts: Vec<(u64, MetricsSnapshot)> = ids
+            .iter()
+            .zip(registries.iter())
+            .map(|(&id, reg)| (id, reg.snapshot()))
+            .collect();
+        aggregator
+            .aggregate(&parts)
+            .expect("uncompacted per-node snapshots always bucket-merge")
+            .merged
+    };
+
+    let start = Instant::now();
+    let mut metre = 0usize;
+    loop {
+        let t = metre as f64;
+        for (k, node) in nodes.iter_mut().enumerate() {
+            let road_m = t + k as f64 * cfg.gap_m;
+            node.append_metre(
+                GeoSample {
+                    heading_rad: 0.0,
+                    timestamp_s: t,
+                },
+                &PowerVector::from_fn(rc.n_channels, |ch| Some(field(road_m, ch))),
+            )
+            .expect("synthetic drive never mismatches");
+        }
+        if metre >= warmup_m {
+            for (k, node) in nodes.iter_mut().enumerate() {
+                let (snap, ctx) = node.traced_snapshot(Some(cfg.context_m), metre as u32);
+                if let (Ok(bytes), Some(ctx)) = (try_encode_snapshot(&snap), ctx) {
+                    endpoints[k].broadcast_traced(t, bytes, ctx);
+                }
+            }
+            for (k, ep) in endpoints.iter().enumerate() {
+                for delivery in ep.poll_until(t) {
+                    if let Ok(snap) = codecs[k].decode(&delivery.payload) {
+                        let _ = inboxes[k].accept(snap, delivery.arrival_s);
+                    }
+                }
+            }
+            if (metre - warmup_m).is_multiple_of(cfg.fix_stride_s) {
+                for (k, node) in nodes.iter_mut().enumerate() {
+                    for _ in node.fix_inbox_parallel(&inboxes[k], t, &quality_cfg) {}
+                }
+                epochs += 1;
+                if epochs.is_multiple_of(sample_stride) {
+                    if mem_samples.len() == MEM_SAMPLE_CAP {
+                        // Decimate in place: keep every other sample and
+                        // double the stride, so the buffer never regrows.
+                        let mut i = 0usize;
+                        mem_samples.retain(|_| {
+                            i += 1;
+                            i % 2 == 1
+                        });
+                        sample_stride *= 2;
+                    }
+                    mem_samples.push(live_bytes());
+                }
+                if epochs.is_multiple_of(cfg.window_epochs as u64) {
+                    let merged = snapshot_fleet(&aggregator);
+                    let delta = match &prev_merged {
+                        Some(prev) => merged.delta(prev),
+                        None => merged.clone(),
+                    };
+                    if windows.len() == WINDOW_CAP {
+                        windows.pop_front();
+                    }
+                    windows.push_back(delta.compact());
+                    prev_merged = Some(merged);
+                }
+                // The wall budget is checked at epoch granularity: every
+                // iteration between epochs is microseconds.
+                if start.elapsed() >= Duration::from_secs_f64(cfg.wall_secs) {
+                    break;
+                }
+            }
+        }
+        metre += 1;
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let cumulative = snapshot_fleet(&aggregator);
+    let slo_specs = default_slos(cfg.p99_max_ns);
+    let mut windows: Vec<MetricsSnapshot> = windows.into_iter().collect();
+    // The trailing partial window still counts against burn-rate.
+    if let Some(prev) = &prev_merged {
+        let tail = cumulative.delta(prev);
+        if tail.counters.iter().any(|c| c.value > 0) {
+            windows.push(tail.compact());
+        }
+    }
+    let slo = evaluate_slos(&slo_specs, &cumulative, &windows);
+    let mem = mem_verdict(cfg, &mem_samples);
+
+    SoakOutcome {
+        harness: "soak".into(),
+        config: cfg.clone(),
+        wall_s,
+        sim_s: metre as u64,
+        epochs,
+        windows: windows.len(),
+        pass: slo.pass && mem.pass,
+        slo_specs,
+        slo,
+        mem,
+    }
+}

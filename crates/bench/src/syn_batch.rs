@@ -56,6 +56,7 @@ pub fn neighbour_snapshots(seed: u64, n: usize) -> Vec<ContextSnapshot> {
                 vehicle_id: Some(i as u64),
                 geo,
                 gsm: synthetic_context(seed, 20 + 7 * i, CONTEXT_M, N_CHANNELS),
+                trace: None,
             }
         })
         .collect()

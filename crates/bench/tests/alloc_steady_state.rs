@@ -75,6 +75,7 @@ fn neighbour(seed: u64, offset: usize, context_m: usize) -> ContextSnapshot {
         vehicle_id: Some(7),
         geo,
         gsm: synthetic_context(seed, offset, context_m, N_CHANNELS),
+        trace: None,
     }
 }
 

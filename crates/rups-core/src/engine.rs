@@ -41,7 +41,7 @@ use crate::syn::{self, SynPoint};
 use crate::syn_fast;
 use crate::window::CheckWindow;
 use rayon::prelude::*;
-use rups_obs::{Counter, Histogram, Registry, SpanArgs, SpanRecorder};
+use rups_obs::{Counter, Histogram, Registry, SpanArgs, SpanRecorder, TraceContext};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -708,7 +708,7 @@ impl SynQueryEngine {
             .map(|nb| {
                 let mut scanned = 0u32;
                 let res = self
-                    .query_ctx_counted(ctx, &nb.gsm, kernel, false, &mut scanned)
+                    .query_ctx_counted(ctx, &nb.gsm, kernel, false, &mut scanned, nb.trace)
                     .and_then(|points| self.build_fix(ctx.gsm.len(), nb.gsm.len(), points));
                 (
                     res,
@@ -780,11 +780,13 @@ impl SynQueryEngine {
         parallel: bool,
     ) -> Result<Vec<SynPoint>, RupsError> {
         let mut scanned = 0u32;
-        self.query_ctx_counted(ctx, theirs, kernel, parallel, &mut scanned)
+        self.query_ctx_counted(ctx, theirs, kernel, parallel, &mut scanned, None)
     }
 
     /// [`query_ctx`](Self::query_ctx) that counts the directed sliding
-    /// passes it actually ran into `scanned`.
+    /// passes it actually ran into `scanned`. When the neighbour snapshot
+    /// carried a [`TraceContext`] the `engine.query` span joins that causal
+    /// trace (its args gain `trace` + `clock` alongside the window sizes).
     pub(crate) fn query_ctx_counted(
         &self,
         ctx: &OwnContext,
@@ -792,6 +794,7 @@ impl SynQueryEngine {
         kernel: Kernel,
         parallel: bool,
         scanned: &mut u32,
+        trace: Option<TraceContext>,
     ) -> Result<Vec<SynPoint>, RupsError> {
         self.metrics.queries.inc();
         let _t = self.metrics.query_ns.start_timer();
@@ -806,9 +809,11 @@ impl SynQueryEngine {
         let shorter = ours.len().min(theirs.len());
         let w = syn::adaptive_window_len(shorter, &self.cfg);
         if let Some(g) = _s.as_mut() {
+            // Two slots of the four carry the causal trace when present,
+            // the other two the query's own shape.
+            let base = trace.map_or_else(SpanArgs::new, |t| t.args());
             g.set_args(
-                SpanArgs::new()
-                    .with("window_len_m", w as i64)
+                base.with("window_len_m", w as i64)
                     .with("neighbour_len_m", theirs.len() as i64),
             );
         }
@@ -1359,6 +1364,7 @@ mod tests {
                 vehicle_id: Some(off as u64),
                 geo: crate::geo::GeoTrajectory::new(),
                 gsm: traj(14, off, 350, 16),
+                trace: None,
             })
             .collect();
         let batch = engine.fix_batch(&snaps);

@@ -98,10 +98,19 @@ impl InboxStats {
     }
 }
 
+/// How many recently span-tagged trace ids each neighbour slot remembers.
+/// Bounds the duplicate-tag window: a beacon retransmitted (duplicated,
+/// reordered, or corrupt-but-decodable) within the last `TAGGED_RING`
+/// accepted traces of its neighbour never tags a second `inbox.validate`
+/// span.
+const TAGGED_RING: usize = 8;
+
 #[derive(Debug, Clone)]
 struct Held {
     snap: ContextSnapshot,
     newest_s: f64,
+    /// Ring of trace ids whose intake already tagged a span (newest last).
+    tagged: Vec<u64>,
 }
 
 /// Registry mirrors of [`InboxStats`] (`rups_core_inbox_*`) plus the
@@ -254,10 +263,17 @@ impl SnapshotInbox {
     /// it was stored (fresher than anything held for that neighbour),
     /// `Ok(false)` when a duplicate or out-of-order straggler was ignored,
     /// and a typed error when it failed validation.
+    ///
+    /// Trace semantics: the `inbox.validate` span carries the snapshot's
+    /// [`TraceContext`](rups_obs::TraceContext) args **only when the
+    /// snapshot is newly accepted**. Duplicates, reordered stragglers and
+    /// rejects leave the span untagged, so a merged fleet trace sees at
+    /// most one validated intake per `(receiver, trace)` no matter how
+    /// often the faulty link re-delivers a beacon.
     pub fn accept(&mut self, snap: ContextSnapshot, now_s: f64) -> Result<bool, RupsError> {
+        let mut guard = self.spans.as_ref().map(|s| s.span("inbox.validate"));
         let verdict = {
             let _t = self.metrics.as_ref().map(|m| m.validate_ns.start_timer());
-            let _s = self.spans.as_ref().map(|s| s.span("inbox.validate"));
             self.validate(&snap, now_s)
         };
         let newest = match verdict {
@@ -304,10 +320,12 @@ impl SnapshotInbox {
             Some(id) => self.named.entry(id).or_insert_with(|| Held {
                 snap: snap.clone(),
                 newest_s: f64::NEG_INFINITY,
+                tagged: Vec::new(),
             }),
             None => self.anon.get_or_insert_with(|| Held {
                 snap: snap.clone(),
                 newest_s: f64::NEG_INFINITY,
+                tagged: Vec::new(),
             }),
         };
         if newest <= slot.newest_s {
@@ -319,6 +337,15 @@ impl SnapshotInbox {
                 s.event("inbox.ignore_outdated");
             }
             return Ok(false);
+        }
+        if let (Some(g), Some(trace)) = (guard.as_mut(), &snap.trace) {
+            if !slot.tagged.contains(&trace.trace_id) {
+                g.set_args(trace.args());
+                if slot.tagged.len() >= TAGGED_RING {
+                    slot.tagged.remove(0);
+                }
+                slot.tagged.push(trace.trace_id);
+            }
         }
         slot.snap = snap;
         slot.newest_s = newest;
@@ -406,6 +433,7 @@ mod tests {
             vehicle_id: id,
             geo,
             gsm,
+            trace: None,
         }
     }
 

@@ -18,7 +18,7 @@ use crate::quality::{assess, FixQuality, QualityConfig, QualityReport};
 use crate::report::{FixOutcome, FixReport};
 use crate::syn::SynPoint;
 use crate::tracker::{NeighbourTracker, TrackedFix};
-use rups_obs::{Counter, FlightRecorder, Registry, SpanRecorder};
+use rups_obs::{Counter, FlightRecorder, Registry, SpanRecorder, TraceContext};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -36,6 +36,12 @@ pub struct ContextSnapshot {
     pub geo: GeoTrajectory,
     /// GSM-aware trajectory aligned with `geo`.
     pub gsm: GsmTrajectory,
+    /// Distributed-tracing context stamped by the broadcasting vehicle —
+    /// carried opaquely across the wire so every hop a snapshot causes
+    /// (link fault, inbox validation, engine query, fusion) can join one
+    /// fleet-wide trace. `None` for untraced snapshots; never affects
+    /// distance fixing.
+    pub trace: Option<TraceContext>,
 }
 
 impl ContextSnapshot {
@@ -47,6 +53,12 @@ impl ContextSnapshot {
     /// True when the snapshot carries no context.
     pub fn is_empty(&self) -> bool {
         self.gsm.is_empty()
+    }
+
+    /// Stamps a tracing context onto this snapshot (builder form).
+    pub fn with_trace(mut self, trace: TraceContext) -> Self {
+        self.trace = Some(trace);
+        self
     }
 }
 
@@ -301,6 +313,29 @@ impl RupsNode {
             vehicle_id: self.vehicle_id,
             geo: self.geo.tail(len),
             gsm,
+            trace: None,
+        }
+    }
+
+    /// [`snapshot`](Self::snapshot) stamped with a freshly minted
+    /// [`TraceContext`] rooted at this vehicle and beacon sequence `seq` —
+    /// the sender half of a fleet-wide causal trace. Returns the context
+    /// alongside so the caller can tag its own beacon span with
+    /// [`TraceContext::args`]. A node with no `vehicle_id` cannot root a
+    /// verifiable trace (the codec needs the sender id to protect the
+    /// trace from wire damage) and returns the snapshot untraced.
+    pub fn traced_snapshot(
+        &self,
+        last_m: Option<usize>,
+        seq: u32,
+    ) -> (ContextSnapshot, Option<TraceContext>) {
+        let snap = self.snapshot(last_m);
+        match self.vehicle_id {
+            Some(id) => {
+                let ctx = TraceContext::root(id, seq);
+                (snap.with_trace(ctx), Some(ctx))
+            }
+            None => (snap, None),
         }
     }
 
@@ -366,9 +401,15 @@ impl RupsNode {
         self.validate_neighbour(neighbour)?;
         let ctx = self.engine.ensure_context(self.context_version, &self.gsm);
         let kernel = self.engine.kernel_for(&ctx, neighbour.gsm.len());
-        let points = self
-            .engine
-            .query_ctx(&ctx, &neighbour.gsm, kernel, parallel)?;
+        let mut scanned = 0u32;
+        let points = self.engine.query_ctx_counted(
+            &ctx,
+            &neighbour.gsm,
+            kernel,
+            parallel,
+            &mut scanned,
+            neighbour.trace,
+        )?;
         self.engine
             .build_fix(ctx.gsm().len(), neighbour.gsm.len(), points)
     }

@@ -4,8 +4,9 @@
 //! evaluate [--quick] [--json DIR] [FIGURE ...]
 //!
 //!   FIGURE   any of: fig1 fig2 fig3 fig4 sec5a sec5b fig9 fig10 fig11 fig12
-//!            ext-faults ext-fpr ext-fusion ext-multiband ext-observability
-//!            ext-pedestrian ext-scalability abl-window abl-channels
+//!            ext-faults ext-fleet-observability ext-fpr ext-fusion
+//!            ext-multiband ext-observability ext-pedestrian
+//!            ext-scalability abl-window abl-channels
 //!            abl-interp   (default: all)
 //!   --quick  reduced scale (fast; for smoke runs and debug builds)
 //!   --json DIR  also write each figure as DIR/<id>.json
@@ -44,7 +45,8 @@ fn parse_args() -> Args {
                 println!(
                     "usage: evaluate [--quick] [--json DIR] [FIGURE ...]\n\
                      figures: fig1 fig2 fig3 fig4 sec5a sec5b fig9 fig10 fig11 fig12 \
-                              ext-faults ext-fpr ext-fusion ext-multiband ext-observability \
+                              ext-faults ext-fleet-observability ext-fpr ext-fusion \
+                              ext-multiband ext-observability \
                               ext-pedestrian ext-scalability \
                               abl-window abl-channels abl-interp"
                 );
@@ -143,6 +145,14 @@ fn run_figure(id: &str, quick: bool, scale: EvalScale) -> Figure {
             };
             figures::ext_fpr::run(&p)
         }
+        "ext-fleet-observability" => {
+            let p = if quick {
+                figures::ext_fleet_observability::quick_params()
+            } else {
+                figures::ext_fleet_observability::Params::default()
+            };
+            figures::ext_fleet_observability::run(&p)
+        }
         "ext-observability" => {
             let p = if quick {
                 figures::ext_observability::quick_params()
@@ -182,7 +192,7 @@ fn run_figure(id: &str, quick: bool, scale: EvalScale) -> Figure {
     }
 }
 
-const ALL_FIGURES: [&str; 20] = [
+const ALL_FIGURES: [&str; 21] = [
     "fig1",
     "fig2",
     "fig3",
@@ -194,6 +204,7 @@ const ALL_FIGURES: [&str; 20] = [
     "fig11",
     "fig12",
     "ext-faults",
+    "ext-fleet-observability",
     "ext-fpr",
     "ext-fusion",
     "ext-multiband",

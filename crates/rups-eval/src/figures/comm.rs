@@ -66,6 +66,7 @@ fn snapshot_of_len(len: usize, n_channels: usize) -> ContextSnapshot {
         vehicle_id: Some(1),
         geo,
         gsm,
+        trace: None,
     }
 }
 

@@ -19,6 +19,8 @@
 //!   (burst loss, corruption; hardening of §V-B)
 //! * [`ext_fpr`] — detection vs false-positive rate of the adaptive short
 //!   window (quantifies the §V-C claim)
+//! * [`ext_fleet_observability`] — fleet-wide distributed tracing, metrics
+//!   aggregation and SLO evaluation over a 6-vehicle faulted convoy
 //! * [`ext_fusion`] — cooperative fix-graph fusion in an n-vehicle convoy:
 //!   fused vs best-pairwise error and pair coverage under channel faults
 //! * [`ext_multiband`] — FM-band fingerprint fusion (§VII future work)
@@ -35,6 +37,7 @@ pub mod ablations;
 pub mod comm;
 pub mod cost;
 pub mod ext_faults;
+pub mod ext_fleet_observability;
 pub mod ext_fpr;
 pub mod ext_fusion;
 pub mod ext_multiband;

@@ -224,6 +224,7 @@ impl VehicleTrace {
                 vehicle_id,
                 geo,
                 gsm,
+                trace: None,
             },
             true_s,
         ))

@@ -42,7 +42,7 @@
 use crate::graph::{FixEdge, FixGraph};
 use crate::linalg::solve_dense;
 use rups_core::quality::FixQuality;
-use rups_obs::{Counter, FlightRecorder, Gauge, Histogram, Registry};
+use rups_obs::{Counter, FlightRecorder, Gauge, Histogram, Registry, SpanRecorder, TraceContext};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -210,6 +210,7 @@ pub struct Fuser {
     registry: Arc<Registry>,
     metrics: FuseMetrics,
     flight: Option<Arc<FlightRecorder>>,
+    spans: Option<Arc<SpanRecorder>>,
 }
 
 impl Fuser {
@@ -222,6 +223,7 @@ impl Fuser {
             registry,
             metrics,
             flight: None,
+            spans: None,
         }
     }
 
@@ -241,6 +243,13 @@ impl Fuser {
         self
     }
 
+    /// Records `fuse.solve` spans into `spans` from this call on, so the
+    /// fusion step shows up in a merged fleet trace.
+    pub fn with_spans(mut self, spans: Arc<SpanRecorder>) -> Self {
+        self.spans = Some(spans);
+        self
+    }
+
     /// The metrics registry this fuser records into.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
@@ -253,6 +262,27 @@ impl Fuser {
 
     /// Fuses the graph into a consistent set of relative positions.
     pub fn solve(&self, graph: &FixGraph) -> Result<FusedSolution, FuseError> {
+        self.solve_traced(graph, None)
+    }
+
+    /// [`solve`](Self::solve) joining an existing causal trace: when a
+    /// contributing fix descends from a traced beacon, pass that beacon's
+    /// [`TraceContext`] so the recorded `fuse.solve` span carries its
+    /// `trace`/`clock` args (plus the graph shape) in the merged fleet
+    /// trace.
+    pub fn solve_traced(
+        &self,
+        graph: &FixGraph,
+        trace: Option<TraceContext>,
+    ) -> Result<FusedSolution, FuseError> {
+        let mut _span = self.spans.as_ref().map(|s| s.span("fuse.solve"));
+        if let Some(g) = _span.as_mut() {
+            let base = trace.map_or_else(rups_obs::SpanArgs::new, |t| t.args());
+            g.set_args(
+                base.with("nodes", graph.node_count() as i64)
+                    .with("edges", graph.edge_count() as i64),
+            );
+        }
         let _timer = self.metrics.solve_ns.start_timer();
         if graph.is_empty() {
             return Err(FuseError::EmptyGraph);

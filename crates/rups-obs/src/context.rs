@@ -1,0 +1,157 @@
+//! Cross-node trace context: the compact causal tag a beacon carries.
+//!
+//! A fix is born on one vehicle's beacon, crosses a faulty V2V link, and
+//! is validated, matched and fused on *other* vehicles. [`TraceContext`]
+//! is the 16-byte tag that keeps that chain connected: the sender mints
+//! one per beacon ([`TraceContext::root`]) and every span the beacon's
+//! payload touches downstream — link fault events, inbox validation,
+//! engine queries, fusion — attaches the same `trace_id` to its
+//! [`SpanArgs`]. A merged multi-node trace can then group events by
+//! [`TRACE_ARG`] and recover the full causal path.
+//!
+//! The wire encoding (16 bytes little-endian: `trace_id` u64,
+//! `parent_span` u32, `clock` u32) lives here so the codec and any future
+//! transport agree on one layout; the V2V codec piggybacks it behind a
+//! flags bit, keeping old payloads decodable.
+
+use crate::span::SpanArgs;
+use serde::{Deserialize, Serialize};
+
+/// Span-args key carrying the trace id on every span of a causal chain.
+pub const TRACE_ARG: &str = "trace";
+
+/// Span-args key carrying the sender's logical clock (beacon sequence).
+pub const CLOCK_ARG: &str = "clock";
+
+/// The compact causal tag piggybacked on a V2V beacon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceContext {
+    /// Globally unique id of the causal trace this beacon roots.
+    pub trace_id: u64,
+    /// Sender-side span-ring sequence number of the beacon span (0 when
+    /// the sender recorded no span), so a viewer can point back at the
+    /// exact parent record.
+    pub parent_span: u32,
+    /// Sender's logical clock: the beacon sequence number, monotone per
+    /// sender. Receivers use it to discriminate retransmissions of one
+    /// beacon (same `trace_id`) from fresh beacons.
+    pub clock: u32,
+}
+
+/// Encoded size of a [`TraceContext`] on the wire.
+pub const TRACE_CONTEXT_WIRE_BYTES: usize = 16;
+
+impl TraceContext {
+    /// Mints the root context of a fresh beacon: a deterministic
+    /// SplitMix64 hash of `(vehicle_id, seq)` (top bit cleared so the id
+    /// survives the signed [`SpanArgs`] value channel), logical clock
+    /// `seq`.
+    pub fn root(vehicle_id: u64, seq: u32) -> Self {
+        let mut z = vehicle_id
+            .rotate_left(32)
+            .wrapping_add(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(u64::from(seq).wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        TraceContext {
+            trace_id: z & (i64::MAX as u64),
+            parent_span: 0,
+            clock: seq,
+        }
+    }
+
+    /// The same context pointing at `span_seq` as its parent span (the
+    /// sender's span-ring sequence of the beacon span).
+    pub fn with_parent(mut self, span_seq: u32) -> Self {
+        self.parent_span = span_seq;
+        self
+    }
+
+    /// The trace id as a span-args value (lossless: ids are minted with
+    /// the top bit clear).
+    #[inline]
+    pub fn trace_arg(&self) -> i64 {
+        self.trace_id as i64
+    }
+
+    /// A fresh [`SpanArgs`] carrying this context (`trace` + `clock`),
+    /// leaving two slots for the span's own payload.
+    pub fn args(&self) -> SpanArgs {
+        SpanArgs::new()
+            .with(TRACE_ARG, self.trace_arg())
+            .with(CLOCK_ARG, i64::from(self.clock))
+    }
+
+    /// Serialises to the 16-byte little-endian wire form.
+    pub fn to_wire(&self) -> [u8; TRACE_CONTEXT_WIRE_BYTES] {
+        let mut out = [0u8; TRACE_CONTEXT_WIRE_BYTES];
+        out[..8].copy_from_slice(&self.trace_id.to_le_bytes());
+        out[8..12].copy_from_slice(&self.parent_span.to_le_bytes());
+        out[12..].copy_from_slice(&self.clock.to_le_bytes());
+        out
+    }
+
+    /// Deserialises the 16-byte wire form; `None` when `bytes` is short.
+    pub fn from_wire(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < TRACE_CONTEXT_WIRE_BYTES {
+            return None;
+        }
+        Some(TraceContext {
+            trace_id: u64::from_le_bytes(bytes[..8].try_into().ok()?),
+            parent_span: u32::from_le_bytes(bytes[8..12].try_into().ok()?),
+            clock: u32::from_le_bytes(bytes[12..16].try_into().ok()?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_ids_are_deterministic_and_distinct() {
+        let a = TraceContext::root(3, 7);
+        assert_eq!(a, TraceContext::root(3, 7), "minting must be a pure hash");
+        // Distinct across both the vehicle and the sequence axes.
+        let ids: Vec<u64> = (0..8u64)
+            .flat_map(|v| (0..8u32).map(move |s| TraceContext::root(v, s).trace_id))
+            .collect();
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "collision in a 64-id sample");
+        assert_eq!(a.clock, 7, "clock carries the beacon sequence");
+    }
+
+    #[test]
+    fn trace_arg_round_trips_through_i64() {
+        for v in 0..64u64 {
+            let ctx = TraceContext::root(v, v as u32);
+            assert!(ctx.trace_arg() >= 0, "ids must fit the args channel");
+            assert_eq!(ctx.trace_arg() as u64, ctx.trace_id);
+        }
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let ctx = TraceContext::root(42, 9).with_parent(1234);
+        let wire = ctx.to_wire();
+        assert_eq!(wire.len(), TRACE_CONTEXT_WIRE_BYTES);
+        assert_eq!(TraceContext::from_wire(&wire), Some(ctx));
+        assert_eq!(TraceContext::from_wire(&wire[..15]), None, "short input");
+        // Extra trailing bytes are ignored, not misparsed.
+        let mut long = wire.to_vec();
+        long.push(0xFF);
+        assert_eq!(TraceContext::from_wire(&long), Some(ctx));
+    }
+
+    #[test]
+    fn args_carry_trace_and_clock() {
+        let ctx = TraceContext::root(5, 11);
+        let args = ctx.args();
+        assert_eq!(args.get(TRACE_ARG), Some(ctx.trace_arg()));
+        assert_eq!(args.get(CLOCK_ARG), Some(11));
+        assert_eq!(args.len(), 2, "two slots must remain for span payload");
+    }
+}

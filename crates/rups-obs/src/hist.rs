@@ -165,6 +165,32 @@ impl Drop for Timer {
     }
 }
 
+/// Two histogram samples disagreed about their bucket layout: subtracting
+/// or merging them bucket-by-bucket would silently misattribute counts, so
+/// the shape-checked operations ([`HistogramSample::try_delta`],
+/// [`HistogramSample::try_merge`]) refuse with this error instead.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShapeMismatch {
+    /// Name of the histogram whose shapes disagreed.
+    pub name: String,
+    /// Bucket count of the left-hand sample.
+    pub expected: usize,
+    /// Bucket count of the right-hand sample.
+    pub got: usize,
+}
+
+impl std::fmt::Display for ShapeMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "histogram {:?}: bucket shape mismatch ({} vs {})",
+            self.name, self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for ShapeMismatch {}
+
 /// A named point-in-time copy of one histogram: raw bucket counts plus the
 /// quantiles extracted from them.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -188,10 +214,19 @@ pub struct HistogramSample {
 
 impl HistogramSample {
     /// Builds a sample from raw bucket counts, extracting the standard
-    /// quantiles.
+    /// quantiles. An empty bucket vector (the [`compact`]ed form, counts
+    /// and sum only) is accepted; its quantiles degrade to 0.
+    ///
+    /// [`compact`]: crate::registry::MetricsSnapshot::compact
     pub fn from_buckets(name: String, count: u64, sum: u64, buckets: Vec<u64>) -> Self {
-        debug_assert_eq!(buckets.len(), N_BUCKETS);
-        let q = |p| quantile_of(&buckets, count, p).unwrap_or(0.0);
+        debug_assert!(buckets.is_empty() || buckets.len() == N_BUCKETS);
+        let q = |p| {
+            if buckets.is_empty() {
+                0.0
+            } else {
+                quantile_of(&buckets, count, p).unwrap_or(0.0)
+            }
+        };
         HistogramSample {
             p50: q(0.50),
             p95: q(0.95),
@@ -218,19 +253,78 @@ impl HistogramSample {
     /// bucket-wise saturating difference with quantiles recomputed over the
     /// difference, i.e. the distribution of only the samples recorded in
     /// between.
+    ///
+    /// Infallible convenience over [`try_delta`](Self::try_delta): a bucket
+    /// shape mismatch degrades to the full current sample (as if `earlier`
+    /// were from before the histogram existed) rather than misattributing
+    /// counts across differently-shaped buckets.
     pub fn delta(&self, earlier: &HistogramSample) -> HistogramSample {
+        self.try_delta(earlier).unwrap_or_else(|_| self.clone())
+    }
+
+    /// Shape-checked [`delta`](Self::delta): errors when the two samples
+    /// disagree about their bucket count instead of guessing an alignment.
+    ///
+    /// A *counter reset* in between (any bucket or the total count shrank —
+    /// the histogram was replaced or zeroed) cannot yield a meaningful
+    /// difference; per Prometheus reset semantics the delta degrades to the
+    /// full current sample. Ordinary in-between recording only ever grows
+    /// buckets, so this never triggers on live data.
+    pub fn try_delta(&self, earlier: &HistogramSample) -> Result<HistogramSample, ShapeMismatch> {
+        if self.buckets.len() != earlier.buckets.len() {
+            return Err(ShapeMismatch {
+                name: self.name.clone(),
+                expected: self.buckets.len(),
+                got: earlier.buckets.len(),
+            });
+        }
+        let reset = self.count < earlier.count
+            || self
+                .buckets
+                .iter()
+                .zip(earlier.buckets.iter())
+                .any(|(now, then)| now < then);
+        if reset {
+            return Ok(self.clone());
+        }
         let buckets: Vec<u64> = self
             .buckets
             .iter()
-            .zip(earlier.buckets.iter().chain(std::iter::repeat(&0)))
+            .zip(earlier.buckets.iter())
             .map(|(now, then)| now.saturating_sub(*then))
             .collect();
-        HistogramSample::from_buckets(
+        Ok(HistogramSample::from_buckets(
             self.name.clone(),
             self.count.saturating_sub(earlier.count),
             self.sum.saturating_sub(earlier.sum),
             buckets,
-        )
+        ))
+    }
+
+    /// Merges another sample of the *same-shaped* histogram into this one
+    /// (bucket-wise saturating sum, quantiles recomputed over the union) —
+    /// the primitive fleet aggregation is built on. The merged sample keeps
+    /// this sample's name. Errors on a bucket-count mismatch.
+    pub fn try_merge(&self, other: &HistogramSample) -> Result<HistogramSample, ShapeMismatch> {
+        if self.buckets.len() != other.buckets.len() {
+            return Err(ShapeMismatch {
+                name: self.name.clone(),
+                expected: self.buckets.len(),
+                got: other.buckets.len(),
+            });
+        }
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .zip(other.buckets.iter())
+            .map(|(a, b)| a.saturating_add(*b))
+            .collect();
+        Ok(HistogramSample::from_buckets(
+            self.name.clone(),
+            self.count.saturating_add(other.count),
+            self.sum.saturating_add(other.sum),
+            buckets,
+        ))
     }
 }
 
@@ -363,6 +457,113 @@ mod tests {
         assert!((bucket_lo(bucket_index(1_000_000)) as f64
             ..=bucket_hi(bucket_index(1_000_000)) as f64)
             .contains(&p50));
+    }
+
+    /// Builds a sample with `v` recorded `n` times per `(v, n)` pair.
+    fn sample_of(name: &str, pairs: &[(u64, u64)]) -> HistogramSample {
+        let h = Histogram::new();
+        for &(v, n) in pairs {
+            for _ in 0..n {
+                h.record(v);
+            }
+        }
+        h.sample(name)
+    }
+
+    #[test]
+    fn try_delta_and_merge_table() {
+        let empty = sample_of("t", &[]);
+        let two = sample_of("t", &[(100, 2)]);
+        let five = sample_of("t", &[(100, 2), (4000, 3)]);
+        let compacted = HistogramSample {
+            buckets: Vec::new(),
+            ..five.clone()
+        };
+        struct Case {
+            what: &'static str,
+            now: HistogramSample,
+            then: HistogramSample,
+            delta_count: Option<u64>, // None → expect ShapeMismatch
+        }
+        let cases = [
+            Case {
+                what: "normal growth isolates new samples",
+                now: five.clone(),
+                then: two.clone(),
+                delta_count: Some(3),
+            },
+            Case {
+                what: "no growth yields an empty delta",
+                now: two.clone(),
+                then: two.clone(),
+                delta_count: Some(0),
+            },
+            Case {
+                what: "counter reset degrades to the full current sample",
+                now: two.clone(),
+                then: five.clone(),
+                delta_count: Some(2),
+            },
+            Case {
+                what: "both empty-shaped (compacted) samples subtract",
+                now: compacted.clone(),
+                then: compacted.clone(),
+                delta_count: Some(0),
+            },
+            Case {
+                what: "full vs compacted shape is a typed error",
+                now: five.clone(),
+                then: compacted.clone(),
+                delta_count: None,
+            },
+            Case {
+                what: "compacted vs full shape is a typed error",
+                now: compacted.clone(),
+                then: five.clone(),
+                delta_count: None,
+            },
+        ];
+        for c in &cases {
+            match (c.now.try_delta(&c.then), c.delta_count) {
+                (Ok(d), Some(want)) => {
+                    assert_eq!(d.count, want, "{}", c.what);
+                    assert_eq!(
+                        d.buckets.iter().sum::<u64>(),
+                        if d.buckets.is_empty() { 0 } else { want },
+                        "{}: bucket mass must match the count",
+                        c.what
+                    );
+                }
+                (Err(e), None) => {
+                    assert_eq!(e.name, "t", "{}", c.what);
+                    assert_ne!(e.expected, e.got, "{}", c.what);
+                }
+                (got, want) => panic!("{}: got {:?}, wanted count {:?}", c.what, got, want),
+            }
+            // The infallible wrapper never misattributes: on mismatch it
+            // returns the full current sample.
+            let d = c.now.delta(&c.then);
+            if c.delta_count.is_none() {
+                assert_eq!(d, c.now, "{}: fallback must be the current sample", c.what);
+            }
+        }
+        // A cross-node bucket shrink (not a uniform reset) is also a reset.
+        let shifted = sample_of("t", &[(100, 1), (4000, 4)]); // same count, moved mass
+        assert_eq!(five.try_delta(&shifted).unwrap(), five);
+
+        // Merge: counts, sums and bucket mass add; mismatched shapes error.
+        let m = two.try_merge(&five).unwrap();
+        assert_eq!(m.count, 7);
+        assert_eq!(m.sum, two.sum + five.sum);
+        assert_eq!(m.buckets.iter().sum::<u64>(), 7);
+        assert_eq!(m.buckets[bucket_index(100)], 4);
+        assert_eq!(m.buckets[bucket_index(4000)], 3);
+        assert!(m.quantile(0.99).unwrap() >= 2048.0);
+        assert!(five.try_merge(&compacted).is_err());
+        assert_eq!(empty.try_merge(&five).unwrap().count, 5);
+        let e = compacted.try_merge(&five).unwrap_err();
+        assert_eq!((e.expected, e.got), (0, N_BUCKETS));
+        assert!(e.to_string().contains("shape mismatch"), "{e}");
     }
 
     #[test]

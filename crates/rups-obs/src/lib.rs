@@ -37,24 +37,37 @@
 
 #![warn(missing_docs)]
 
+pub mod context;
+pub mod fleet;
 pub mod flight;
 pub mod hist;
 pub mod registry;
+pub mod skew;
+pub mod slo;
 pub mod span;
 pub mod trace;
 
+pub use context::{TraceContext, CLOCK_ARG, TRACE_ARG, TRACE_CONTEXT_WIRE_BYTES};
+pub use fleet::{
+    check_fleet_rules, Criterion, CriterionKind, FleetAggregator, FleetSnapshot, NodeScore,
+    WorstList,
+};
 pub use flight::{
     FlightConfig, FlightDump, FlightRecorder, SpanDump, TriggerEvent, TriggerOp, TriggerRule,
     WindowDelta,
 };
 pub use hist::{
-    bucket_hi, bucket_index, bucket_lo, Histogram, HistogramSample, Timer, N_BUCKETS, TOP_BUCKET_LO,
+    bucket_hi, bucket_index, bucket_lo, Histogram, HistogramSample, ShapeMismatch, Timer,
+    N_BUCKETS, TOP_BUCKET_LO,
 };
 pub use registry::{
-    sanitize_metric_name, Counter, CounterSample, Gauge, GaugeSample, MetricsSnapshot, Registry,
+    escape_help, escape_label_value, sanitize_metric_name, Counter, CounterSample, Gauge,
+    GaugeSample, MetricsSnapshot, Registry,
 };
+pub use skew::{ClockModel, SkewEstimator};
+pub use slo::{default_slos, evaluate_slos, SloKind, SloReport, SloSpec, SloVerdict};
 pub use span::{SpanArgs, SpanGuard, SpanRecord, SpanRecorder};
 pub use trace::{
-    chrome_trace, chrome_trace_tail, component_of, write_chrome_trace, ChromeTrace,
-    ChromeTraceEvent,
+    chrome_trace, chrome_trace_tail, component_of, merged_chrome_trace, write_chrome_trace,
+    ChromeTrace, ChromeTraceEvent, NodeTrace,
 };

@@ -10,7 +10,7 @@
 //! <metric>`, e.g. `rups_core_engine_context_hits` or
 //! `rups_v2v_link_dropped`. Latency histograms end in `_ns`.
 
-use crate::hist::{bucket_hi, Histogram, HistogramSample};
+use crate::hist::{bucket_hi, Histogram, HistogramSample, ShapeMismatch};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
@@ -263,6 +263,35 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Shape-checked [`delta`](Self::delta): the first histogram whose
+    /// bucket layout disagrees with its earlier sample aborts the whole
+    /// subtraction with a typed [`ShapeMismatch`] (naming the offending
+    /// histogram) instead of degrading silently. Counter resets still
+    /// saturate to the full current value, per Prometheus semantics.
+    pub fn try_delta(&self, earlier: &MetricsSnapshot) -> Result<MetricsSnapshot, ShapeMismatch> {
+        Ok(MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|c| CounterSample {
+                    name: c.name.clone(),
+                    value: c
+                        .value
+                        .saturating_sub(earlier.counter(&c.name).unwrap_or(0)),
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|h| match earlier.histogram(&h.name) {
+                    Some(prev) => h.try_delta(prev),
+                    None => Ok(h.clone()),
+                })
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
     /// A copy with the noise removed: zero-valued counters and
     /// never-recorded histograms are dropped, and surviving histograms
     /// clear their bucket vectors (count/sum/quantiles remain). Gauges are
@@ -299,6 +328,14 @@ impl MetricsSnapshot {
     /// the first (in sorted snapshot order) wins, keeping the exposition
     /// parseable.
     pub fn to_prometheus(&self) -> String {
+        self.to_prometheus_with_help(&[])
+    }
+
+    /// [`to_prometheus`](Self::to_prometheus) with `# HELP` lines: `help`
+    /// maps metric names (raw or sanitised) to their description. HELP text
+    /// is escaped per the exposition format ([`escape_help`]), so
+    /// backslashes and newlines in a description cannot corrupt the frame.
+    pub fn to_prometheus_with_help(&self, help: &[(&str, &str)]) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let mut seen: Vec<String> = Vec::new();
@@ -310,10 +347,18 @@ impl MetricsSnapshot {
             seen.push(clean.clone());
             Some(clean)
         };
+        let help_for = |raw: &str, clean: &str| -> Option<String> {
+            help.iter()
+                .find(|(n, _)| *n == raw || *n == clean)
+                .map(|(_, text)| escape_help(text))
+        };
         for c in &self.counters {
             let Some(name) = claim(&c.name, &mut seen) else {
                 continue;
             };
+            if let Some(h) = help_for(&c.name, &name) {
+                let _ = writeln!(out, "# HELP {name} {h}");
+            }
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {}", c.value);
         }
@@ -321,6 +366,9 @@ impl MetricsSnapshot {
             let Some(name) = claim(&g.name, &mut seen) else {
                 continue;
             };
+            if let Some(h) = help_for(&g.name, &name) {
+                let _ = writeln!(out, "# HELP {name} {h}");
+            }
             let _ = writeln!(out, "# TYPE {name} gauge");
             let _ = writeln!(out, "{name} {}", g.value);
         }
@@ -328,6 +376,9 @@ impl MetricsSnapshot {
             let Some(name) = claim(&h.name, &mut seen) else {
                 continue;
             };
+            if let Some(txt) = help_for(&h.name, &name) {
+                let _ = writeln!(out, "# HELP {name} {txt}");
+            }
             let h = HistogramSample {
                 name: name.clone(),
                 ..h.clone()
@@ -339,7 +390,13 @@ impl MetricsSnapshot {
                     continue;
                 }
                 cum += c;
-                let _ = writeln!(out, "{}_bucket{{le=\"{}\"}} {}", h.name, bucket_hi(i), cum);
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{{le=\"{}\"}} {}",
+                    h.name,
+                    escape_label_value(&bucket_hi(i).to_string()),
+                    cum
+                );
             }
             let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", h.name, h.count);
             let _ = writeln!(out, "{}_sum {}", h.name, h.sum);
@@ -347,6 +404,39 @@ impl MetricsSnapshot {
         }
         out
     }
+}
+
+/// Escapes HELP text per the Prometheus exposition format: `\` becomes
+/// `\\` and a line feed becomes `\n`. (HELP text does not escape double
+/// quotes — only label values do.)
+pub fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the Prometheus exposition format: `\` becomes
+/// `\\`, `"` becomes `\"` and a line feed becomes `\n`. Every emitted
+/// label value (including machine-generated ones like fleet node labels)
+/// must pass through here so an adversarial or accidental quote cannot
+/// break out of the `{label="…"}` frame.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
 }
 
 /// Maps an arbitrary name onto the Prometheus metric-name alphabet:
@@ -465,6 +555,108 @@ mod tests {
                 "unescaped name in line: {line}"
             );
         }
+    }
+
+    /// Inverse of the exposition escapes, for round-trip testing only:
+    /// `\\` → `\`, `\n` → line feed, `\"` → `"` (the last never appears in
+    /// HELP text but is harmless to accept).
+    fn unescape_exposition(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        let mut chars = s.chars();
+        while let Some(ch) = chars.next() {
+            if ch != '\\' {
+                out.push(ch);
+                continue;
+            }
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('"') => out.push('"'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn exposition_escaping_round_trips() {
+        // Every nasty input must survive escape → unescape unchanged, and
+        // the escaped form must be frame-safe (single line, and for label
+        // values no bare quote).
+        let cases = [
+            "plain text",
+            "back\\slash",
+            "line\nbreak",
+            "quote \" inside",
+            "all \\ of \n them \" at once",
+            "trailing backslash \\",
+            "\n",
+            "",
+        ];
+        for c in cases {
+            let h = escape_help(c);
+            assert!(!h.contains('\n'), "HELP must stay one line: {h:?}");
+            assert_eq!(unescape_exposition(&h), c, "HELP round-trip of {c:?}");
+            let l = escape_label_value(c);
+            assert!(!l.contains('\n'), "label must stay one line: {l:?}");
+            let mut bare_quote = false;
+            let mut prev_backslashes = 0usize;
+            for ch in l.chars() {
+                if ch == '"' && prev_backslashes.is_multiple_of(2) {
+                    bare_quote = true;
+                }
+                prev_backslashes = if ch == '\\' { prev_backslashes + 1 } else { 0 };
+            }
+            assert!(!bare_quote, "unescaped quote in label value: {l:?}");
+            assert_eq!(unescape_exposition(&l), c, "label round-trip of {c:?}");
+        }
+    }
+
+    #[test]
+    fn help_lines_are_emitted_escaped() {
+        let reg = Registry::new();
+        reg.counter("rups_x_total").add(1);
+        reg.histogram("rups_h_ns").record(7);
+        let text = reg.snapshot().to_prometheus_with_help(&[
+            ("rups_x_total", "totals with a \\ and\na newline"),
+            ("rups_h_ns", "latency"),
+            ("rups_missing", "never emitted"),
+        ]);
+        assert!(text.contains("# HELP rups_x_total totals with a \\\\ and\\na newline"));
+        assert!(text.contains("# HELP rups_h_ns latency"));
+        assert!(!text.contains("rups_missing"));
+        // HELP precedes TYPE for the same metric.
+        let help_at = text.find("# HELP rups_x_total").unwrap();
+        let type_at = text.find("# TYPE rups_x_total").unwrap();
+        assert!(help_at < type_at);
+        // The exposition still parses line-by-line: no raw newline leaked
+        // into any comment line.
+        for line in text.lines().filter(|l| l.starts_with("# HELP")) {
+            assert!(line.split_whitespace().count() >= 3, "empty HELP: {line}");
+        }
+    }
+
+    #[test]
+    fn try_delta_surfaces_shape_mismatch_by_name() {
+        let reg = Registry::new();
+        reg.counter("c").add(2);
+        reg.histogram("h_ns").record(100);
+        let full = reg.snapshot();
+        let compacted = full.compact(); // clears bucket arrays
+        let err = full.try_delta(&compacted).unwrap_err();
+        assert_eq!(err.name, "h_ns");
+        // The infallible path still answers, degrading per-histogram.
+        let d = full.delta(&compacted);
+        assert_eq!(d.counter("c"), Some(0));
+        assert_eq!(d.histogram("h_ns").unwrap().count, 1);
+        // Matching shapes pass through the typed path.
+        let ok = full.try_delta(&full).unwrap();
+        assert_eq!(ok.counter("c"), Some(0));
+        assert_eq!(ok.histogram("h_ns").unwrap().count, 0);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! `inbox.*`, `link.*` and `codec.*` records land on separate rows of the
 //! timeline. [`SpanArgs`] pairs surface as the event's `args` object.
 
+use crate::skew::ClockModel;
 use crate::span::{SpanArgs, SpanRecord, SpanRecorder};
 use serde::value::Value;
 use serde::{Deserialize, Serialize};
@@ -124,6 +125,102 @@ pub fn chrome_trace(records: &[SpanRecord]) -> ChromeTrace {
     }
 }
 
+/// One node's contribution to a merged fleet trace: its span ring, the
+/// process identity it renders under, and the clock model mapping its
+/// local timestamps onto the fleet timebase.
+#[derive(Debug, Clone)]
+pub struct NodeTrace {
+    /// Process id in the merged trace — by convention the vehicle id.
+    pub pid: u64,
+    /// Human-readable process name (e.g. `"vehicle 3"`).
+    pub name: String,
+    /// This node's clock relative to the fleet timebase; records are
+    /// aligned through [`ClockModel::to_fleet_ns`] before export.
+    pub clock: ClockModel,
+    /// The node's retained span records, oldest first.
+    pub records: Vec<SpanRecord>,
+}
+
+impl NodeTrace {
+    /// A node trace with a synchronised clock.
+    pub fn new(pid: u64, name: impl Into<String>, records: Vec<SpanRecord>) -> Self {
+        NodeTrace {
+            pid,
+            name: name.into(),
+            clock: ClockModel::IDENTITY,
+            records,
+        }
+    }
+
+    /// The same trace with its clock model set.
+    pub fn with_clock(mut self, clock: ClockModel) -> Self {
+        self.clock = clock;
+        self
+    }
+}
+
+/// Renders N per-node span rings into one multi-process Chrome trace:
+/// every node becomes its own process (`pid` = vehicle id, named by a
+/// `process_name` metadata event), components become per-process threads,
+/// and every timestamp is aligned onto the fleet timebase through the
+/// node's [`ClockModel`] — so one causal trace (events sharing a `trace`
+/// arg minted by [`TraceContext`](crate::TraceContext)) reads as a single
+/// left-to-right chain across vehicles. Span events are sorted by aligned
+/// timestamp; aligned times before the fleet origin clamp to 0.
+pub fn merged_chrome_trace(nodes: &[NodeTrace]) -> ChromeTrace {
+    let mut meta = Vec::new();
+    let mut spans = Vec::new();
+    for node in nodes {
+        meta.push(ChromeTraceEvent {
+            name: "process_name".into(),
+            cat: "__metadata".into(),
+            ph: "M".into(),
+            ts: 0.0,
+            dur: 0.0,
+            pid: node.pid,
+            tid: 0,
+            s: String::new(),
+            args: Value::Map(vec![("name".into(), Value::Str(node.name.clone()))]),
+        });
+        let mut components: Vec<&str> =
+            node.records.iter().map(|r| component_of(r.name)).collect();
+        components.sort_unstable();
+        components.dedup();
+        for (i, c) in components.iter().enumerate() {
+            meta.push(ChromeTraceEvent {
+                name: "thread_name".into(),
+                cat: "__metadata".into(),
+                ph: "M".into(),
+                ts: 0.0,
+                dur: 0.0,
+                pid: node.pid,
+                tid: i as u64 + 1,
+                s: String::new(),
+                args: Value::Map(vec![("name".into(), Value::Str((*c).into()))]),
+            });
+        }
+        for r in &node.records {
+            let instant = r.dur_ns == 0;
+            let c = component_of(r.name);
+            let tid = components.iter().position(|&x| x == c).unwrap_or(0) as u64 + 1;
+            spans.push(ChromeTraceEvent {
+                name: r.name.into(),
+                cat: c.into(),
+                ph: if instant { "i" } else { "X" }.into(),
+                ts: node.clock.to_fleet_ns(r.start_ns as f64).max(0.0) / 1_000.0,
+                dur: r.dur_ns as f64 / 1_000.0,
+                pid: node.pid,
+                tid,
+                s: if instant { "t" } else { "" }.into(),
+                args: args_value(&r.args),
+            });
+        }
+    }
+    spans.sort_by(|a, b| a.ts.partial_cmp(&b.ts).unwrap_or(std::cmp::Ordering::Equal));
+    meta.extend(spans);
+    ChromeTrace { traceEvents: meta }
+}
+
 /// [`chrome_trace`] over the retained ring contents of a recorder,
 /// keeping only the newest `max_events` records.
 pub fn chrome_trace_tail(rec: &SpanRecorder, max_events: usize) -> ChromeTrace {
@@ -236,6 +333,114 @@ mod tests {
         assert_eq!(full.span_events().count(), 10);
         let tail = chrome_trace_tail(&rec, 4);
         assert_eq!(tail.span_events().count(), 4);
+    }
+
+    #[test]
+    fn merged_trace_aligns_clocks_and_separates_processes() {
+        // Vehicle 3's clock runs 1 ms ahead of fleet time; vehicle 5 is
+        // synchronised. The same fleet-time instant must export at the
+        // same `ts` for both after alignment.
+        let skewed = ClockModel {
+            offset_ns: 1_000_000.0,
+            drift_ppm: 0.0,
+        };
+        let nodes = vec![
+            NodeTrace::new(
+                3,
+                "vehicle 3",
+                vec![SpanRecord {
+                    name: "v2v.beacon",
+                    start_ns: 1_000_000 + 2_000, // fleet time 2 µs, local clock
+                    dur_ns: 500,
+                    args: SpanArgs::new().with("trace", 77),
+                }],
+            )
+            .with_clock(skewed),
+            NodeTrace::new(
+                5,
+                "vehicle 5",
+                vec![
+                    SpanRecord {
+                        name: "inbox.validate",
+                        start_ns: 2_000, // same fleet instant, true clock
+                        dur_ns: 300,
+                        args: SpanArgs::new().with("trace", 77),
+                    },
+                    SpanRecord {
+                        name: "engine.query",
+                        start_ns: 9_000,
+                        dur_ns: 4_000,
+                        args: SpanArgs::new().with("trace", 77),
+                    },
+                ],
+            ),
+        ];
+        let trace = merged_chrome_trace(&nodes);
+        // Process metadata: one process_name per node, pids are vehicle
+        // ids.
+        let procs: Vec<&ChromeTraceEvent> = trace
+            .traceEvents
+            .iter()
+            .filter(|e| e.name == "process_name")
+            .collect();
+        assert_eq!(procs.len(), 2);
+        let pids: Vec<u64> = procs.iter().map(|e| e.pid).collect();
+        assert_eq!(pids, vec![3, 5]);
+        // Thread metadata stays per-process.
+        assert!(trace
+            .traceEvents
+            .iter()
+            .filter(|e| e.name == "thread_name")
+            .all(|e| e.pid == 3 || e.pid == 5));
+        // Alignment: the skewed beacon and the true-clock validation land
+        // on the same exported timestamp.
+        let beacon = trace.span_events().find(|e| e.name == "v2v.beacon").unwrap();
+        let validate = trace
+            .span_events()
+            .find(|e| e.name == "inbox.validate")
+            .unwrap();
+        assert!(
+            (beacon.ts - validate.ts).abs() < 1e-9,
+            "beacon {} vs validate {}",
+            beacon.ts,
+            validate.ts
+        );
+        assert_eq!(beacon.pid, 3);
+        assert_eq!(validate.pid, 5);
+        // Span events are globally sorted by aligned time.
+        let ts: Vec<f64> = trace.span_events().map(|e| e.ts).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+        // The causal trace arg survives on every hop.
+        assert!(trace
+            .span_events()
+            .all(|e| matches!(&e.args, Value::Map(kv) if kv.iter().any(|(k, _)| k == "trace"))));
+        // And the whole thing still parses as trace-event JSON.
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: ChromeTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn merged_trace_clamps_pre_origin_times() {
+        // A badly-estimated clock could map a record before fleet zero;
+        // the export clamps instead of emitting negative timestamps.
+        let n = NodeTrace::new(
+            1,
+            "v1",
+            vec![SpanRecord {
+                name: "engine.query",
+                start_ns: 10,
+                dur_ns: 5,
+                args: SpanArgs::new(),
+            }],
+        )
+        .with_clock(ClockModel {
+            offset_ns: 1e9,
+            drift_ppm: 0.0,
+        });
+        let trace = merged_chrome_trace(&[n]);
+        let e = trace.span_events().next().unwrap();
+        assert_eq!(e.ts, 0.0);
     }
 
     #[test]

@@ -5,10 +5,12 @@
 //! ```text
 //! magic      u32   "RUPS" (0x53505552)
 //! version    u8
-//! flags      u8    bit 0: vehicle_id present
+//! flags      u8    bit 0: vehicle_id present; bit 1: trace context present
 //! n_channels u16
 //! len_m      u32
 //! vehicle_id u64   (only when flag bit 0)
+//! trace      16 B  (only when flag bit 1) — [`TraceContext`] wire form:
+//!                  trace_id u64, parent_span u32, sender clock u32
 //! t0         f64   timestamp of the first metre mark
 //! per metre:
 //!   heading  i16   radians × 10⁴ (±π fits in ±31 416)
@@ -25,12 +27,20 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rups_core::geo::{GeoSample, GeoTrajectory};
 use rups_core::gsm::{GsmTrajectory, PowerVector};
 use rups_core::pipeline::ContextSnapshot;
-use rups_obs::{Counter, Registry};
+use rups_obs::{Counter, Registry, TraceContext, TRACE_CONTEXT_WIRE_BYTES};
 
 /// Codec magic number ("RUPS" in LE bytes).
 pub const MAGIC: u32 = 0x5350_5552;
 /// Current codec version.
 pub const VERSION: u8 = 1;
+/// Flags bit 0: the payload carries a sender vehicle id.
+pub const FLAG_VEHICLE_ID: u8 = 0x01;
+/// Flags bit 1: the payload carries a piggybacked [`TraceContext`].
+///
+/// A backward-compatible extension: untraced snapshots encode byte-for-byte
+/// as they always did (the bit stays clear), and decoders ignore flag bits
+/// they do not know, so pre-extension payloads decode unchanged.
+pub const FLAG_TRACE: u8 = 0x02;
 
 /// Decoding/encoding errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,7 +115,7 @@ pub fn dequantise_rssi(q: u8) -> f32 {
 ///     geo.push(GeoSample { heading_rad: 0.0, timestamp_s: i as f64 });
 ///     gsm.push(&PowerVector::from_fn(4, |ch| Some(-70.0 - ch as f32)));
 /// }
-/// let snap = ContextSnapshot { vehicle_id: Some(7), geo, gsm };
+/// let snap = ContextSnapshot { vehicle_id: Some(7), geo, gsm, trace: None };
 /// let wire = encode_snapshot(&snap);
 /// let back = decode_snapshot(&wire).unwrap();
 /// assert_eq!(back.vehicle_id, Some(7));
@@ -121,11 +131,25 @@ pub fn encode_snapshot(snap: &ContextSnapshot) -> Bytes {
     let mut buf = BytesMut::with_capacity(32 + len * (6 + n_channels));
     buf.put_u32_le(MAGIC);
     buf.put_u8(VERSION);
-    buf.put_u8(u8::from(snap.vehicle_id.is_some()));
+    let mut flags = 0u8;
+    if snap.vehicle_id.is_some() {
+        flags |= FLAG_VEHICLE_ID;
+    }
+    // A trace is only carried alongside a sender id: the id + the trace's
+    // logical clock are what let receivers verify the trace survived the
+    // wire (see `decode_snapshot`), so an anonymous traced payload would be
+    // unverifiable and is encoded untraced instead.
+    if snap.trace.is_some() && snap.vehicle_id.is_some() {
+        flags |= FLAG_TRACE;
+    }
+    buf.put_u8(flags);
     buf.put_u16_le(n_channels as u16);
     buf.put_u32_le(len as u32);
     if let Some(id) = snap.vehicle_id {
         buf.put_u64_le(id);
+    }
+    if let (Some(trace), true) = (&snap.trace, snap.vehicle_id.is_some()) {
+        buf.put_slice(&trace.to_wire());
     }
     let t0 = snap.geo.samples().first().map_or(0.0, |s| s.timestamp_s);
     buf.put_f64_le(t0);
@@ -172,11 +196,31 @@ pub fn decode_snapshot(mut data: &[u8]) -> Result<ContextSnapshot, CodecError> {
     if n_channels == 0 && len > 0 {
         return Err(CodecError::Corrupt("zero channels with non-empty context"));
     }
-    let vehicle_id = if flags & 1 != 0 {
+    let vehicle_id = if flags & FLAG_VEHICLE_ID != 0 {
         if data.remaining() < 8 {
             return Err(CodecError::Truncated);
         }
         Some(data.get_u64_le())
+    } else {
+        None
+    };
+    let trace = if flags & FLAG_TRACE != 0 {
+        if data.remaining() < TRACE_CONTEXT_WIRE_BYTES {
+            return Err(CodecError::Truncated);
+        }
+        let mut wire = [0u8; TRACE_CONTEXT_WIRE_BYTES];
+        data.copy_to_slice(&mut wire);
+        let t = TraceContext::from_wire(&wire).ok_or(CodecError::Corrupt("bad trace context"))?;
+        // Trace ids are self-verifying: the sender mints them as a pure
+        // hash of `(vehicle_id, clock)`, so the receiver recomputes the
+        // hash and any bit damage to the id, the clock or the sender id
+        // shows up as a mismatch. This is what keeps corrupted beacons
+        // from planting orphan trace ids in a merged fleet trace.
+        let id = vehicle_id.ok_or(CodecError::Corrupt("traced payload without sender id"))?;
+        if TraceContext::root(id, t.clock).trace_id != t.trace_id {
+            return Err(CodecError::Corrupt("trace does not match its sender"));
+        }
+        Some(t)
     } else {
         None
     };
@@ -213,11 +257,13 @@ pub fn decode_snapshot(mut data: &[u8]) -> Result<ContextSnapshot, CodecError> {
         vehicle_id,
         geo,
         gsm,
+        trace,
     })
 }
 
 /// Wire size in bytes of a context of `len_m` metres over `n_channels`
-/// channels (with a vehicle id).
+/// channels (with a vehicle id, without a trace context — a traced payload
+/// adds [`TRACE_CONTEXT_WIRE_BYTES`]).
 pub fn encoded_size(len_m: usize, n_channels: usize) -> usize {
     4 + 1 + 1 + 2 + 4 + 8 + 8 + len_m * (6 + n_channels)
 }
@@ -282,6 +328,7 @@ mod tests {
             vehicle_id: with_id.then_some(0xDEAD_BEEF),
             geo,
             gsm,
+            trace: None,
         }
     }
 
@@ -317,6 +364,60 @@ mod tests {
         let back = decode_snapshot(&encode_snapshot(&snap)).unwrap();
         assert_eq!(back.vehicle_id, None);
         assert_eq!(back.gsm.len(), 10);
+    }
+
+    #[test]
+    fn traced_roundtrip_and_backward_compat() {
+        let ctx = TraceContext::root(0xDEAD_BEEF, 42).with_parent(9);
+        let plain = snapshot(12, 6, true);
+        let traced = plain.clone().with_trace(ctx);
+
+        // The trace context survives the wire byte-exactly.
+        let wire = encode_snapshot(&traced);
+        assert_eq!(wire.len(), encoded_size(12, 6) + TRACE_CONTEXT_WIRE_BYTES);
+        let back = decode_snapshot(&wire).unwrap();
+        assert_eq!(back.trace, Some(ctx));
+        assert_eq!(back.vehicle_id, plain.vehicle_id);
+        assert_eq!(back.len(), plain.len());
+
+        // Backward compatibility both ways: an untraced snapshot encodes
+        // byte-for-byte as before the extension (the flag bit stays clear),
+        // and those pre-extension bytes decode with `trace: None`.
+        let old_wire = encode_snapshot(&plain);
+        assert_eq!(old_wire.len(), encoded_size(12, 6));
+        assert_eq!(old_wire[5], FLAG_VEHICLE_ID, "only bit 0 set");
+        assert_eq!(decode_snapshot(&old_wire).unwrap().trace, None);
+
+        // A payload truncated inside the trace bytes is Truncated, not
+        // misparsed as context data.
+        let cut = 4 + 1 + 1 + 2 + 4 + 8 + TRACE_CONTEXT_WIRE_BYTES / 2;
+        assert_eq!(decode_snapshot(&wire[..cut]), Err(CodecError::Truncated));
+
+        // Trace ids are a pure hash of `(vehicle_id, clock)`, so the
+        // decoder recomputes and rejects any bit damage to the id, the
+        // clock, or the sender id — corrupted beacons can never plant an
+        // orphan trace id in a merged fleet trace.
+        let trace_off = 4 + 1 + 1 + 2 + 4 + 8;
+        for bit_of in [
+            trace_off,                        // trace_id low byte
+            trace_off + 7,                    // trace_id high byte
+            trace_off + TRACE_CONTEXT_WIRE_BYTES - 1, // clock high byte
+            4 + 1 + 1 + 2 + 4,                // vehicle_id low byte
+        ] {
+            let mut damaged = wire.to_vec();
+            damaged[bit_of] ^= 0x40;
+            assert!(
+                matches!(decode_snapshot(&damaged), Err(CodecError::Corrupt(_))),
+                "flip at offset {bit_of} must be caught"
+            );
+        }
+        // An anonymous snapshot cannot carry a verifiable trace: the
+        // infallible encoder silently drops it instead of emitting bytes
+        // every decoder would reject.
+        let anon = snapshot(12, 6, false).with_trace(ctx);
+        let anon_wire = encode_snapshot(&anon);
+        assert_eq!(anon_wire[5], 0, "no flags set");
+        assert_eq!(decode_snapshot(&anon_wire).unwrap().trace, None);
     }
 
     #[test]
@@ -378,6 +479,7 @@ mod tests {
             vehicle_id: full.vehicle_id,
             geo: full.geo.tail(9),
             gsm: full.gsm.tail(10),
+            trace: None,
         };
         assert_eq!(
             try_encode_snapshot(&misaligned),
@@ -414,6 +516,7 @@ mod tests {
             vehicle_id: None,
             geo: GeoTrajectory::new(),
             gsm: GsmTrajectory::new(0),
+            trace: None,
         };
         let back = decode_snapshot(&encode_snapshot(&empty)).unwrap();
         assert!(back.is_empty());

@@ -18,7 +18,7 @@ use crate::wsm::{exchange_time_s, WsmConfig};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use rups_obs::{Counter, Histogram, Registry, SpanRecorder};
+use rups_obs::{Counter, Histogram, Registry, SpanRecorder, TraceContext};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -264,7 +264,14 @@ impl V2vLink {
 
     /// Applies the payload faults (truncation, bit flips) for one
     /// delivery; returns the possibly-damaged payload.
-    fn damage_payload(&self, payload: &Bytes, msg_seq: u64, id: u64, copy: u64) -> Bytes {
+    fn damage_payload(
+        &self,
+        payload: &Bytes,
+        msg_seq: u64,
+        id: u64,
+        copy: u64,
+        trace: Option<TraceContext>,
+    ) -> Bytes {
         let f = &self.inner.faults;
         let stats = &self.inner.stats;
         let mut damaged: Option<Vec<u8>> = None;
@@ -275,7 +282,10 @@ impl V2vLink {
             damaged = Some(payload[..keep.min(payload.len() - 1)].to_vec());
             stats.truncated.inc();
             if let Some(s) = &self.inner.spans {
-                s.event("link.truncate");
+                match trace {
+                    Some(t) => s.event_args("link.truncate", t.args()),
+                    None => s.event("link.truncate"),
+                }
             }
         }
         let corrupt_len = damaged.as_ref().map_or(payload.len(), Vec::len);
@@ -289,7 +299,10 @@ impl V2vLink {
             }
             stats.corrupted.inc();
             if let Some(s) = &self.inner.spans {
-                s.event("link.corrupt");
+                match trace {
+                    Some(t) => s.event_args("link.corrupt", t.args()),
+                    None => s.event("link.corrupt"),
+                }
             }
         }
         match damaged {
@@ -298,7 +311,13 @@ impl V2vLink {
         }
     }
 
-    fn broadcast(&self, from: u64, now_s: f64, payload: Bytes) -> f64 {
+    fn broadcast(
+        &self,
+        from: u64,
+        now_s: f64,
+        payload: Bytes,
+        trace: Option<TraceContext>,
+    ) -> f64 {
         let latency = exchange_time_s(payload.len(), &self.inner.cfg);
         let arrival_s = now_s + latency;
         let msg_seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
@@ -334,7 +353,10 @@ impl V2vLink {
             if draw(self.inner.seed, msg_seq, id, 0x02) < loss {
                 stats.dropped.inc();
                 if let Some(s) = &self.inner.spans {
-                    s.event("link.drop");
+                    match trace {
+                        Some(t) => s.event_args("link.drop", t.args()),
+                        None => s.event("link.drop"),
+                    }
                 }
                 continue;
             }
@@ -350,14 +372,20 @@ impl V2vLink {
                     when += f.reorder_delay_s;
                     stats.reordered.inc();
                     if let Some(s) = &self.inner.spans {
-                        s.event("link.reorder");
+                        match trace {
+                            Some(t) => s.event_args("link.reorder", t.args()),
+                            None => s.event("link.reorder"),
+                        }
                     }
                 }
-                let body = self.damage_payload(&payload, msg_seq, id, copy);
+                let body = self.damage_payload(&payload, msg_seq, id, copy, trace);
                 if copy > 0 {
                     stats.duplicated.inc();
                     if let Some(s) = &self.inner.spans {
-                        s.event("link.duplicate");
+                        match trace {
+                            Some(t) => s.event_args("link.duplicate", t.args()),
+                            None => s.event("link.duplicate"),
+                        }
                     }
                 }
                 stats.delivered.inc();
@@ -383,7 +411,17 @@ impl Endpoint {
     /// arrival time at the receivers (send time + WSM transfer latency,
     /// before any fault-injected jitter).
     pub fn broadcast(&self, now_s: f64, payload: Bytes) -> f64 {
-        self.link.broadcast(self.id, now_s, payload)
+        self.link.broadcast(self.id, now_s, payload, None)
+    }
+
+    /// [`broadcast`](Self::broadcast) for a payload carrying a
+    /// [`TraceContext`]: the link's fault events (`link.drop`,
+    /// `link.corrupt`, …) for this transmission join the payload's causal
+    /// trace, so a merged fleet trace shows *which* beacon the channel
+    /// damaged. The payload bytes are untouched — the trace rides the
+    /// encoded snapshot itself.
+    pub fn broadcast_traced(&self, now_s: f64, payload: Bytes, trace: TraceContext) -> f64 {
+        self.link.broadcast(self.id, now_s, payload, Some(trace))
     }
 
     /// Moves everything waiting on the channel into the pending buffer and

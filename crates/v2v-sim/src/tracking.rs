@@ -94,6 +94,7 @@ impl TrackingSession {
             vehicle_id: snap.vehicle_id,
             geo: snap.geo.tail(new_metres),
             gsm: snap.gsm.tail(new_metres),
+            trace: snap.trace,
         };
         Some(Update::Tail {
             payload: encode_snapshot(&tail),
@@ -124,6 +125,7 @@ mod tests {
             vehicle_id: Some(1),
             geo,
             gsm,
+            trace: None,
         }
     }
 

@@ -81,6 +81,7 @@ fn snapshot_strategy() -> impl Strategy<Value = ContextSnapshot> {
                 vehicle_id,
                 geo,
                 gsm,
+                trace: None,
             }
         })
 }
