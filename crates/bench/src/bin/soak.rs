@@ -12,6 +12,8 @@
 //! * `RUPS_SOAK_VEHICLES` — convoy size (default 4)
 //! * `RUPS_SOAK_OUT` — verdict JSON path (default
 //!   `results/soak-slo.json` under the workspace)
+//! * `RUPS_SOAK_ALARMS_OUT` — online alarm log JSON path (default
+//!   `results/soak-alarms.json` under the workspace)
 //!
 //! Installs a counting global allocator so live heap bytes are sampled
 //! per fix epoch; exits 1 when any SLO or the flat-memory assertion
@@ -104,6 +106,61 @@ fn main() {
         outcome.mem.max_live_bytes as f64 / (1 << 20) as f64,
         outcome.mem.samples,
     );
+    let s = &outcome.sampler;
+    println!(
+        "  sampler {:24} {}  {}/{} spans committed (x{:.3} <= x{:.3}), \
+         anomalous {}/{} retained{}, record {:.0} ns/span (budget {:.0}, \
+         {} demotions, head rate {:.4})",
+        "tail_sampling",
+        if s.pass { "pass" } else { "FAIL" },
+        s.spans_committed,
+        s.spans_ingested,
+        s.committed_fraction,
+        s.max_committed_fraction,
+        s.anomalous_retained,
+        s.anomalous_traces,
+        if s.shadow_checked { "" } else { " (unchecked: no spans)" },
+        s.mean_record_ns,
+        s.budget_ns_per_span,
+        s.demotions,
+        s.head_rate,
+    );
+    if outcome.alarms.is_empty() {
+        println!(
+            "  alarms: none over {} fleet windows",
+            outcome.alarm_windows
+        );
+    } else {
+        println!(
+            "  alarms: {} over {} fleet windows (early warnings):",
+            outcome.alarms.len(),
+            outcome.alarm_windows
+        );
+        for a in &outcome.alarms {
+            println!(
+                "    {:28} window {} (t={:.0}s, detection latency {} windows \
+                 into the stream): {:.4} vs baseline {:.4}, score {:.1}/{:.1}",
+                a.detector,
+                a.window_index,
+                a.t_s,
+                a.window_index + 1,
+                a.value,
+                a.baseline,
+                a.score,
+                a.threshold,
+            );
+        }
+    }
+    let alarms_out = std::env::var("RUPS_SOAK_ALARMS_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/soak-alarms.json").to_string()
+    });
+    if let Some(parent) = std::path::Path::new(&alarms_out).parent() {
+        std::fs::create_dir_all(parent).expect("create alarm log dir");
+    }
+    let alarm_json =
+        serde_json::to_string_pretty(&outcome.alarms).expect("serialize alarm log");
+    std::fs::write(&alarms_out, alarm_json).expect("write alarm log");
+    println!("  alarm log written to {alarms_out}");
 
     let out = std::env::var("RUPS_SOAK_OUT").unwrap_or_else(|_| default_out_path());
     if let Some(parent) = std::path::Path::new(&out).parent() {

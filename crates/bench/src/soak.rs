@@ -15,7 +15,15 @@
 //! * folds the per-vehicle registries into per-window fleet deltas with
 //!   a [`FleetAggregator`] and judges the run against the declarative
 //!   [`default_slos`] set via [`evaluate_slos`] — no ground truth, only
-//!   what the registries observed.
+//!   what the registries observed;
+//! * feeds every fleet window to a [`DetectorBank`] of the
+//!   [`default_detectors`] so level shifts and drifts raise [`Alarm`]s
+//!   *during* the run (early warnings, stamped with their detection
+//!   window), and runs a [`TailSampler`] per vehicle, judged afterwards
+//!   against an exhaustive shadow set: every anomalous trace must be
+//!   retained while total committed volume and the sampler's own
+//!   measured record-path overhead stay bounded (the [`SamplerVerdict`]
+//!   gate).
 //!
 //! Everything the harness retains is bounded: memory samples decimate
 //! (stride doubles) once their preallocated buffer fills, and the window
@@ -35,13 +43,15 @@ use rups_core::geo::GeoSample;
 use rups_core::gsm::PowerVector;
 use rups_core::inbox::{InboxConfig, SnapshotInbox};
 use rups_core::pipeline::RupsNode;
-use rups_core::quality::QualityConfig;
+use rups_core::quality::{FixQuality, QualityConfig};
 use rups_core::testfield;
 use rups_obs::{
-    default_slos, evaluate_slos, FleetAggregator, MetricsSnapshot, Registry, SloSpec, SloVerdict,
+    default_detectors, default_slos, evaluate_slos, Alarm, DetectorBank, FleetAggregator,
+    MetricsSnapshot, Registry, SampleConfig, SloSpec, SloVerdict, SpanRecorder, TailSampler,
+    TRACE_ARG,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use v2v_sim::codec::{try_encode_snapshot, CodecMetrics};
@@ -84,6 +94,10 @@ pub struct SoakConfig {
     /// Absolute slack on top of the relative tolerance, bytes (rounding
     /// room for tiny runs).
     pub mem_abs_slack_bytes: u64,
+    /// Ceiling on the fraction of ingested spans the tail samplers may
+    /// commit (the whole point of tail sampling is committing far less
+    /// than everything).
+    pub max_committed_fraction: f64,
     /// Master seed.
     pub seed: u64,
 }
@@ -109,6 +123,7 @@ impl Default for SoakConfig {
             p99_max_ns: 250e6,
             mem_growth_tol: 0.02,
             mem_abs_slack_bytes: 1 << 20,
+            max_committed_fraction: 0.2,
             seed: 0x50AC,
         }
     }
@@ -128,6 +143,52 @@ pub struct MemVerdict {
     /// Largest live-bytes sample seen after warmup.
     pub max_live_bytes: u64,
     /// Whether the growth stayed within tolerance.
+    pub pass: bool,
+}
+
+/// The tail-sampling verdict: every anomalous trace retained (checked
+/// against an exhaustive shadow set the harness keeps independently),
+/// committed volume under the cap, and the sampler's measured record-path
+/// overhead inside its budget (or demoted itself trying).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SamplerVerdict {
+    /// Spans offered to the samplers across every vehicle.
+    pub spans_ingested: u64,
+    /// Spans committed to the durable rings.
+    pub spans_committed: u64,
+    /// `spans_committed / spans_ingested` (0.0 when nothing was ingested).
+    pub committed_fraction: f64,
+    /// Traces settled by
+    /// [`fix_inbox_parallel`](rups_core::pipeline::RupsNode::fix_inbox_parallel)
+    /// verdicts.
+    pub traces_finished: u64,
+    /// Traces whose spans were committed.
+    pub traces_committed: u64,
+    /// Distinct anomalous trace ids in the harness's shadow set.
+    pub anomalous_traces: u64,
+    /// Of those, how many have at least one span in a durable ring.
+    pub anomalous_retained: u64,
+    /// Whether the span layer was live (spans were actually recorded); the
+    /// retention cross-check is only meaningful when it was.
+    pub shadow_checked: bool,
+    /// Every shadow-set trace retained (vacuously true when unchecked).
+    pub retained_all_anomalous: bool,
+    /// The configured committed-fraction ceiling.
+    pub max_committed_fraction: f64,
+    /// `committed_fraction <= max_committed_fraction`.
+    pub committed_within_cap: bool,
+    /// Worst per-vehicle mean record-path cost over the last ladder
+    /// window, nanoseconds per span.
+    pub mean_record_ns: f64,
+    /// The per-span overhead budget the ladder enforces, nanoseconds.
+    pub budget_ns_per_span: f64,
+    /// Head-rate demotions the ladders performed.
+    pub demotions: u64,
+    /// Lowest final head-sampling rate across vehicles.
+    pub head_rate: f64,
+    /// Overhead inside budget, or the ladder demonstrably responded.
+    pub overhead_ok: bool,
+    /// The gate: retention, volume cap and overhead all healthy.
     pub pass: bool,
 }
 
@@ -152,7 +213,16 @@ pub struct SoakOutcome {
     pub slo: SloVerdict,
     /// The allocation-flatness verdict.
     pub mem: MemVerdict,
-    /// `slo.pass && mem.pass`.
+    /// The tail-sampling verdict.
+    pub sampler: SamplerVerdict,
+    /// Online alarms raised by the [`DetectorBank`] over the fleet-window
+    /// stream — early warnings ahead of the end-of-run SLO verdict, each
+    /// stamped with its detection window. Not part of the gate: a faulted
+    /// soak legitimately alarms.
+    pub alarms: Vec<Alarm>,
+    /// Fleet windows the detector bank observed.
+    pub alarm_windows: u64,
+    /// `slo.pass && mem.pass && sampler.pass`.
     pub pass: bool,
 }
 
@@ -195,6 +265,16 @@ pub fn run_soak(cfg: &SoakConfig, live_bytes: &dyn Fn() -> u64) -> SoakOutcome {
     let n = cfg.n_vehicles;
     let ids: Vec<u64> = (1..=n as u64).collect();
     let registries: Vec<Arc<Registry>> = ids.iter().map(|_| Arc::new(Registry::new())).collect();
+    let spans: Vec<Arc<SpanRecorder>> = ids
+        .iter()
+        .map(|_| Arc::new(SpanRecorder::new(4096)))
+        .collect();
+    let sample_cfg = SampleConfig::default();
+    let samplers: Vec<Arc<TailSampler>> = ids
+        .iter()
+        .enumerate()
+        .map(|(k, _)| Arc::new(TailSampler::new(sample_cfg).with_registry(&registries[k])))
+        .collect();
     let mut nodes: Vec<RupsNode> = ids
         .iter()
         .enumerate()
@@ -202,6 +282,8 @@ pub fn run_soak(cfg: &SoakConfig, live_bytes: &dyn Fn() -> u64) -> SoakOutcome {
             RupsNode::new(rc.clone())
                 .with_vehicle_id(id)
                 .with_observability(Arc::clone(&registries[k]))
+                .with_span_recorder(Arc::clone(&spans[k]))
+                .with_trace_sampler(Arc::clone(&samplers[k]))
         })
         .collect();
     let link = V2vLink::with_faults_in(cfg.faults, cfg.seed ^ 0x11, Arc::clone(&registries[0]));
@@ -226,6 +308,14 @@ pub fn run_soak(cfg: &SoakConfig, live_bytes: &dyn Fn() -> u64) -> SoakOutcome {
     let mut mem_samples: Vec<u64> = Vec::with_capacity(MEM_SAMPLE_CAP);
     let mut sample_stride = 1u64;
     let mut epochs = 0u64;
+    let mut bank = DetectorBank::new(default_detectors()).with_registry(&registries[0]);
+    let mut alarms: VecDeque<Alarm> = VecDeque::with_capacity(WINDOW_CAP);
+    // The exhaustive shadow the samplers are judged against: every trace id
+    // whose fix verdict was anomalous, per vehicle.
+    let mut shadow: Vec<HashSet<u64>> = ids.iter().map(|_| HashSet::new()).collect();
+    // Trace ids seen in each durable ring, harvested per window so the
+    // ring's bounded eviction cannot erase evidence of a commit.
+    let mut kept_traces: Vec<HashSet<u64>> = ids.iter().map(|_| HashSet::new()).collect();
 
     let snapshot_fleet = |aggregator: &FleetAggregator| -> MetricsSnapshot {
         let parts: Vec<(u64, MetricsSnapshot)> = ids
@@ -270,7 +360,26 @@ pub fn run_soak(cfg: &SoakConfig, live_bytes: &dyn Fn() -> u64) -> SoakOutcome {
             }
             if (metre - warmup_m).is_multiple_of(cfg.fix_stride_s) {
                 for (k, node) in nodes.iter_mut().enumerate() {
-                    for _ in node.fix_inbox_parallel(&inboxes[k], t, &quality_cfg) {}
+                    // Map sender → trace id before the pass so anomalous
+                    // verdicts can be attributed to their traces (the
+                    // node's sampler settles them internally; this is the
+                    // harness's independent shadow record).
+                    let traces: HashMap<u64, u64> = inboxes[k]
+                        .fresh(t)
+                        .iter()
+                        .filter_map(|s| Some((s.vehicle_id?, s.trace?.trace_id)))
+                        .collect();
+                    for (vid, graded) in node.fix_inbox_parallel(&inboxes[k], t, &quality_cfg) {
+                        let anomalous = match &graded {
+                            Err(_) => true,
+                            Ok(g) => g.report.quality == FixQuality::Low,
+                        };
+                        if anomalous {
+                            if let Some(tid) = vid.and_then(|v| traces.get(&v)) {
+                                shadow[k].insert(*tid);
+                            }
+                        }
+                    }
                 }
                 epochs += 1;
                 if epochs.is_multiple_of(sample_stride) {
@@ -292,11 +401,30 @@ pub fn run_soak(cfg: &SoakConfig, live_bytes: &dyn Fn() -> u64) -> SoakOutcome {
                         Some(prev) => merged.delta(prev),
                         None => merged.clone(),
                     };
+                    // The detector bank sees the window online — alarms
+                    // are early warnings of what the end-of-run SLO
+                    // verdict would catch, stamped with their detection
+                    // window (newest WINDOW_CAP retained).
+                    for alarm in bank.observe(t, &delta) {
+                        if alarms.len() == WINDOW_CAP {
+                            alarms.pop_front();
+                        }
+                        alarms.push_back(alarm);
+                    }
                     if windows.len() == WINDOW_CAP {
                         windows.pop_front();
                     }
                     windows.push_back(delta.compact());
                     prev_merged = Some(merged);
+                    for (k, sampler) in samplers.iter().enumerate() {
+                        kept_traces[k].extend(
+                            sampler
+                                .committed()
+                                .iter()
+                                .filter_map(|r| r.args.get(TRACE_ARG))
+                                .map(|v| v as u64),
+                        );
+                    }
                 }
                 // The wall budget is checked at epoch granularity: every
                 // iteration between epochs is microseconds.
@@ -312,15 +440,86 @@ pub fn run_soak(cfg: &SoakConfig, live_bytes: &dyn Fn() -> u64) -> SoakOutcome {
     let cumulative = snapshot_fleet(&aggregator);
     let slo_specs = default_slos(cfg.p99_max_ns);
     let mut windows: Vec<MetricsSnapshot> = windows.into_iter().collect();
-    // The trailing partial window still counts against burn-rate.
+    // The trailing partial window still counts against burn-rate — and the
+    // detector bank sees it too, so a fault landing in the last stretch of
+    // the run is not silently unwatched.
     if let Some(prev) = &prev_merged {
         let tail = cumulative.delta(prev);
         if tail.counters.iter().any(|c| c.value > 0) {
+            for alarm in bank.observe(metre as f64, &tail) {
+                if alarms.len() == WINDOW_CAP {
+                    alarms.pop_front();
+                }
+                alarms.push_back(alarm);
+            }
             windows.push(tail.compact());
         }
     }
     let slo = evaluate_slos(&slo_specs, &cumulative, &windows);
     let mem = mem_verdict(cfg, &mem_samples);
+
+    // Final harvest, then judge the samplers against the shadow set.
+    let mut spans_ingested = 0u64;
+    let mut spans_committed = 0u64;
+    let mut traces_finished = 0u64;
+    let mut traces_committed = 0u64;
+    let mut demotions = 0u64;
+    let mut mean_record_ns = 0f64;
+    let mut head_rate = f64::INFINITY;
+    let mut anomalous_retained = 0u64;
+    for (k, sampler) in samplers.iter().enumerate() {
+        kept_traces[k].extend(
+            sampler
+                .committed()
+                .iter()
+                .filter_map(|r| r.args.get(TRACE_ARG))
+                .map(|v| v as u64),
+        );
+        let st = sampler.stats();
+        spans_ingested += st.spans_ingested;
+        spans_committed += st.spans_committed;
+        traces_finished += st.traces_finished;
+        traces_committed += st.traces_committed;
+        demotions += st.demotions;
+        mean_record_ns = mean_record_ns.max(st.mean_record_ns);
+        head_rate = head_rate.min(st.head_rate);
+        anomalous_retained += shadow[k].intersection(&kept_traces[k]).count() as u64;
+    }
+    if !head_rate.is_finite() {
+        head_rate = sample_cfg.head_rate;
+    }
+    let anomalous_traces: u64 = shadow.iter().map(|s| s.len() as u64).sum();
+    // The cross-check is only meaningful when the span layer recorded
+    // anything at all (builds without the `obs` feature ingest nothing).
+    let shadow_checked = spans_ingested > 0;
+    let retained_all_anomalous = !shadow_checked || anomalous_retained == anomalous_traces;
+    let committed_fraction = if spans_ingested == 0 {
+        0.0
+    } else {
+        spans_committed as f64 / spans_ingested as f64
+    };
+    let committed_within_cap = committed_fraction <= cfg.max_committed_fraction;
+    let overhead_ok =
+        !shadow_checked || mean_record_ns <= sample_cfg.budget_ns_per_span || demotions > 0;
+    let sampler = SamplerVerdict {
+        spans_ingested,
+        spans_committed,
+        committed_fraction,
+        traces_finished,
+        traces_committed,
+        anomalous_traces,
+        anomalous_retained,
+        shadow_checked,
+        retained_all_anomalous,
+        max_committed_fraction: cfg.max_committed_fraction,
+        committed_within_cap,
+        mean_record_ns,
+        budget_ns_per_span: sample_cfg.budget_ns_per_span,
+        demotions,
+        head_rate,
+        overhead_ok,
+        pass: retained_all_anomalous && committed_within_cap && overhead_ok,
+    };
 
     SoakOutcome {
         harness: "soak".into(),
@@ -329,9 +528,12 @@ pub fn run_soak(cfg: &SoakConfig, live_bytes: &dyn Fn() -> u64) -> SoakOutcome {
         sim_s: metre as u64,
         epochs,
         windows: windows.len(),
-        pass: slo.pass && mem.pass,
+        pass: slo.pass && mem.pass && sampler.pass,
         slo_specs,
         slo,
         mem,
+        sampler,
+        alarms: alarms.into_iter().collect(),
+        alarm_windows: bank.windows_seen(),
     }
 }

@@ -47,6 +47,9 @@ fn short_soak_holds_slos_and_stays_allocation_flat() {
         p99_max_ns: 5e9,
         // A 2 s run has few samples; allow debug-build jitter.
         mem_growth_tol: 0.05,
+        // Debug epochs are slow; close fleet windows often enough that the
+        // detector bank genuinely observes some.
+        window_epochs: 2,
         ..SoakConfig::default()
     };
     let outcome = run_soak(&cfg, &|| LIVE_BYTES.load(Ordering::Relaxed));
@@ -69,6 +72,26 @@ fn short_soak_holds_slos_and_stays_allocation_flat() {
         outcome.mem
     );
     assert!(outcome.mem.samples > 0);
+    let s = &outcome.sampler;
+    assert!(
+        s.pass,
+        "tail-sampling verdict failed in smoke soak: {s:?}"
+    );
+    // bench pulls rups-core with default features, so the span layer is
+    // live and the shadow cross-check is real, not vacuous.
+    assert!(s.shadow_checked, "span layer should be live in bench builds");
+    assert!(s.spans_ingested > 0);
+    assert!(s.traces_finished > 0, "traces must settle every epoch");
+    assert!(
+        s.committed_fraction <= s.max_committed_fraction,
+        "tail sampling must shed volume: {s:?}"
+    );
+    assert_eq!(
+        s.anomalous_retained, s.anomalous_traces,
+        "exhaustive shadow cross-check: every anomalous trace retained"
+    );
+    // The detector bank watched the fleet-window stream.
+    assert!(outcome.alarm_windows > 0, "no fleet window reached the bank");
     assert!(outcome.pass);
 
     // The verdict round-trips through JSON (the binary commits it as the

@@ -18,9 +18,10 @@ use crate::quality::{assess, FixQuality, QualityConfig, QualityReport};
 use crate::report::{FixOutcome, FixReport};
 use crate::syn::SynPoint;
 use crate::tracker::{NeighbourTracker, TrackedFix};
-use rups_obs::{Counter, FlightRecorder, Registry, SpanRecorder, TraceContext};
+use rups_obs::{Counter, FlightRecorder, Registry, SpanRecorder, TailSampler, TraceContext};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One batch of per-neighbour fix results paired with their diagnostics.
@@ -132,6 +133,15 @@ pub struct RupsNode {
     /// degraded fixes become [`FixReport`]s and every inbox pass closes an
     /// observation window.
     flight: Option<Arc<FlightRecorder>>,
+    /// The span ring shared with the engine (kept so the tail sampler can
+    /// drain it incrementally).
+    spans: Option<Arc<SpanRecorder>>,
+    /// Optional tail-based trace sampler: every inbox pass drains new spans
+    /// into it and settles each snapshot's trace as anomalous (miss or
+    /// Low-grade fix) or ordinary.
+    sampler: Option<Arc<TailSampler>>,
+    /// [`SpanRecorder::take_since`] watermark for the sampler drain.
+    span_watermark: AtomicU64,
 }
 
 impl Clone for RupsNode {
@@ -153,9 +163,12 @@ impl Clone for RupsNode {
             context_version: self.context_version,
             quality_counters: QualityCounters::register(&registry),
             registry,
-            // A flight recorder watches a specific registry; the clone has a
-            // fresh one, so it starts without a recorder.
+            // A flight recorder, span ring and sampler watch a specific
+            // registry/engine; the clone has fresh ones, so it starts bare.
             flight: None,
+            spans: None,
+            sampler: None,
+            span_watermark: AtomicU64::new(0),
         }
     }
 }
@@ -188,6 +201,9 @@ impl RupsNode {
             quality_counters: QualityCounters::register(&registry),
             registry,
             flight: None,
+            spans: None,
+            sampler: None,
+            span_watermark: AtomicU64::new(0),
         })
     }
 
@@ -213,8 +229,27 @@ impl RupsNode {
     /// stages (`engine.query`, `engine.kernel_scan`, …) land in the shared
     /// trace ring alongside whatever else records into `spans`.
     pub fn with_span_recorder(mut self, spans: Arc<SpanRecorder>) -> Self {
-        self.engine.attach_spans(spans);
+        self.engine.attach_spans(Arc::clone(&spans));
+        self.spans = Some(spans);
         self
+    }
+
+    /// Attaches a tail-based trace sampler. Requires a span recorder (wire
+    /// [`RupsNode::with_span_recorder`] first): every
+    /// [`RupsNode::fix_inbox_parallel`] pass drains the ring's new spans
+    /// into the sampler, then settles each inbox snapshot's trace —
+    /// anomalous outcomes (a miss, or a fix graded
+    /// [`FixQuality::Low`]) always commit their trace's spans to the
+    /// sampler's durable ring, ordinary traces commit only under its
+    /// head-sampling rate.
+    pub fn with_trace_sampler(mut self, sampler: Arc<TailSampler>) -> Self {
+        self.sampler = Some(sampler);
+        self
+    }
+
+    /// The attached tail sampler, if any.
+    pub fn trace_sampler(&self) -> Option<&Arc<TailSampler>> {
+        self.sampler.as_ref()
     }
 
     /// Attaches a flight recorder. The recorder should watch the same
@@ -564,6 +599,25 @@ impl RupsNode {
             .collect();
         if let Some(flight) = &self.flight {
             flight.observe(now_s);
+        }
+        if let Some(sampler) = &self.sampler {
+            // Buffer this pass's spans first so each trace's provisional
+            // buffer is complete before its verdict settles it.
+            if let Some(spans) = &self.spans {
+                let mark = self.span_watermark.load(Ordering::Relaxed);
+                let (mark, new) = spans.take_since(mark);
+                self.span_watermark.store(mark, Ordering::Relaxed);
+                sampler.ingest(&new);
+            }
+            for (snap, (_, graded)) in fresh.iter().zip(out.iter()) {
+                if let Some(trace) = snap.trace {
+                    let anomalous = match graded {
+                        Err(_) => true,
+                        Ok(g) => g.report.quality == FixQuality::Low,
+                    };
+                    sampler.finish_trace(trace.trace_id, anomalous);
+                }
+            }
         }
         out
     }
@@ -1086,6 +1140,79 @@ mod tests {
             f,
             Value::Map(kv) if kv.iter().any(|(k, v)| k == "outcome" && v.as_str() == Some("Miss"))
         )));
+    }
+
+    #[test]
+    fn tail_sampler_keeps_anomalous_traces_and_sheds_ordinary_ones() {
+        use crate::inbox::{InboxConfig, SnapshotInbox};
+        use crate::quality::QualityConfig;
+        use rups_obs::{SampleConfig, TailSampler, TRACE_ARG};
+        use std::sync::Arc;
+
+        let spans = Arc::new(SpanRecorder::new(4096));
+        // head_rate 0: only anomalous traces may commit.
+        let sampler = Arc::new(TailSampler::new(SampleConfig {
+            head_rate: 0.0,
+            ..SampleConfig::default()
+        }));
+        let mut a = RupsNode::new(cfg())
+            .with_span_recorder(Arc::clone(&spans))
+            .with_trace_sampler(Arc::clone(&sampler));
+        assert!(a.trace_sampler().is_some());
+        drive(&mut a, 0, 400);
+
+        // One genuine neighbour and one structurally valid stranger whose
+        // unrelated GSM field guarantees a miss; both broadcast traced.
+        let mut b = RupsNode::new(cfg()).with_vehicle_id(2);
+        drive(&mut b, 70, 400);
+        let (good_snap, good_trace) = b.traced_snapshot(None, 1);
+        let mut rogue = RupsNode::new(cfg()).with_vehicle_id(66);
+        for j in 0..400usize {
+            let s = (70 + j) as f64;
+            let geo = GeoSample {
+                heading_rad: 0.0,
+                timestamp_s: s,
+            };
+            let pv = PowerVector::from_fn(32, |ch| Some(crate::testfield::rssi(40, s, ch)));
+            rogue.append_metre(geo, &pv).unwrap();
+        }
+        let (rogue_snap, rogue_trace) = rogue.traced_snapshot(None, 1);
+        let (good_trace, rogue_trace) = (good_trace.unwrap(), rogue_trace.unwrap());
+
+        let mut inbox = SnapshotInbox::new(InboxConfig::for_rups(&cfg(), 60.0));
+        let now = 521.0;
+        assert!(inbox.accept(good_snap, now).unwrap());
+        assert!(inbox.accept(rogue_snap, now).unwrap());
+        let out = a.fix_inbox_parallel(&inbox, now, &QualityConfig::default());
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.iter().filter(|(_, g)| g.is_err()).count(), 1);
+
+        let stats = sampler.stats();
+        if cfg!(feature = "obs") {
+            assert_eq!(stats.traces_finished, 2, "both traces settled");
+            // The miss's trace committed its spans; the healthy trace was
+            // shed (head rate zero), so every committed traced span belongs
+            // to the rogue trace.
+            assert!(stats.traces_committed >= 1);
+            let committed = sampler.committed();
+            let traced: Vec<i64> = committed
+                .iter()
+                .filter_map(|r| r.args.get(TRACE_ARG))
+                .collect();
+            assert!(
+                traced.iter().any(|&t| t as u64 == rogue_trace.trace_id),
+                "anomalous trace must be retained"
+            );
+            assert!(
+                traced.iter().all(|&t| t as u64 != good_trace.trace_id),
+                "ordinary trace must be shed at head rate zero"
+            );
+        } else {
+            // Without `obs` the span ring is compiled out, so no trace ever
+            // buffers spans and settlement is a no-op.
+            assert_eq!(stats.traces_finished, 0);
+            assert!(sampler.committed().is_empty());
+        }
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! evaluate [--quick] [--json DIR] [FIGURE ...]
 //!
 //!   FIGURE   any of: fig1 fig2 fig3 fig4 sec5a sec5b fig9 fig10 fig11 fig12
-//!            ext-faults ext-fleet-observability ext-fpr ext-fusion
-//!            ext-multiband ext-observability ext-pedestrian
+//!            ext-diagnosis ext-faults ext-fleet-observability ext-fpr
+//!            ext-fusion ext-multiband ext-observability ext-pedestrian
 //!            ext-scalability abl-window abl-channels
 //!            abl-interp   (default: all)
 //!   --quick  reduced scale (fast; for smoke runs and debug builds)
@@ -45,7 +45,8 @@ fn parse_args() -> Args {
                 println!(
                     "usage: evaluate [--quick] [--json DIR] [FIGURE ...]\n\
                      figures: fig1 fig2 fig3 fig4 sec5a sec5b fig9 fig10 fig11 fig12 \
-                              ext-faults ext-fleet-observability ext-fpr ext-fusion \
+                              ext-diagnosis ext-faults ext-fleet-observability \
+                              ext-fpr ext-fusion \
                               ext-multiband ext-observability \
                               ext-pedestrian ext-scalability \
                               abl-window abl-channels abl-interp"
@@ -121,6 +122,14 @@ fn run_figure(id: &str, quick: bool, scale: EvalScale) -> Figure {
         }),
         "fig11" => figures::fig11::run(&figures::fig11::Params { scale }),
         "fig12" => figures::fig12::run(&figures::fig12::Params { scale }),
+        "ext-diagnosis" => {
+            let p = if quick {
+                figures::ext_diagnosis::quick_params()
+            } else {
+                figures::ext_diagnosis::Params::default()
+            };
+            figures::ext_diagnosis::run(&p)
+        }
         "ext-faults" => {
             let p = if quick {
                 figures::ext_faults::quick_params()
@@ -192,7 +201,7 @@ fn run_figure(id: &str, quick: bool, scale: EvalScale) -> Figure {
     }
 }
 
-const ALL_FIGURES: [&str; 21] = [
+const ALL_FIGURES: [&str; 22] = [
     "fig1",
     "fig2",
     "fig3",
@@ -203,6 +212,7 @@ const ALL_FIGURES: [&str; 21] = [
     "fig10",
     "fig11",
     "fig12",
+    "ext-diagnosis",
     "ext-faults",
     "ext-fleet-observability",
     "ext-fpr",

@@ -15,6 +15,8 @@
 //!
 //! Extensions beyond the paper's figures:
 //!
+//! * [`ext_diagnosis`] — online anomaly detection and automated diagnosis
+//!   of three staged degradations (burst loss, clock jump, slowdown)
 //! * [`ext_faults`] — fix availability/error under V2V channel faults
 //!   (burst loss, corruption; hardening of §V-B)
 //! * [`ext_fpr`] — detection vs false-positive rate of the adaptive short
@@ -36,6 +38,7 @@ use serde::{Deserialize, Serialize};
 pub mod ablations;
 pub mod comm;
 pub mod cost;
+pub mod ext_diagnosis;
 pub mod ext_faults;
 pub mod ext_fleet_observability;
 pub mod ext_fpr;

@@ -5,9 +5,9 @@
 //! [`FleetAggregator`] merges them into a single fleet-level snapshot —
 //! counters sum, same-named log₂ histograms bucket-merge exactly (so
 //! fleet quantiles are computed over the union distribution, not averaged
-//! per node), gauges average — and ranks the top-k *worst* nodes under
-//! declarative [`Criterion`]s (p99 latency, error rates, gauges such as
-//! per-node fix error).
+//! per node), gauges average weighted by each node's sample count — and
+//! ranks the top-k *worst* nodes under declarative [`Criterion`]s (p99
+//! latency, error rates, gauges such as per-node fix error).
 //!
 //! The merged snapshot is an ordinary [`MetricsSnapshot`]: per-window
 //! fleet deltas come from [`MetricsSnapshot::delta`] and feed the same
@@ -134,7 +134,7 @@ pub struct FleetSnapshot {
     /// Node ids that contributed, in input order.
     pub nodes: Vec<u64>,
     /// The merged metrics (counters summed, histograms bucket-merged,
-    /// gauges averaged).
+    /// gauges sample-weighted averaged).
     pub merged: MetricsSnapshot,
     /// Top-k worst nodes per configured criterion.
     pub worst: Vec<WorstList>,
@@ -220,13 +220,25 @@ impl FleetAggregator {
     /// bucket-merge (a bucket-shape disagreement — e.g. a compacted
     /// snapshot slipped in among full ones — aborts with the typed
     /// [`ShapeMismatch`] rather than misattributing counts); gauges
-    /// average over the nodes holding them.
+    /// average over the nodes holding them, weighted by each node's
+    /// sample count so a node that set its gauge once does not count as
+    /// much as one that set it ten thousand times. When no contributing
+    /// node carries a sample count (all weights zero — e.g. snapshots
+    /// deserialised from a pre-weighting artefact), the merge degrades to
+    /// the unweighted mean.
     pub fn aggregate(
         &self,
         parts: &[(u64, MetricsSnapshot)],
     ) -> Result<FleetSnapshot, ShapeMismatch> {
+        struct GaugeAcc {
+            name: String,
+            weighted_sum: f64,
+            weight: u64,
+            plain_sum: f64,
+            nodes: u32,
+        }
         let mut counters: Vec<CounterSample> = Vec::new();
-        let mut gauge_sums: Vec<(String, f64, u32)> = Vec::new();
+        let mut gauge_accs: Vec<GaugeAcc> = Vec::new();
         let mut histograms: Vec<HistogramSample> = Vec::new();
         for (_, snap) in parts {
             for c in &snap.counters {
@@ -236,12 +248,20 @@ impl FleetAggregator {
                 }
             }
             for g in &snap.gauges {
-                match gauge_sums.iter_mut().find(|(n, _, _)| *n == g.name) {
-                    Some((_, sum, n)) => {
-                        *sum += g.value;
-                        *n += 1;
+                match gauge_accs.iter_mut().find(|a| a.name == g.name) {
+                    Some(a) => {
+                        a.weighted_sum += g.value * g.samples as f64;
+                        a.weight += g.samples;
+                        a.plain_sum += g.value;
+                        a.nodes += 1;
                     }
-                    None => gauge_sums.push((g.name.clone(), g.value, 1)),
+                    None => gauge_accs.push(GaugeAcc {
+                        name: g.name.clone(),
+                        weighted_sum: g.value * g.samples as f64,
+                        weight: g.samples,
+                        plain_sum: g.value,
+                        nodes: 1,
+                    }),
                 }
             }
             for h in &snap.histograms {
@@ -253,11 +273,16 @@ impl FleetAggregator {
         }
         counters.sort_by(|a, b| a.name.cmp(&b.name));
         histograms.sort_by(|a, b| a.name.cmp(&b.name));
-        let mut gauges: Vec<GaugeSample> = gauge_sums
+        let mut gauges: Vec<GaugeSample> = gauge_accs
             .into_iter()
-            .map(|(name, sum, n)| GaugeSample {
-                name,
-                value: sum / f64::from(n),
+            .map(|a| GaugeSample {
+                value: if a.weight > 0 {
+                    a.weighted_sum / a.weight as f64
+                } else {
+                    a.plain_sum / f64::from(a.nodes)
+                },
+                samples: a.weight,
+                name: a.name,
             })
             .collect();
         gauges.sort_by(|a, b| a.name.cmp(&b.name));
@@ -356,9 +381,44 @@ mod tests {
         assert_eq!(h.buckets.iter().sum::<u64>(), 5);
         // Fleet p99 reflects the slowest node's tail, not a per-node mean.
         assert!(h.p99 >= 8_000_000.0, "p99 {}", h.p99);
-        // Gauge averages: (0.5 + 1.0 + 4.5) / 3.
+        // Each helper snapshot sets its gauge exactly once, so the
+        // sample-weighted mean equals the plain mean: (0.5 + 1.0 + 4.5) / 3.
         let g = fleet.merged.gauge("rups_node_fix_error_m").unwrap();
         assert!((g - 2.0).abs() < 1e-9, "{g}");
+    }
+
+    #[test]
+    fn gauge_merge_weights_by_sample_count() {
+        let busy = Registry::new();
+        let g = busy.gauge("rups_node_fix_error_m");
+        for _ in 0..99 {
+            g.set(1.0); // a node reporting continuously at 1 m
+        }
+        g.set(1.0);
+        let quiet = Registry::new();
+        quiet.gauge("rups_node_fix_error_m").set(101.0); // one wild reading
+        let fleet = FleetAggregator::new()
+            .aggregate(&[(1, busy.snapshot()), (2, quiet.snapshot())])
+            .unwrap();
+        let merged = fleet
+            .merged
+            .gauges
+            .iter()
+            .find(|g| g.name == "rups_node_fix_error_m")
+            .unwrap();
+        // Weighted: (100·1 + 1·101) / 101 ≈ 1.99 — not the unweighted 51.
+        assert!((merged.value - 201.0 / 101.0).abs() < 1e-9, "{}", merged.value);
+        assert_eq!(merged.samples, 101, "merged weight sums node weights");
+        // All-zero weights (never-set gauges) degrade to the plain mean.
+        let a = Registry::new();
+        a.gauge("idle");
+        let b = Registry::new();
+        b.gauge("idle");
+        let fleet = FleetAggregator::new()
+            .aggregate(&[(1, a.snapshot()), (2, b.snapshot())])
+            .unwrap();
+        let idle = fleet.merged.gauges.iter().find(|g| g.name == "idle").unwrap();
+        assert_eq!((idle.value, idle.samples), (0.0, 0));
     }
 
     #[test]

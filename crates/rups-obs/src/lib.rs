@@ -14,6 +14,18 @@
 //!   [`MetricsSnapshot::to_prometheus`]) and supports
 //!   [`MetricsSnapshot::delta`] for per-epoch timelines.
 //!
+//! On top sits a "self-driving" layer that watches the telemetry stream
+//! itself:
+//!
+//! - [`DetectorBank`] — streaming robust detectors (EWMA z-score, CUSUM)
+//!   over per-window deltas, emitting typed [`Alarm`]s online.
+//! - [`diagnose`](mod@diagnose) — correlates an alarm across per-node snapshots and
+//!   span rings to localise the worst node and pipeline stage into a
+//!   [`DiagnosisReport`].
+//! - [`TailSampler`] — tail-based trace sampling under a measured
+//!   overhead budget: anomalous traces always commit, ordinary traces are
+//!   head-sampled, and the sampler sheds its own load when over budget.
+//!
 //! Metric names follow the convention `rups_<crate>_<subsystem>_<metric>`,
 //! with latency histograms suffixed `_ns` (see DESIGN.md § Observability).
 //!
@@ -38,16 +50,25 @@
 #![warn(missing_docs)]
 
 pub mod context;
+pub mod detect;
+pub mod diagnose;
 pub mod fleet;
 pub mod flight;
 pub mod hist;
 pub mod registry;
+pub mod sample;
 pub mod skew;
 pub mod slo;
 pub mod span;
 pub mod trace;
 
 pub use context::{TraceContext, CLOCK_ARG, TRACE_ARG, TRACE_CONTEXT_WIRE_BYTES};
+pub use detect::{
+    default_detectors, Alarm, DetectorBank, DetectorKind, DetectorSpec, Direction, ReadingKind,
+};
+pub use diagnose::{
+    diagnose, DiagnosisReport, ExemplarSpan, NodeWindow, Stage, StageScore, CLOCK_OFFSET_GAUGE,
+};
 pub use fleet::{
     check_fleet_rules, Criterion, CriterionKind, FleetAggregator, FleetSnapshot, NodeScore,
     WorstList,
@@ -64,10 +85,12 @@ pub use registry::{
     escape_help, escape_label_value, sanitize_metric_name, Counter, CounterSample, Gauge,
     GaugeSample, MetricsSnapshot, Registry,
 };
+pub use sample::{SampleConfig, SamplerStats, TailSampler, OVERHEAD_HELP};
 pub use skew::{ClockModel, SkewEstimator};
 pub use slo::{default_slos, evaluate_slos, SloKind, SloReport, SloSpec, SloVerdict};
 pub use span::{SpanArgs, SpanGuard, SpanRecord, SpanRecorder};
 pub use trace::{
-    chrome_trace, chrome_trace_tail, component_of, merged_chrome_trace, write_chrome_trace,
-    ChromeTrace, ChromeTraceEvent, NodeTrace,
+    chrome_trace, chrome_trace_tail, component_of, merged_chrome_trace,
+    merged_chrome_trace_bounded, write_chrome_trace, ChromeTrace, ChromeTraceEvent, MergeLimits,
+    NodeTrace,
 };

@@ -51,8 +51,16 @@ impl Counter {
 }
 
 /// A last-value-wins gauge holding an `f64`. Cloning shares the value.
+///
+/// Alongside the value the gauge counts how many times it has been set:
+/// fleet-level merges weight each node's reading by that sample count, so
+/// a node that reported once does not count as much as one that reported
+/// ten thousand times.
 #[derive(Clone, Debug, Default)]
-pub struct Gauge(Arc<AtomicU64>);
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+    sets: Arc<AtomicU64>,
+}
 
 impl Gauge {
     /// A standalone (unregistered) gauge.
@@ -60,16 +68,23 @@ impl Gauge {
         Self::default()
     }
 
-    /// Sets the value.
+    /// Sets the value (and counts the observation).
     #[inline]
     pub fn set(&self, v: f64) {
-        self.0.store(v.to_bits(), Relaxed);
+        self.bits.store(v.to_bits(), Relaxed);
+        self.sets.fetch_add(1, Relaxed);
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> f64 {
-        f64::from_bits(self.0.load(Relaxed))
+        f64::from_bits(self.bits.load(Relaxed))
+    }
+
+    /// How many times [`set`](Self::set) has been called.
+    #[inline]
+    pub fn samples(&self) -> u64 {
+        self.sets.load(Relaxed)
     }
 }
 
@@ -169,6 +184,7 @@ impl Registry {
             .map(|(n, g)| GaugeSample {
                 name: n.clone(),
                 value: g.get(),
+                samples: g.samples(),
             })
             .collect();
         gauges.sort_by(|a, b| a.name.cmp(&b.name));
@@ -199,6 +215,9 @@ pub struct GaugeSample {
     pub name: String,
     /// Value at snapshot time.
     pub value: f64,
+    /// How many times the gauge had been set at snapshot time (the merge
+    /// weight for fleet-level aggregation).
+    pub samples: u64,
 }
 
 /// A point-in-time copy of a whole [`Registry`]: the unit every exporter
@@ -474,12 +493,21 @@ mod tests {
     }
 
     #[test]
-    fn gauges_hold_last_value() {
+    fn gauges_hold_last_value_and_count_sets() {
         let reg = Registry::new();
         let g = reg.gauge("rups_test_gauge");
         g.set(2.5);
         g.set(-1.25);
-        assert_eq!(reg.snapshot().gauge("rups_test_gauge"), Some(-1.25));
+        assert_eq!(g.samples(), 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("rups_test_gauge"), Some(-1.25));
+        let sample = snap.gauges.iter().find(|g| g.name == "rups_test_gauge");
+        assert_eq!(sample.map(|g| g.samples), Some(2));
+        // A registered-but-never-set gauge reports zero weight.
+        reg.gauge("rups_unset");
+        let snap = reg.snapshot();
+        let unset = snap.gauges.iter().find(|g| g.name == "rups_unset").unwrap();
+        assert_eq!((unset.value, unset.samples), (0.0, 0));
     }
 
     #[test]

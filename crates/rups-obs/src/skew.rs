@@ -242,4 +242,73 @@ mod tests {
         assert!(est.is_empty());
         assert_eq!(est.estimate(), ClockModel::IDENTITY);
     }
+
+    #[test]
+    fn fewer_than_two_fenceposts_never_fit_a_rate() {
+        // Zero fenceposts: identity, not a panic.
+        assert_eq!(SkewEstimator::new().estimate(), ClockModel::IDENTITY);
+        // One fencepost: pure phase, zero drift — whatever the magnitudes.
+        for (local, fleet) in [(0.0, 0.0), (1e18, -1e18), (-5.0, 7.0)] {
+            let mut est = SkewEstimator::new();
+            est.observe(local, fleet);
+            let got = est.estimate();
+            assert_eq!(got.drift_ppm, 0.0, "({local}, {fleet})");
+            assert_eq!(got.offset_ns, local - fleet, "({local}, {fleet})");
+            assert!(got.to_fleet_ns(local).is_finite());
+        }
+    }
+
+    #[test]
+    fn many_identical_timestamps_fall_back_to_median_phase() {
+        // A stalled local clock: hundreds of observations, zero spread in
+        // local time. The rate fit would divide by ~0 variance; the
+        // estimator must take the median-phase path instead.
+        let mut est = SkewEstimator::new();
+        for k in 0..300 {
+            est.observe(7e9, 4e9 + (k % 3) as f64); // offsets 3e9−{0,1,2}
+        }
+        let got = est.estimate();
+        assert_eq!(got.drift_ppm, 0.0);
+        assert!((got.offset_ns - (3e9 - 1.0)).abs() <= 1.0, "{}", got.offset_ns);
+        // And the model still round-trips finitely.
+        assert!(got.to_local_ns(got.to_fleet_ns(7e9)).is_finite());
+    }
+
+    #[test]
+    fn non_finite_offsets_mixed_into_finite_sets_cannot_poison_the_median() {
+        // NaN/±inf arrive interleaved with good fenceposts; observe()
+        // drops them, so the median sort's partial_cmp never sees a NaN
+        // and the estimate stays finite.
+        let mut est = SkewEstimator::new();
+        for k in 0..5 {
+            est.observe(f64::NAN, k as f64);
+            est.observe(k as f64 * 1e9, f64::NEG_INFINITY);
+            est.observe(1e9, 2e9 - k as f64); // genuine: offsets ≈ −1e9
+        }
+        assert_eq!(est.len(), 5, "only the finite pairs count");
+        let got = est.estimate();
+        assert_eq!(got.drift_ppm, 0.0, "zero local spread → phase only");
+        assert!(got.offset_ns.is_finite());
+        assert!((got.offset_ns - (-1e9 + 2.0)).abs() <= 2.5, "{}", got.offset_ns);
+    }
+
+    #[test]
+    fn near_degenerate_spread_uses_phase_not_an_exploding_rate() {
+        // Two fenceposts separated by well under the variance floor: a
+        // naive fit would extrapolate an absurd drift from float noise.
+        let mut est = SkewEstimator::new();
+        est.observe(1e9, 2e9);
+        est.observe(1e9 + 1e-3, 2e9 + 5e8);
+        let got = est.estimate();
+        assert_eq!(got.drift_ppm, 0.0);
+        assert!(got.offset_ns.is_finite());
+        // An estimate that DOES clear the floor but implies the local
+        // clock running backwards also falls back (the |b| ≥ 0.5 guard).
+        let mut est = SkewEstimator::new();
+        est.observe(0.0, 0.0);
+        est.observe(1.0, 10.0);
+        let got = est.estimate();
+        assert_eq!(got.drift_ppm, 0.0, "impossible rate rejected");
+        assert_eq!(got.offset_ns, -4.5, "median of {{0, -9}} offsets");
+    }
 }

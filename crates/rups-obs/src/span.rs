@@ -228,6 +228,46 @@ impl SpanRecorder {
         }
     }
 
+    /// The records written since a previous
+    /// [`recorded_total`](Self::recorded_total) watermark, oldest first, plus the new
+    /// watermark to pass next time. Records that already fell off the ring
+    /// (more than `capacity` writes since the watermark) are lost — the
+    /// returned watermark still advances past them, so a slow reader skips
+    /// rather than stalls. `(watermark, empty)` without the `obs` feature.
+    ///
+    /// This is the feed for batch consumers such as
+    /// [`TailSampler::ingest`](crate::TailSampler::ingest): poll it
+    /// between epochs and hand the batch over, without adding anything to
+    /// the record hot path.
+    pub fn take_since(&self, watermark: u64) -> (u64, Vec<SpanRecord>) {
+        #[cfg(feature = "obs")]
+        {
+            let ring = self.ring.lock().expect("span ring poisoned");
+            let new = ring.total.saturating_sub(watermark);
+            let avail = (new as usize).min(ring.slots.len());
+            if avail == 0 {
+                return (ring.total, Vec::new());
+            }
+            // Oldest-first view of the ring, then its `avail`-record tail.
+            let mut out = Vec::with_capacity(avail);
+            if ring.slots.len() < self.capacity {
+                out.extend_from_slice(&ring.slots[ring.slots.len() - avail..]);
+            } else {
+                let ordered: Vec<SpanRecord> = ring.slots[ring.next..]
+                    .iter()
+                    .chain(ring.slots[..ring.next].iter())
+                    .copied()
+                    .collect();
+                out.extend_from_slice(&ordered[ordered.len() - avail..]);
+            }
+            (ring.total, out)
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            (watermark, Vec::new())
+        }
+    }
+
     #[cfg(feature = "obs")]
     fn push(&self, record: SpanRecord) {
         let mut ring = self.ring.lock().expect("span ring poisoned");
@@ -398,6 +438,34 @@ mod tests {
         assert_eq!(got[0].args.len(), 2);
         assert_eq!(got[1].args.get("window_len_m"), Some(85));
         assert_eq!(got[1].args.get("missing"), None);
+    }
+
+    #[test]
+    fn take_since_reads_incrementally_and_skips_overwritten() {
+        let rec = SpanRecorder::new(4);
+        rec.event("a");
+        rec.event("b");
+        let (mark, batch) = rec.take_since(0);
+        assert_eq!(mark, 2);
+        assert_eq!(
+            batch.iter().map(|r| r.name).collect::<Vec<_>>(),
+            ["a", "b"]
+        );
+        // Nothing new: empty batch, watermark unchanged.
+        let (mark2, batch2) = rec.take_since(mark);
+        assert_eq!((mark2, batch2.len()), (2, 0));
+        // Write past capacity since the watermark: the lost records are
+        // skipped, only the retained tail comes back.
+        for name in ["c", "d", "e", "f", "g"] {
+            rec.event(name);
+        }
+        let (mark3, batch3) = rec.take_since(mark);
+        assert_eq!(mark3, 7);
+        assert_eq!(
+            batch3.iter().map(|r| r.name).collect::<Vec<_>>(),
+            ["d", "e", "f", "g"],
+            "capacity bounds the catch-up"
+        );
     }
 
     #[test]

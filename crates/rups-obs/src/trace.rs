@@ -159,6 +159,45 @@ impl NodeTrace {
     }
 }
 
+/// Output bounds for [`merged_chrome_trace_bounded`]: a fleet merge pulls
+/// from N rings whose capacity the merging side does not control, so the
+/// exporter caps what any one node can contribute — a pathological ring
+/// (or a hostile process name) must not be able to produce an unloadable
+/// multi-GB trace file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergeLimits {
+    /// Newest records kept per node; older ones are dropped.
+    pub max_spans_per_node: usize,
+    /// Longest process-name string emitted, in characters; longer names
+    /// are truncated with a `…` marker.
+    pub max_name_chars: usize,
+}
+
+impl Default for MergeLimits {
+    /// Generous defaults: 64 Ki spans per node (a few MB of JSON each at
+    /// most) and 256-character process names.
+    fn default() -> Self {
+        MergeLimits {
+            max_spans_per_node: 65_536,
+            max_name_chars: 256,
+        }
+    }
+}
+
+/// Truncates to at most `max_chars` characters (on a char boundary),
+/// appending `…` when anything was cut.
+fn truncate_chars(s: &str, max_chars: usize) -> String {
+    match s.char_indices().nth(max_chars) {
+        None => s.to_string(),
+        Some((byte, _)) => {
+            let mut out = String::with_capacity(byte + 3);
+            out.push_str(&s[..byte]);
+            out.push('…');
+            out
+        }
+    }
+}
+
 /// Renders N per-node span rings into one multi-process Chrome trace:
 /// every node becomes its own process (`pid` = vehicle id, named by a
 /// `process_name` metadata event), components become per-process threads,
@@ -167,10 +206,27 @@ impl NodeTrace {
 /// arg minted by [`TraceContext`](crate::TraceContext)) reads as a single
 /// left-to-right chain across vehicles. Span events are sorted by aligned
 /// timestamp; aligned times before the fleet origin clamp to 0.
+///
+/// Equivalent to [`merged_chrome_trace_bounded`] with
+/// [`MergeLimits::default`].
 pub fn merged_chrome_trace(nodes: &[NodeTrace]) -> ChromeTrace {
+    merged_chrome_trace_bounded(nodes, MergeLimits::default())
+}
+
+/// [`merged_chrome_trace`] under explicit output bounds: each node
+/// contributes at most `limits.max_spans_per_node` of its *newest*
+/// records, and process names longer than `limits.max_name_chars` are
+/// truncated — so output size is `O(nodes × max_spans_per_node)` no
+/// matter what the rings hold.
+pub fn merged_chrome_trace_bounded(nodes: &[NodeTrace], limits: MergeLimits) -> ChromeTrace {
     let mut meta = Vec::new();
     let mut spans = Vec::new();
     for node in nodes {
+        let tail_at = node
+            .records
+            .len()
+            .saturating_sub(limits.max_spans_per_node.max(1));
+        let records = &node.records[tail_at..];
         meta.push(ChromeTraceEvent {
             name: "process_name".into(),
             cat: "__metadata".into(),
@@ -180,10 +236,12 @@ pub fn merged_chrome_trace(nodes: &[NodeTrace]) -> ChromeTrace {
             pid: node.pid,
             tid: 0,
             s: String::new(),
-            args: Value::Map(vec![("name".into(), Value::Str(node.name.clone()))]),
+            args: Value::Map(vec![(
+                "name".into(),
+                Value::Str(truncate_chars(&node.name, limits.max_name_chars.max(1))),
+            )]),
         });
-        let mut components: Vec<&str> =
-            node.records.iter().map(|r| component_of(r.name)).collect();
+        let mut components: Vec<&str> = records.iter().map(|r| component_of(r.name)).collect();
         components.sort_unstable();
         components.dedup();
         for (i, c) in components.iter().enumerate() {
@@ -199,7 +257,7 @@ pub fn merged_chrome_trace(nodes: &[NodeTrace]) -> ChromeTrace {
                 args: Value::Map(vec![("name".into(), Value::Str((*c).into()))]),
             });
         }
-        for r in &node.records {
+        for r in records {
             let instant = r.dur_ns == 0;
             let c = component_of(r.name);
             let tid = components.iter().position(|&x| x == c).unwrap_or(0) as u64 + 1;
@@ -441,6 +499,69 @@ mod tests {
         let trace = merged_chrome_trace(&[n]);
         let e = trace.span_events().next().unwrap();
         assert_eq!(e.ts, 0.0);
+    }
+
+    #[test]
+    fn bounded_merge_caps_per_node_spans_and_truncates_names() {
+        // A pathological node: a huge ring and a pathological name.
+        let records: Vec<SpanRecord> = (0..10_000)
+            .map(|i| SpanRecord {
+                name: "engine.query",
+                start_ns: i,
+                dur_ns: 1,
+                args: SpanArgs::new(),
+            })
+            .collect();
+        let long_name: String = "véhicule ".repeat(200); // multi-byte chars
+        let nodes = vec![
+            NodeTrace::new(1, long_name.clone(), records),
+            NodeTrace::new(
+                2,
+                "v2",
+                vec![SpanRecord {
+                    name: "inbox.validate",
+                    start_ns: 99_999,
+                    dur_ns: 1,
+                    args: SpanArgs::new(),
+                }],
+            ),
+        ];
+        let limits = MergeLimits {
+            max_spans_per_node: 100,
+            max_name_chars: 16,
+        };
+        let trace = merged_chrome_trace_bounded(&nodes, limits);
+        let node1_spans = trace.span_events().filter(|e| e.pid == 1).count();
+        assert_eq!(node1_spans, 100, "per-node cap holds");
+        // The cap keeps the NEWEST records.
+        let max_ts = trace
+            .span_events()
+            .filter(|e| e.pid == 1)
+            .map(|e| e.ts)
+            .fold(0.0f64, f64::max);
+        assert!((max_ts - 9_999.0 / 1_000.0).abs() < 1e-9, "{max_ts}");
+        // The other node is untouched.
+        assert_eq!(trace.span_events().filter(|e| e.pid == 2).count(), 1);
+        // The process name is truncated on a char boundary with a marker.
+        let proc1 = trace
+            .traceEvents
+            .iter()
+            .find(|e| e.name == "process_name" && e.pid == 1)
+            .unwrap();
+        let Value::Map(kv) = &proc1.args else {
+            panic!("process_name args must be a map");
+        };
+        let name = kv
+            .iter()
+            .find(|(k, _)| k == "name")
+            .and_then(|(_, v)| v.as_str())
+            .unwrap();
+        assert_eq!(name.chars().count(), 17, "16 chars + ellipsis: {name:?}");
+        assert!(name.ends_with('…'));
+        assert!(long_name.starts_with(name.trim_end_matches('…')));
+        // The default path keeps small traces intact.
+        let small = merged_chrome_trace(&nodes[1..]);
+        assert_eq!(small.span_events().count(), 1);
     }
 
     #[test]

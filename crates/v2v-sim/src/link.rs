@@ -116,7 +116,13 @@ struct Inner {
     /// Per-receiver Gilbert–Elliott channel state.
     states: Mutex<HashMap<u64, ChannelState>>,
     cfg: WsmConfig,
-    faults: FaultConfig,
+    /// Link-wide fault model; mutable at runtime via
+    /// [`V2vLink::set_faults`] so harnesses can stage degradations
+    /// mid-scenario.
+    faults: Mutex<FaultConfig>,
+    /// Per-receiver fault overrides (targeted degradations), keyed by
+    /// receiver node id; a receiver with no entry uses the link-wide model.
+    overrides: Mutex<HashMap<u64, FaultConfig>>,
     seq: AtomicU64,
     seed: u64,
     registry: Arc<Registry>,
@@ -193,7 +199,8 @@ impl V2vLink {
                 peers: Mutex::new(HashMap::new()),
                 states: Mutex::new(HashMap::new()),
                 cfg: WsmConfig::default(),
-                faults,
+                faults: Mutex::new(faults),
+                overrides: Mutex::new(HashMap::new()),
                 seq: AtomicU64::new(0),
                 seed,
                 registry,
@@ -216,9 +223,46 @@ impl V2vLink {
         self
     }
 
-    /// The active fault configuration.
-    pub fn faults(&self) -> &FaultConfig {
-        &self.inner.faults
+    /// The active link-wide fault configuration.
+    pub fn faults(&self) -> FaultConfig {
+        *self.inner.faults.lock()
+    }
+
+    /// Replaces the link-wide fault model mid-run. Messages already in
+    /// flight are unaffected; the next broadcast sees the new model.
+    /// Gilbert–Elliott channel states persist across the swap.
+    ///
+    /// # Errors
+    /// Returns the validation message when the configuration is invalid
+    /// (the active model is left unchanged).
+    pub fn set_faults(&self, faults: FaultConfig) -> Result<(), String> {
+        faults.validate()?;
+        *self.inner.faults.lock() = faults;
+        Ok(())
+    }
+
+    /// Installs (or with `None` clears) a fault override for one receiver,
+    /// leaving every other receiver on the link-wide model — a targeted
+    /// degradation, e.g. burst loss towards a single vehicle.
+    ///
+    /// # Errors
+    /// Returns the validation message when the configuration is invalid
+    /// (existing overrides are left unchanged).
+    pub fn set_receiver_faults(
+        &self,
+        id: u64,
+        faults: Option<FaultConfig>,
+    ) -> Result<(), String> {
+        match faults {
+            Some(f) => {
+                f.validate()?;
+                self.inner.overrides.lock().insert(id, f);
+            }
+            None => {
+                self.inner.overrides.lock().remove(&id);
+            }
+        }
+        Ok(())
     }
 
     /// The metrics registry this link records into.
@@ -266,13 +310,13 @@ impl V2vLink {
     /// delivery; returns the possibly-damaged payload.
     fn damage_payload(
         &self,
+        f: &FaultConfig,
         payload: &Bytes,
         msg_seq: u64,
         id: u64,
         copy: u64,
         trace: Option<TraceContext>,
     ) -> Bytes {
-        let f = &self.inner.faults;
         let stats = &self.inner.stats;
         let mut damaged: Option<Vec<u8>> = None;
         if !payload.is_empty() && draw(self.inner.seed, msg_seq, id, 0x71 ^ copy) < f.truncate {
@@ -321,7 +365,7 @@ impl V2vLink {
         let latency = exchange_time_s(payload.len(), &self.inner.cfg);
         let arrival_s = now_s + latency;
         let msg_seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
-        let f = &self.inner.faults;
+        let base = *self.inner.faults.lock();
         let stats = &self.inner.stats;
         stats.payload_bytes.record(payload.len() as u64);
         let peers = self.inner.peers.lock();
@@ -329,6 +373,13 @@ impl V2vLink {
             if id == from {
                 continue;
             }
+            let f = &self
+                .inner
+                .overrides
+                .lock()
+                .get(&id)
+                .copied()
+                .unwrap_or(base);
             stats.offered.inc();
 
             // Advance this receiver's Gilbert–Elliott chain one step, then
@@ -378,7 +429,7 @@ impl V2vLink {
                         }
                     }
                 }
-                let body = self.damage_payload(&payload, msg_seq, id, copy, trace);
+                let body = self.damage_payload(f, &payload, msg_seq, id, copy, trace);
                 if copy > 0 {
                     stats.duplicated.inc();
                     if let Some(s) = &self.inner.spans {
@@ -703,6 +754,63 @@ mod tests {
             assert!(names.contains(&"link.duplicate"));
             assert!(names.contains(&"link.truncate"));
         }
+    }
+
+    #[test]
+    fn set_faults_swaps_the_model_mid_run() {
+        let link = V2vLink::with_faults(FaultConfig::ideal(), 21);
+        let a = link.join(1);
+        let b = link.join(2);
+        for i in 0..100 {
+            a.broadcast(i as f64, Bytes::from_static(b"x"));
+        }
+        assert_eq!(b.poll_until(1e9).len(), 100, "ideal phase is lossless");
+        // Stage a total blackout, then recover.
+        link.set_faults(FaultConfig::iid_loss(1.0)).unwrap();
+        assert_eq!(link.faults().loss_good, 1.0);
+        for i in 100..200 {
+            a.broadcast(i as f64, Bytes::from_static(b"x"));
+        }
+        assert!(b.poll_until(1e9).is_empty(), "blackout phase drops all");
+        link.set_faults(FaultConfig::ideal()).unwrap();
+        for i in 200..300 {
+            a.broadcast(i as f64, Bytes::from_static(b"x"));
+        }
+        assert_eq!(b.poll_until(1e9).len(), 100, "recovery is lossless");
+        // An invalid swap is rejected and leaves the model untouched.
+        let bad = FaultConfig {
+            corrupt: 2.0,
+            ..FaultConfig::ideal()
+        };
+        assert!(link.set_faults(bad).is_err());
+        assert_eq!(link.faults(), FaultConfig::ideal());
+    }
+
+    #[test]
+    fn receiver_override_targets_one_node() {
+        let link = V2vLink::with_faults(FaultConfig::ideal(), 8);
+        let a = link.join(1);
+        let b = link.join(2);
+        let c = link.join(3);
+        link.set_receiver_faults(2, Some(FaultConfig::iid_loss(1.0)))
+            .unwrap();
+        for i in 0..80 {
+            a.broadcast(i as f64, Bytes::from_static(b"x"));
+        }
+        assert!(b.poll_until(1e9).is_empty(), "targeted node hears nothing");
+        assert_eq!(c.poll_until(1e9).len(), 80, "bystander unaffected");
+        // Clearing the override restores the link-wide model.
+        link.set_receiver_faults(2, None).unwrap();
+        for i in 80..120 {
+            a.broadcast(i as f64, Bytes::from_static(b"x"));
+        }
+        assert_eq!(b.poll_until(1e9).len(), 40);
+        assert!(link
+            .set_receiver_faults(2, Some(FaultConfig {
+                truncate: -1.0,
+                ..FaultConfig::ideal()
+            }))
+            .is_err());
     }
 
     #[test]
