@@ -2,13 +2,15 @@
 //! and compares each against its committed baseline.
 //!
 //! ```text
-//! bench_gate [--bench syn_batch|syn_kernels|all] [--baseline <path>]
+//! bench_gate [--bench syn_batch|syn_kernels|fleet|all] [--baseline <path>]
 //!            [--out <path>] [--tolerance <frac>] [--samples <n>]
 //! ```
 //!
-//! Two workloads are gated: `syn_batch` (end-to-end batched vs naive
-//! fixes, including the engine cache rates) and `syn_kernels` (per-kernel
-//! nanoseconds on the SYN hot path). Defaults: both benches, committed
+//! Three workloads are gated: `syn_batch` (end-to-end batched vs naive
+//! fixes, including the engine cache rates), `syn_kernels` (per-kernel
+//! nanoseconds on the SYN hot path) and `fleet` (one sharded fleet epoch
+//! at 1 and 4 workers plus the cell-index microbenches). Defaults: all
+//! benches, committed
 //! baselines `results/BENCH_<bench>.json`, verdicts next to them as
 //! `results/BENCH_<bench>.verdict.json`, tolerance from
 //! `RUPS_BENCH_TOLERANCE` (falling back to the library default of 0.35 —
@@ -21,7 +23,7 @@
 //! written either way, so CI can upload them as artifacts.
 
 use rups_bench::baseline::{self, Baseline, CompareConfig};
-use rups_bench::{syn_batch, syn_kernels};
+use rups_bench::{fleet, syn_batch, syn_kernels};
 use std::process::ExitCode;
 
 struct Args {
@@ -107,9 +109,10 @@ fn main() -> ExitCode {
     let args = parse_args();
     let run_batch = matches!(args.bench.as_str(), "all" | "syn_batch");
     let run_kernels = matches!(args.bench.as_str(), "all" | "syn_kernels");
+    let run_fleet = matches!(args.bench.as_str(), "all" | "fleet");
     assert!(
-        run_batch || run_kernels,
-        "--bench must be syn_batch, syn_kernels, or all (got {})",
+        run_batch || run_kernels || run_fleet,
+        "--bench must be syn_batch, syn_kernels, fleet, or all (got {})",
         args.bench
     );
     assert!(
@@ -122,6 +125,9 @@ fn main() -> ExitCode {
     }
     if run_kernels {
         pass &= gate_one("syn_kernels", syn_kernels::measure(args.samples), &args);
+    }
+    if run_fleet {
+        pass &= gate_one("fleet", fleet::measure(args.samples), &args);
     }
     if pass {
         ExitCode::SUCCESS

@@ -4,7 +4,8 @@
 //! evaluate [--quick] [--json DIR] [FIGURE ...]
 //!
 //!   FIGURE   any of: fig1 fig2 fig3 fig4 sec5a sec5b fig9 fig10 fig11 fig12
-//!            ext-diagnosis ext-faults ext-fleet-observability ext-fpr
+//!            ext-diagnosis ext-faults ext-fleet-observability
+//!            ext-fleet-scale ext-fpr
 //!            ext-fusion ext-multiband ext-observability ext-pedestrian
 //!            ext-scalability abl-window abl-channels
 //!            abl-interp   (default: all)
@@ -46,7 +47,7 @@ fn parse_args() -> Args {
                     "usage: evaluate [--quick] [--json DIR] [FIGURE ...]\n\
                      figures: fig1 fig2 fig3 fig4 sec5a sec5b fig9 fig10 fig11 fig12 \
                               ext-diagnosis ext-faults ext-fleet-observability \
-                              ext-fpr ext-fusion \
+                              ext-fleet-scale ext-fpr ext-fusion \
                               ext-multiband ext-observability \
                               ext-pedestrian ext-scalability \
                               abl-window abl-channels abl-interp"
@@ -162,6 +163,14 @@ fn run_figure(id: &str, quick: bool, scale: EvalScale) -> Figure {
             };
             figures::ext_fleet_observability::run(&p)
         }
+        "ext-fleet-scale" => {
+            let p = if quick {
+                figures::ext_fleet_scale::quick_params()
+            } else {
+                figures::ext_fleet_scale::Params::default()
+            };
+            figures::ext_fleet_scale::run(&p)
+        }
         "ext-observability" => {
             let p = if quick {
                 figures::ext_observability::quick_params()
@@ -201,7 +210,7 @@ fn run_figure(id: &str, quick: bool, scale: EvalScale) -> Figure {
     }
 }
 
-const ALL_FIGURES: [&str; 22] = [
+const ALL_FIGURES: [&str; 23] = [
     "fig1",
     "fig2",
     "fig3",
@@ -215,6 +224,7 @@ const ALL_FIGURES: [&str; 22] = [
     "ext-diagnosis",
     "ext-faults",
     "ext-fleet-observability",
+    "ext-fleet-scale",
     "ext-fpr",
     "ext-fusion",
     "ext-multiband",

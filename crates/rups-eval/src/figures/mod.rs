@@ -23,6 +23,8 @@
 //!   window (quantifies the §V-C claim)
 //! * [`ext_fleet_observability`] — fleet-wide distributed tracing, metrics
 //!   aggregation and SLO evaluation over a 6-vehicle faulted convoy
+//! * [`ext_fleet_scale`] — sharded many-vehicle serving throughput: halo
+//!   pair workload vs the quadratic bound and worker-scaling curves
 //! * [`ext_fusion`] — cooperative fix-graph fusion in an n-vehicle convoy:
 //!   fused vs best-pairwise error and pair coverage under channel faults
 //! * [`ext_multiband`] — FM-band fingerprint fusion (§VII future work)
@@ -41,6 +43,7 @@ pub mod cost;
 pub mod ext_diagnosis;
 pub mod ext_faults;
 pub mod ext_fleet_observability;
+pub mod ext_fleet_scale;
 pub mod ext_fpr;
 pub mod ext_fusion;
 pub mod ext_multiband;

@@ -1,0 +1,335 @@
+//! Uniform-grid cell index over vehicle plan positions.
+//!
+//! City-scale pair enumeration must stay sub-quadratic: matching every
+//! vehicle against every other is `O(n²)` per epoch and dies long before
+//! "millions of urban vehicles". The index buckets vehicles into square
+//! cells of side [`CellIndex::cell_m`] and restricts neighbour candidates
+//! to the 3×3 adjacent-cell halo around a vehicle's own cell — the same
+//! interacting-pair sampling insight the pNEUMA DriverSpaceInference
+//! pipeline uses to keep city-scale pair extraction tractable.
+//!
+//! Guarantee: as long as the query radius does not exceed the cell side,
+//! every vehicle within the radius lies inside the halo (a disc of radius
+//! `r ≤ cell_m` around any point of a cell is covered by that cell's 3×3
+//! block). The property tests in `tests/cell_properties.rs` check this
+//! against a brute-force `O(n²)` scan, including positions exactly on
+//! cell boundaries and at negative coordinates.
+//!
+//! Re-bucketing is incremental: [`CellIndex::update`] moves a vehicle
+//! between cells only when its cell coordinate actually changed, so a
+//! fleet of slow-moving vehicles costs near-zero index maintenance per
+//! epoch. All iteration orders are deterministic (`BTreeMap` + sorted
+//! member vectors), which the epoch scheduler's determinism argument
+//! relies on.
+
+use std::collections::BTreeMap;
+
+/// Integer cell coordinate (floor division, so negative positions land in
+/// the correct cell rather than being truncated toward zero).
+pub type CellCoord = (i64, i64);
+
+/// Cumulative maintenance counters, for experiment reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellStats {
+    /// Calls to [`CellIndex::update`].
+    pub updates: u64,
+    /// Updates that actually moved a vehicle between cells.
+    pub moves: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Home {
+    cell: CellCoord,
+    pos: (f64, f64),
+}
+
+/// Uniform-grid spatial index mapping vehicle ids to cells.
+#[derive(Debug, Clone)]
+pub struct CellIndex {
+    cell_m: f64,
+    /// Cell → sorted member ids. Cells are removed when they empty, so
+    /// iteration only ever visits occupied cells.
+    cells: BTreeMap<CellCoord, Vec<u64>>,
+    homes: BTreeMap<u64, Home>,
+    stats: CellStats,
+}
+
+impl CellIndex {
+    /// An empty index with square cells of side `cell_m` metres.
+    ///
+    /// # Panics
+    /// Panics unless `cell_m` is finite and positive.
+    pub fn new(cell_m: f64) -> Self {
+        assert!(
+            cell_m.is_finite() && cell_m > 0.0,
+            "cell side must be finite and positive, got {cell_m}"
+        );
+        CellIndex {
+            cell_m,
+            cells: BTreeMap::new(),
+            homes: BTreeMap::new(),
+            stats: CellStats::default(),
+        }
+    }
+
+    /// The cell side, metres.
+    pub fn cell_m(&self) -> f64 {
+        self.cell_m
+    }
+
+    /// Number of indexed vehicles.
+    pub fn len(&self) -> usize {
+        self.homes.len()
+    }
+
+    /// True when no vehicle is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.homes.is_empty()
+    }
+
+    /// Number of occupied cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Cumulative maintenance counters.
+    pub fn stats(&self) -> CellStats {
+        self.stats
+    }
+
+    /// The cell coordinate of a plan position.
+    pub fn cell_of(&self, pos: (f64, f64)) -> CellCoord {
+        (
+            (pos.0 / self.cell_m).floor() as i64,
+            (pos.1 / self.cell_m).floor() as i64,
+        )
+    }
+
+    /// True when any vehicle occupies `cell`.
+    pub fn cell_is_occupied(&self, cell: CellCoord) -> bool {
+        self.cells.contains_key(&cell)
+    }
+
+    /// The cell a vehicle currently occupies, if indexed.
+    pub fn home_cell(&self, id: u64) -> Option<CellCoord> {
+        self.homes.get(&id).map(|h| h.cell)
+    }
+
+    /// The last position recorded for a vehicle, if indexed.
+    pub fn position(&self, id: u64) -> Option<(f64, f64)> {
+        self.homes.get(&id).map(|h| h.pos)
+    }
+
+    /// Inserts or repositions a vehicle; returns `true` when the vehicle
+    /// changed cell (including first insertion), i.e. when shard ownership
+    /// may need re-evaluating.
+    pub fn update(&mut self, id: u64, pos: (f64, f64)) -> bool {
+        self.stats.updates += 1;
+        let cell = self.cell_of(pos);
+        match self.homes.get_mut(&id) {
+            Some(home) if home.cell == cell => {
+                home.pos = pos;
+                false
+            }
+            Some(home) => {
+                let old = home.cell;
+                home.cell = cell;
+                home.pos = pos;
+                Self::remove_member(&mut self.cells, old, id);
+                Self::insert_member(&mut self.cells, cell, id);
+                self.stats.moves += 1;
+                true
+            }
+            None => {
+                self.homes.insert(id, Home { cell, pos });
+                Self::insert_member(&mut self.cells, cell, id);
+                self.stats.moves += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes a vehicle from the index (no-op when absent).
+    pub fn remove(&mut self, id: u64) {
+        if let Some(home) = self.homes.remove(&id) {
+            Self::remove_member(&mut self.cells, home.cell, id);
+        }
+    }
+
+    fn insert_member(cells: &mut BTreeMap<CellCoord, Vec<u64>>, cell: CellCoord, id: u64) {
+        let members = cells.entry(cell).or_default();
+        let at = members.partition_point(|&m| m < id);
+        members.insert(at, id);
+    }
+
+    fn remove_member(cells: &mut BTreeMap<CellCoord, Vec<u64>>, cell: CellCoord, id: u64) {
+        if let Some(members) = cells.get_mut(&cell) {
+            if let Ok(at) = members.binary_search(&id) {
+                members.remove(at);
+            }
+            if members.is_empty() {
+                cells.remove(&cell);
+            }
+        }
+    }
+
+    /// Every vehicle in the 3×3 halo of cells around `cell`, in
+    /// deterministic (cell row-major, then id) order.
+    pub fn halo_members(&self, cell: CellCoord) -> impl Iterator<Item = u64> + '_ {
+        let (cx, cy) = cell;
+        (-1..=1).flat_map(move |dx: i64| {
+            (-1..=1).flat_map(move |dy: i64| {
+                self.cells
+                    .get(&(cx + dx, cy + dy))
+                    .into_iter()
+                    .flatten()
+                    .copied()
+            })
+        })
+    }
+
+    /// Neighbour candidates of an indexed vehicle: every *other* vehicle
+    /// in its 3×3 halo, deterministic order. Returns an empty vector for
+    /// unindexed ids.
+    pub fn halo_candidates(&self, id: u64) -> Vec<u64> {
+        match self.homes.get(&id) {
+            None => Vec::new(),
+            Some(home) => self.halo_members(home.cell).filter(|&m| m != id).collect(),
+        }
+    }
+
+    /// Neighbours of `id` within Euclidean `radius_m`, ascending by id.
+    /// Sub-quadratic: only halo candidates are distance-tested.
+    ///
+    /// # Panics
+    /// Panics when `radius_m` exceeds the cell side — the 3×3 halo only
+    /// covers a disc of radius ≤ `cell_m`, so a larger radius would
+    /// silently miss neighbours.
+    pub fn neighbours_within(&self, id: u64, radius_m: f64) -> Vec<u64> {
+        assert!(
+            radius_m <= self.cell_m,
+            "query radius {radius_m} exceeds cell side {} — halo coverage would be incomplete",
+            self.cell_m
+        );
+        let Some(home) = self.homes.get(&id) else {
+            return Vec::new();
+        };
+        let r2 = radius_m * radius_m;
+        let mut out: Vec<u64> = self
+            .halo_members(home.cell)
+            .filter(|&m| {
+                if m == id {
+                    return false;
+                }
+                let p = self.homes[&m].pos;
+                let (dx, dy) = (p.0 - home.pos.0, p.1 - home.pos.1);
+                dx * dx + dy * dy <= r2
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Ids of all indexed vehicles, ascending.
+    pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.homes.keys().copied()
+    }
+
+    /// Total ordered halo candidate count over the whole fleet — the
+    /// per-epoch candidate workload the sharded layer actually enumerates
+    /// (each unordered pair contributes twice). Compare against
+    /// `n·(n−1)` to quantify the sub-quadratic saving.
+    pub fn candidate_count(&self) -> usize {
+        self.cells
+            .keys()
+            .map(|&cell| {
+                let own = self.cells[&cell].len();
+                let halo: usize = self.halo_members(cell).count();
+                own * (halo - 1)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_is_incremental() {
+        let mut idx = CellIndex::new(100.0);
+        assert!(idx.update(1, (10.0, 10.0)), "first insert changes cell");
+        assert!(!idx.update(1, (90.0, 90.0)), "same cell: no move");
+        assert_eq!(
+            idx.stats(),
+            CellStats {
+                updates: 2,
+                moves: 1
+            }
+        );
+        assert!(idx.update(1, (110.0, 90.0)), "crossing x boundary moves");
+        assert_eq!(idx.home_cell(1), Some((1, 0)));
+        assert_eq!(idx.stats().moves, 2);
+        assert_eq!(idx.occupied_cells(), 1);
+    }
+
+    #[test]
+    fn negative_coordinates_floor_correctly() {
+        let idx = CellIndex::new(50.0);
+        assert_eq!(idx.cell_of((-0.5, -0.5)), (-1, -1));
+        assert_eq!(idx.cell_of((0.0, 0.0)), (0, 0));
+        assert_eq!(idx.cell_of((-50.0, 49.9)), (-1, 0));
+        assert_eq!(idx.cell_of((-50.1, -100.0)), (-2, -2));
+    }
+
+    #[test]
+    fn halo_finds_cross_boundary_neighbours() {
+        let mut idx = CellIndex::new(100.0);
+        idx.update(1, (99.0, 50.0));
+        idx.update(2, (101.0, 50.0)); // adjacent cell, 2 m away
+        idx.update(3, (450.0, 50.0)); // far away
+        assert_eq!(idx.halo_candidates(1), vec![2]);
+        assert_eq!(idx.neighbours_within(1, 10.0), vec![2]);
+        assert_eq!(idx.neighbours_within(3, 100.0), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn neighbours_are_sorted_and_radius_filtered() {
+        let mut idx = CellIndex::new(100.0);
+        for (id, x) in [(5u64, 0.0), (2, 30.0), (9, 60.0), (7, 95.0)] {
+            idx.update(id, (x, 0.0));
+        }
+        assert_eq!(idx.neighbours_within(9, 40.0), vec![2, 7]);
+        assert_eq!(idx.neighbours_within(5, 100.0), vec![2, 7, 9]);
+    }
+
+    #[test]
+    fn remove_unindexes() {
+        let mut idx = CellIndex::new(100.0);
+        idx.update(1, (0.0, 0.0));
+        idx.update(2, (1.0, 0.0));
+        idx.remove(1);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.halo_candidates(2), Vec::<u64>::new());
+        idx.remove(1); // idempotent
+    }
+
+    #[test]
+    fn candidate_count_matches_enumeration() {
+        let mut idx = CellIndex::new(100.0);
+        for id in 0..20u64 {
+            idx.update(id, (id as f64 * 37.0, (id % 3) as f64 * 80.0));
+        }
+        let enumerated: usize = idx.ids().map(|id| idx.halo_candidates(id).len()).sum();
+        assert_eq!(idx.candidate_count(), enumerated);
+        assert!(enumerated < 20 * 19, "halo must prune the full n(n-1)");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cell side")]
+    fn oversized_radius_rejected() {
+        let mut idx = CellIndex::new(50.0);
+        idx.update(1, (0.0, 0.0));
+        idx.neighbours_within(1, 60.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests of the uniform-grid cell index: the 3×3 halo query
+//! must never miss a neighbour within the configured radius, for any
+//! fleet placement — including vehicles sitting exactly on cell
+//! boundaries and at negative coordinates — as long as the radius does
+//! not exceed the cell side.
+
+use proptest::prelude::*;
+use rups_fleet::CellIndex;
+
+const CELL_M: f64 = 50.0;
+
+/// A coordinate mixing continuous values with exact cell-boundary
+/// multiples (±k·50) so degenerate floor-division cases are exercised
+/// every run, on both sides of zero.
+fn coord() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (-500.0f64..500.0).boxed(),
+        (-10i64..=10).prop_map(|k| k as f64 * CELL_M).boxed(),
+    ]
+}
+
+fn fleet() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((coord(), coord()), 2..40)
+}
+
+fn brute_force_within(positions: &[(f64, f64)], me: usize, radius: f64) -> Vec<u64> {
+    let (x0, y0) = positions[me];
+    let mut out: Vec<u64> = positions
+        .iter()
+        .enumerate()
+        .filter(|&(j, &(x, y))| {
+            j != me && {
+                let (dx, dy) = (x - x0, y - y0);
+                dx * dx + dy * dy <= radius * radius
+            }
+        })
+        .map(|(j, _)| j as u64)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn halo_query_matches_brute_force(
+        positions in fleet(),
+        radius_frac in 0.05f64..1.0,
+    ) {
+        let radius = radius_frac * CELL_M;
+        let mut idx = CellIndex::new(CELL_M);
+        for (i, &pos) in positions.iter().enumerate() {
+            idx.update(i as u64, pos);
+        }
+        for i in 0..positions.len() {
+            let got = idx.neighbours_within(i as u64, radius);
+            let want = brute_force_within(&positions, i, radius);
+            prop_assert_eq!(
+                &got, &want,
+                "vehicle {} at {:?}, radius {}", i, positions[i], radius
+            );
+            // The halo is a superset of the radius ball.
+            let halo = idx.halo_candidates(i as u64);
+            for nb in &want {
+                prop_assert!(halo.contains(nb));
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_updates_equal_fresh_build(
+        before in fleet(),
+        dxy in proptest::collection::vec((-120.0f64..120.0, -120.0f64..120.0), 2..40),
+    ) {
+        // Move every vehicle (re-using the shorter of the two vectors),
+        // then compare the incrementally-maintained index against one
+        // built from scratch at the final positions.
+        let n = before.len().min(dxy.len());
+        let mut incremental = CellIndex::new(CELL_M);
+        for (i, &pos) in before.iter().take(n).enumerate() {
+            incremental.update(i as u64, pos);
+        }
+        let after: Vec<(f64, f64)> = (0..n)
+            .map(|i| (before[i].0 + dxy[i].0, before[i].1 + dxy[i].1))
+            .collect();
+        for (i, &pos) in after.iter().enumerate() {
+            incremental.update(i as u64, pos);
+        }
+        let mut fresh = CellIndex::new(CELL_M);
+        for (i, &pos) in after.iter().enumerate() {
+            fresh.update(i as u64, pos);
+        }
+        for i in 0..n {
+            let id = i as u64;
+            prop_assert_eq!(incremental.home_cell(id), fresh.home_cell(id));
+            prop_assert_eq!(
+                incremental.neighbours_within(id, CELL_M),
+                fresh.neighbours_within(id, CELL_M)
+            );
+        }
+        prop_assert_eq!(incremental.candidate_count(), fresh.candidate_count());
+    }
+
+    #[test]
+    fn boundary_positions_stay_symmetric(
+        kx in -6i64..=6,
+        ky in -6i64..=6,
+        eps_step in 0u8..3,
+    ) {
+        // Two vehicles straddling (or sitting exactly on) a shared cell
+        // boundary must see each other regardless of which side the
+        // floor put them on.
+        let eps = [0.0, 1e-9, 1.0][eps_step as usize];
+        let x = kx as f64 * CELL_M;
+        let y = ky as f64 * CELL_M;
+        let mut idx = CellIndex::new(CELL_M);
+        idx.update(1, (x - eps, y));
+        idx.update(2, (x + eps, y));
+        prop_assert_eq!(idx.neighbours_within(1, CELL_M), vec![2]);
+        prop_assert_eq!(idx.neighbours_within(2, CELL_M), vec![1]);
+    }
+}

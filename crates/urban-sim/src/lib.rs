@@ -31,5 +31,5 @@ pub mod sensors;
 
 pub use drive::{Drive, DriveState, MetreMark, MotionProfile, OdometryModel};
 pub use road::{RoadClass, Route, RouteSegment};
-pub use scenario::{Convoy, FollowerParams, TwoVehicleScenario};
+pub use scenario::{Convoy, FleetLayout, FleetScenario, FollowerParams, TwoVehicleScenario};
 pub use sensors::{SensorRates, SensorStream};

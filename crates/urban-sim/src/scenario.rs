@@ -288,6 +288,186 @@ impl Convoy {
     }
 }
 
+/// Layout of a seeded multi-lane fleet: `n_vehicles` dealt round-robin
+/// across `lanes` lanes, each lane an independent convoy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetLayout {
+    /// Total vehicles in the fleet.
+    pub n_vehicles: usize,
+    /// Number of lanes the fleet occupies.
+    pub lanes: usize,
+    /// Initial within-lane spacing, metres.
+    pub initial_gap_m: f64,
+    /// Car-following controller for every non-head vehicle.
+    pub params: FollowerParams,
+}
+
+impl Default for FleetLayout {
+    fn default() -> Self {
+        Self {
+            n_vehicles: 12,
+            lanes: 2,
+            initial_gap_m: 45.0,
+            params: FollowerParams::default(),
+        }
+    }
+}
+
+/// A seeded many-vehicle fleet on one route — the placement helper fleet
+/// scenarios share instead of constructing vehicles one-by-one.
+///
+/// Vehicle `k` drives in lane `k % lanes` at convoy rank `k / lanes`
+/// (rank 0 is that lane's head). Each lane is an independent [`Convoy`]
+/// with its own derived seed, so lane heads free-drive with decorrelated
+/// signal/speed noise while followers car-follow their predecessor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetScenario {
+    /// Per-vehicle motion, indexed by vehicle number.
+    pub drives: Vec<Drive>,
+    /// Per-vehicle lane index.
+    pub lane_of: Vec<usize>,
+    /// Per-vehicle lateral offset from the route centre line, metres.
+    pub lane_offsets_m: Vec<f64>,
+}
+
+impl FleetScenario {
+    /// Simulates the fleet for `duration_s` seconds.
+    ///
+    /// # Panics
+    /// Panics when the layout has zero vehicles or zero lanes.
+    pub fn simulate(route: &Route, seed: u64, layout: &FleetLayout, duration_s: f64) -> Self {
+        assert!(layout.n_vehicles >= 1, "a fleet needs at least one vehicle");
+        assert!(layout.lanes >= 1, "a fleet needs at least one lane");
+        let w = route.class().lane_width_m();
+        let centre = layout.lanes as f64 / 2.0;
+        let mut drives = vec![None; layout.n_vehicles];
+        let mut lane_of = Vec::with_capacity(layout.n_vehicles);
+        let mut lane_offsets_m = Vec::with_capacity(layout.n_vehicles);
+        for k in 0..layout.n_vehicles {
+            let lane = k % layout.lanes;
+            lane_of.push(lane);
+            lane_offsets_m.push((lane as f64 + 0.5 - centre) * w);
+        }
+        for lane in 0..layout.lanes {
+            let members: Vec<usize> = (0..layout.n_vehicles)
+                .filter(|k| k % layout.lanes == lane)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let lane_seed = seed ^ (lane as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            if members.len() == 1 {
+                drives[members[0]] = Some(Drive::simulate(route, lane_seed, 0.0, 0.0, duration_s));
+            } else {
+                let convoy = Convoy::simulate(
+                    route,
+                    lane_seed,
+                    members.len(),
+                    layout.initial_gap_m,
+                    &layout.params,
+                    duration_s,
+                );
+                for (rank, &k) in members.iter().enumerate() {
+                    drives[k] = Some(convoy.drives[rank].clone());
+                }
+            }
+        }
+        FleetScenario {
+            drives: drives.into_iter().map(Option::unwrap).collect(),
+            lane_of,
+            lane_offsets_m,
+        }
+    }
+
+    /// Number of vehicles.
+    pub fn len(&self) -> usize {
+        self.drives.len()
+    }
+
+    /// True when the fleet is empty (never: construction requires n ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.drives.is_empty()
+    }
+
+    /// Arc length of vehicle `k` along the route at time `t`.
+    pub fn arc_at(&self, k: usize, t: f64) -> f64 {
+        self.drives[k].distance_at(t)
+    }
+
+    /// Plan position of vehicle `k` at time `t`, lane offset applied.
+    pub fn pos_at(&self, route: &Route, k: usize, t: f64) -> (f64, f64) {
+        route.pos_at_offset(self.arc_at(k, t), self.lane_offsets_m[k])
+    }
+
+    /// Ground-truth along-road gap between vehicles `a` and `b` at time
+    /// `t`; positive when `a` is ahead.
+    pub fn truth_gap(&self, a: usize, b: usize, t: f64) -> f64 {
+        self.arc_at(a, t) - self.arc_at(b, t)
+    }
+}
+
+#[cfg(test)]
+mod fleet_tests {
+    use super::*;
+    use crate::road::{RoadClass, Route};
+
+    #[test]
+    fn fleet_is_deterministic_and_round_robin() {
+        let route = Route::straight(RoadClass::Urban4Lane, 20_000.0);
+        let layout = FleetLayout {
+            n_vehicles: 7,
+            lanes: 3,
+            ..FleetLayout::default()
+        };
+        let a = FleetScenario::simulate(&route, 4, &layout, 120.0);
+        let b = FleetScenario::simulate(&route, 4, &layout, 120.0);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 7);
+        assert_eq!(a.lane_of, vec![0, 1, 2, 0, 1, 2, 0]);
+        // Same-lane vehicles share a lateral offset; different lanes differ.
+        assert_eq!(a.lane_offsets_m[0], a.lane_offsets_m[3]);
+        assert_ne!(a.lane_offsets_m[0], a.lane_offsets_m[1]);
+    }
+
+    #[test]
+    fn within_lane_order_is_preserved() {
+        let route = Route::straight(RoadClass::Urban8Lane, 30_000.0);
+        let layout = FleetLayout {
+            n_vehicles: 12,
+            lanes: 2,
+            ..FleetLayout::default()
+        };
+        let fleet = FleetScenario::simulate(&route, 9, &layout, 240.0);
+        for t in (30..240).step_by(30) {
+            let t = t as f64;
+            for k in 0..12usize {
+                let ahead = k.checked_sub(2);
+                if let Some(a) = ahead {
+                    let gap = fleet.truth_gap(a, k, t);
+                    assert!(gap > 0.0, "vehicle {k} overtook {a} at t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_vehicle_lanes_are_allowed() {
+        let route = Route::straight(RoadClass::Urban4Lane, 10_000.0);
+        let layout = FleetLayout {
+            n_vehicles: 3,
+            lanes: 2,
+            ..FleetLayout::default()
+        };
+        let fleet = FleetScenario::simulate(&route, 2, &layout, 60.0);
+        assert_eq!(fleet.len(), 3);
+        // Lane 1 holds exactly one vehicle (index 1): it free-drives.
+        assert!(fleet.arc_at(1, 60.0) > 0.0);
+        // Position applies the lane offset perpendicular to a straight road.
+        let (_, y) = fleet.pos_at(&route, 1, 30.0);
+        assert!((y - fleet.lane_offsets_m[1]).abs() < 1e-9);
+    }
+}
+
 #[cfg(test)]
 mod convoy_tests {
     use super::*;

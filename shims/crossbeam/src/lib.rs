@@ -2,11 +2,21 @@
 //! workspace uses, backed by `std::sync::mpsc`.
 
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, SendError, Sender, SyncSender, TryRecvError, TrySendError,
+    };
 
     /// An unbounded MPSC channel (`crossbeam::channel::unbounded`).
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         std::sync::mpsc::channel()
+    }
+
+    /// A bounded MPSC channel (`crossbeam::channel::bounded`): holds at
+    /// most `cap` in-flight messages. `SyncSender::try_send` returns
+    /// `TrySendError::Full` instead of blocking, which is what
+    /// backpressure-aware callers (shard beacon routing) want.
+    pub fn bounded<T>(cap: usize) -> (SyncSender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
     }
 }
 
@@ -22,6 +32,21 @@ mod tests {
         }
         assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
         assert!(rx.try_iter().next().is_none());
+    }
+
+    #[test]
+    fn bounded_reports_full_instead_of_blocking() {
+        let (tx, rx) = super::channel::bounded(2);
+        tx.try_send(1u32).unwrap();
+        tx.try_send(2).unwrap();
+        match tx.try_send(3) {
+            Err(super::channel::TrySendError::Full(3)) => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![1, 2]);
+        // Capacity freed by draining; sends succeed again.
+        tx.try_send(4).unwrap();
+        assert_eq!(rx.recv().unwrap(), 4);
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //! * [`fuse`] (`rups-fuse`) — cooperative fix-graph fusion: weighted
 //!   least-squares over a neighbourhood's graded fixes with outlier
 //!   rejection.
+//! * [`fleet`] (`rups-fleet`) — the geographically sharded many-vehicle
+//!   serving layer: uniform-grid cell index with 3×3 halo candidate
+//!   enumeration, shared-nothing per-shard engines with cross-shard
+//!   beacon routing, and a deterministic work-stealing epoch scheduler.
 //! * [`eval`] (`rups-eval`) — the experiment harness regenerating every
 //!   paper figure (also available as the `evaluate` binary).
 //!
@@ -31,6 +35,7 @@ pub use gps_sim as gps;
 pub use gsm_sim as gsm;
 pub use rups_core as core;
 pub use rups_eval as eval;
+pub use rups_fleet as fleet;
 pub use rups_fuse as fuse;
 pub use urban_sim as urban;
 pub use v2v_sim as v2v;
